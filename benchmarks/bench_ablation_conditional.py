@@ -1,0 +1,17 @@
+"""Ablation verifying the paper's Section 6 claim: conditional CDFs on
+correlated dimensions do not significantly improve performance but do
+significantly increase index size. Times a conditional-flattened build.
+"""
+
+from repro.bench import experiments
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+
+
+def test_ablation_conditional(benchmark):
+    experiments.ablation_conditional()
+    bundle = experiments.get_bundle("tpch", n=20_000, num_queries=20, seed=61)
+    layout = GridLayout(("ship_date", "receipt_date", "quantity"), (6, 6))
+    benchmark(
+        lambda: FloodIndex(layout, flatten="conditional").build(bundle.table)
+    )

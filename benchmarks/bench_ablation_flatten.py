@@ -1,0 +1,15 @@
+"""Ablation beyond the paper: RMI flattening vs exact empirical quantiles
+vs equal-width columns inside Flood, on the heavily skewed OSM stand-in.
+Times flattened column assignment (the build-time flattening kernel).
+"""
+
+from repro.bench import experiments
+from repro.core.flatten import Flattener
+
+
+def test_ablation_flatten(benchmark):
+    experiments.ablation_flatten()
+    bundle = experiments.get_bundle("osm", n=50_000, seed=52)
+    flattener = Flattener(bundle.table, ["timestamp"], kind="rmi")
+    values = bundle.table.values("timestamp")
+    benchmark(lambda: flattener.column_of("timestamp", values, 64))

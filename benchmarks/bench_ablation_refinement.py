@@ -1,0 +1,15 @@
+"""Ablation beyond the paper: PLM refinement vs binary search vs no
+refinement inside Flood (DESIGN.md design-choice check). Times a refined
+Flood query round.
+"""
+
+from repro.bench import experiments
+
+
+def test_ablation_refinement(benchmark, tpch_results, query_kernel):
+    experiments.ablation_refinement()
+    bundle, indexes, _, _ = tpch_results
+    sort_dim = indexes["Flood"].layout.sort_dim
+    refining = [q for q in bundle.test if q.filters(sort_dim)][:10]
+    queries = refining or bundle.test[:10]
+    benchmark(query_kernel(indexes["Flood"], queries))

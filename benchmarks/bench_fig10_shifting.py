@@ -1,0 +1,22 @@
+"""Figure 10: randomly shifting workloads; Flood retrains and recovers.
+
+Regenerates the per-round table (stale layout spike, adapted layout,
+retrain seconds, fixed baselines) and times one full layout relearn — the
+operation Figure 10 claims takes "at most around 1 minute" at paper scale.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import default_cost_model
+from repro.core.optimizer import find_optimal_layout
+
+
+def test_fig10_shifting(benchmark, tpch_results):
+    experiments.fig10_shifting()
+    bundle, _, _, _ = tpch_results
+    model = default_cost_model()
+    benchmark(
+        lambda: find_optimal_layout(
+            bundle.table, bundle.train, model,
+            data_sample_size=1000, query_sample_size=15, seed=125,
+        )
+    )

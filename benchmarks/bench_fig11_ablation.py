@@ -1,0 +1,16 @@
+"""Figure 11: incremental ablation (Simple Grid -> +Sort Dim ->
++Flattening -> +Learning) on all four datasets.
+
+Times a Flood build with flattening (the +Flattening rung's extra work).
+"""
+
+from repro.bench import experiments
+from repro.core.index import FloodIndex
+from repro.core.optimizer import heuristic_layout
+
+
+def test_fig11_ablation(benchmark):
+    experiments.fig11_ablation()
+    bundle = experiments.get_bundle("sales", n=20_000, num_queries=40, seed=88)
+    layout = heuristic_layout(bundle.table, bundle.train, target_cells=256)
+    benchmark(lambda: FloodIndex(layout, flatten="rmi").build(bundle.table))

@@ -1,0 +1,16 @@
+"""Figure 12: Flood's performance vs dataset size and query selectivity.
+
+Regenerates both sweeps on TPC-H (sub-linear growth with size; graceful
+behavior from 0.01% to 10% selectivity) and times Flood queries at the
+largest sweep size.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import build_flood
+
+
+def test_fig12_scaling(benchmark, query_kernel):
+    experiments.fig12_scaling()
+    bundle = experiments.get_bundle("tpch", n=80_000, num_queries=40, seed=12)
+    flood, _ = build_flood(bundle.table, bundle.train, seed=13)
+    benchmark(query_kernel(flood, bundle.test[:10]))

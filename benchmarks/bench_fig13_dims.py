@@ -1,0 +1,20 @@
+"""Figure 13: scaling the number of dimensions on uniform synthetic data,
+including each index's ratio to a full scan (the curse of dimensionality).
+
+Times Flood queries on the widest table in the sweep.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import build_flood
+from repro.datasets.synthetic import generate_uniform, uniform_workload
+from repro.workloads.query_gen import split_train_test
+
+
+def test_fig13_dimensions(benchmark, query_kernel):
+    experiments.fig13_dimensions()
+    table = generate_uniform(n=20_000, d=10, seed=14)
+    train, test = split_train_test(
+        uniform_workload(table, num_queries=40, seed=15), seed=16
+    )
+    flood, _ = build_flood(table, train, seed=17)
+    benchmark(query_kernel(flood, test[:10]))

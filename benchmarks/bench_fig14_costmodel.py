@@ -1,0 +1,21 @@
+"""Figure 14: the scan-time / index-time trade-off as cell count scales,
+with the learned optimum marked. Times a cost-model batch prediction (the
+optimizer's inner loop).
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import default_cost_model
+from repro.core.cost import QueryFeatures
+
+
+def test_fig14_costmodel(benchmark):
+    experiments.fig14_costmodel()
+    model = default_cost_model()
+    features = [
+        QueryFeatures(
+            total_cells=1024, nc=32, ns=5_000.0 * (i + 1), dims_filtered=3,
+            sort_filtered=bool(i % 2), table_rows=150_000,
+        )
+        for i in range(20)
+    ]
+    benchmark(lambda: model.predict_batch(features))

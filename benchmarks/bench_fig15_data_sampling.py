@@ -1,0 +1,20 @@
+"""Figure 15: learning time and resulting query time when sampling the
+dataset during layout optimization. Times optimization at the smallest
+sample size (the fast end of the trade-off).
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import default_cost_model
+from repro.core.optimizer import find_optimal_layout
+
+
+def test_fig15_data_sampling(benchmark):
+    experiments.fig15_data_sampling()
+    bundle = experiments.get_bundle("tpch", seed=40)
+    model = default_cost_model()
+    benchmark(
+        lambda: find_optimal_layout(
+            bundle.table, bundle.train, model,
+            data_sample_size=200, query_sample_size=20, seed=41,
+        )
+    )

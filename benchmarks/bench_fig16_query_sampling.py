@@ -1,0 +1,20 @@
+"""Figure 16: learning time and resulting query time when sampling the
+query workload. Times optimization with a 5-query sample (the paper's
+observation: a few queries per type suffice).
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import default_cost_model
+from repro.core.optimizer import find_optimal_layout
+
+
+def test_fig16_query_sampling(benchmark):
+    experiments.fig16_query_sampling()
+    bundle = experiments.get_bundle("tpch", seed=42)
+    model = default_cost_model()
+    benchmark(
+        lambda: find_optimal_layout(
+            bundle.table, bundle.train, model,
+            data_sample_size=2000, query_sample_size=5, seed=43,
+        )
+    )

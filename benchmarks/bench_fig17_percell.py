@@ -1,0 +1,30 @@
+"""Figure 17: per-cell CDF model shoot-out (PLM vs RMI vs binary search)
+plus the PLM delta size/speed trade-off. Times PLM lookups on the OSM-like
+timestamp column.
+
+Caveat recorded in EXPERIMENTS.md: in CPython, 'binary search' is
+np.searchsorted (a C loop), so the paper's 4x PLM-over-binary win cannot
+reproduce in wall-clock; segment counts and the delta trade-off do.
+"""
+
+import numpy as np
+
+from repro.bench import experiments
+from repro.ml.plm import PiecewiseLinearModel
+
+
+def test_fig17_percell(benchmark):
+    experiments.fig17_percell()
+    values = np.sort(
+        experiments.get_bundle("osm", n=50_000, seed=45).table.values("timestamp")
+    )
+    plm = PiecewiseLinearModel(values, delta=50)
+    probes = values[:: 101].tolist()
+
+    def kernel():
+        total = 0
+        for probe in probes:
+            total += plm.search_left(probe)
+        return total
+
+    benchmark(kernel)

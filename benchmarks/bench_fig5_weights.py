@@ -1,0 +1,19 @@
+"""Figure 5: the scan weight ws is non-constant and non-linear.
+
+Regenerates the ws-vs-Ns / ws-vs-run-length characterization plus the
+Section 4.1.2 learned-vs-constant accuracy ratio, and times cost-model
+calibration example generation.
+"""
+
+from repro.bench import experiments
+from repro.core.calibration import generate_training_examples
+
+
+def test_fig5_weights(benchmark):
+    experiments.fig5_weights()
+    bundle = experiments.get_bundle("tpch", n=5_000, num_queries=10, seed=77)
+    benchmark(
+        lambda: generate_training_examples(
+            bundle.table, bundle.train[:5], num_layouts=2, seed=78
+        )
+    )

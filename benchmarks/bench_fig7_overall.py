@@ -1,0 +1,14 @@
+"""Figure 7: overall query time, Flood vs all tuned baselines, 4 datasets.
+
+The headline result: Flood is fastest or on par on every dataset while the
+next-best index changes per dataset. Times one round of test queries on the
+learned Flood index for TPC-H.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig7_overall(benchmark, tpch_results, query_kernel):
+    experiments.fig7_overall()
+    bundle, indexes, _, _ = tpch_results
+    benchmark(query_kernel(indexes["Flood"], bundle.test[:20]))

@@ -1,0 +1,18 @@
+"""Figure 9: representative workload mixes (FD/MD/O/Ou/O1/O2/OO/ST).
+
+Baselines stay tuned for the original OLAP workload; Flood retrains per
+mix — the paper's demonstration that self-tuning is the advantage. Times
+point-lookup (O1) execution on Flood.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import build_flood
+from repro.workloads.mixes import build_mix
+
+
+def test_fig9_mixes(benchmark, tpch_results, query_kernel):
+    experiments.fig9_mixes()
+    bundle, _, _, _ = tpch_results
+    lookups = build_mix(bundle.table, "O1", num_queries=20, seed=123)
+    flood, _ = build_flood(bundle.table, lookups, seed=124)
+    benchmark(query_kernel(flood, lookups))

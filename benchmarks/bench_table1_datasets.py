@@ -1,0 +1,13 @@
+"""Table 1: dataset and query characteristics.
+
+Regenerates the paper's dataset summary at bench scale and times dataset
+generation (the substrate every other experiment stands on).
+"""
+
+from repro.bench import experiments
+from repro.datasets import load
+
+
+def test_table1_datasets(benchmark):
+    experiments.table1_datasets()
+    benchmark(lambda: load("tpch", n=10_000, num_queries=20, seed=99))

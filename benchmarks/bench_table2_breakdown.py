@@ -1,0 +1,12 @@
+"""Table 2: performance breakdown (SO, TPS, ST, IT, TT) per index per
+dataset. Times the instrumented workload execution that produces the rows.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import run_workload
+
+
+def test_table2_breakdown(benchmark, tpch_results):
+    experiments.table2_breakdown()
+    bundle, indexes, _, _ = tpch_results
+    benchmark(lambda: run_workload(indexes["Flood"], bundle.test[:20]))

@@ -1,0 +1,20 @@
+"""Table 3: cost-model robustness — weight models trained on dataset A
+produce near-identical layouts/query times for dataset B. Times a single
+cross-dataset layout optimization.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import default_cost_model
+from repro.core.optimizer import find_optimal_layout
+
+
+def test_table3_robustness(benchmark):
+    experiments.table3_robustness()
+    bundle = experiments.get_bundle("osm", n=10_000, num_queries=30, seed=30)
+    model = default_cost_model()
+    benchmark(
+        lambda: find_optimal_layout(
+            bundle.table, bundle.train, model,
+            data_sample_size=1000, query_sample_size=15, seed=31,
+        )
+    )

@@ -1,0 +1,12 @@
+"""Table 4: index creation time — Flood's learning + loading vs every
+baseline's build. Times Flood's loading phase (build from a fixed layout).
+"""
+
+from repro.bench import experiments
+from repro.core.index import FloodIndex
+
+
+def test_table4_creation(benchmark, tpch_results):
+    experiments.table4_creation()
+    bundle, indexes, _, opt = tpch_results
+    benchmark(lambda: FloodIndex(opt.layout).build(bundle.table))

@@ -1,0 +1,40 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` file regenerates one paper artifact: it runs the
+corresponding driver from :mod:`repro.bench.experiments` (printing the
+paper-style table and writing it under ``results/``) and then times a
+representative hot kernel with pytest-benchmark.
+
+Heavy state (dataset bundles, tuned indexes) is cached inside the
+experiments module, so running the whole directory shares one build of the
+Figure 7 configuration across Figures 7/8 and Tables 2/4.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.storage.visitor import CountVisitor
+
+
+@pytest.fixture(scope="session")
+def tpch_results():
+    """The tuned Figure 7 TPC-H configuration (cached across files)."""
+    return experiments.dataset_results("tpch")
+
+
+@pytest.fixture
+def query_kernel():
+    """Factory: a closure running queries on an index (the timed unit)."""
+
+    def make(index, queries):
+        def kernel():
+            total = 0
+            for query in queries:
+                visitor = CountVisitor()
+                index.query(query, visitor)
+                total += visitor.result
+            return total
+
+        return kernel
+
+    return make

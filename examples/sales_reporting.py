@@ -1,0 +1,69 @@
+"""Analyst report generation over a sales table.
+
+The paper's headline real-world result is a sales database workload where
+Flood beats a tuned clustered column index 3x and Amazon Redshift's
+Z-encoding 72x (Section 1). This example runs the sales stand-in with both
+comparisons, and shows the aggregation fast paths the column store provides
+(cumulative-aggregate columns answering exact-range SUMs in O(1)).
+
+Run:  python examples/sales_reporting.py
+"""
+
+import time
+
+from repro import CountVisitor, Query, SumVisitor
+from repro.baselines import ClusteredIndex, ZOrderIndex
+from repro.bench.harness import build_flood, run_workload
+from repro.datasets import load
+from repro.workloads.query_gen import most_selective_dim, selectivity_ranked_dims
+
+
+def main():
+    print("Generating a 100k-row sales-database stand-in...")
+    bundle = load("sales", n=100_000, num_queries=120, seed=11)
+    table = bundle.table
+
+    print("Tuning the baselines for the analyst workload (as a DBA would)...")
+    sort_dim = most_selective_dim(table, bundle.train)
+    clustered = ClusteredIndex(sort_dim=sort_dim).build(table)
+    zorder = ZOrderIndex(
+        selectivity_ranked_dims(table, bundle.train), page_size=512
+    ).build(table)
+
+    print("Learning the Flood layout (no manual tuning)...")
+    flood, optimization = build_flood(table, bundle.train, seed=11)
+    print(f"  layout: {optimization.layout.describe()}")
+
+    print("\nHeld-out analyst workload:")
+    for index in (flood, clustered, zorder):
+        result = run_workload(index, bundle.test)
+        print(f"  {index.name:12s} avg {result.avg_total_time * 1e3:7.3f} ms, "
+              f"scan overhead {result.scan_overhead:7.1f}")
+
+    # Report query: revenue (sum of price) for a date range, one region.
+    report = Query.equals("region", 4, date=(90, 120))
+    revenue = SumVisitor("price")
+    stats = flood.query(report, revenue)
+    print(f"\nQ2 revenue report, region 4: ${revenue.result / 100:,.2f} "
+          f"({stats.points_matched} orders, "
+          f"{stats.total_time * 1e3:.3f} ms)")
+
+    # The cumulative-aggregate fast path (paper Section 7.1, optimization 2):
+    # exact ranges answer SUMs from prefix sums without touching the data.
+    flood.table.add_cumulative("price")
+    timed = SumVisitor("price")
+    start = time.perf_counter()
+    date_only = Query({"date": (90, 120)})
+    flood.query(date_only, timed)
+    elapsed = (time.perf_counter() - start) * 1e3
+    print(f"Whole-company revenue for the window: ${timed.result / 100:,.2f} "
+          f"in {elapsed:.3f} ms "
+          f"({timed.cumulative_hits} cumulative-column hits)")
+
+    count = CountVisitor()
+    flood.query(date_only, count)
+    print(f"Orders in the window: {count.result}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Common interface for all indexes (Flood and baselines).
+
+An index is *clustered*: building it decides the storage order of the
+table. ``build`` takes the logical table and produces the physically
+reordered table plus whatever metadata the index needs; ``query`` executes
+one predicate, feeding a visitor and returning :class:`QueryStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.errors import BuildError
+from repro.query.predicate import Query
+from repro.query.stats import QueryStats
+from repro.storage.table import Table
+from repro.storage.visitor import Visitor
+
+
+class BaseIndex(ABC):
+    """Abstract clustered index over a column-store table."""
+
+    #: Human-readable name used in benchmark tables.
+    name = "base"
+
+    def __init__(self):
+        self._table: Table | None = None
+        self.build_seconds = 0.0
+
+    # ------------------------------------------------------------------ build
+    def build(self, table: Table) -> "BaseIndex":
+        """Cluster ``table`` and construct index metadata. Returns self."""
+        start = time.perf_counter()
+        self._build(table)
+        self.build_seconds = time.perf_counter() - start
+        return self
+
+    @abstractmethod
+    def _build(self, table: Table) -> None:
+        """Index-specific build; must set ``self._table``."""
+
+    @property
+    def table(self) -> Table:
+        """The clustered (physically reordered) table."""
+        if self._table is None:
+            raise BuildError(f"{self.name} index used before build()")
+        return self._table
+
+    # ------------------------------------------------------------------ query
+    @abstractmethod
+    def query(self, query: Query, visitor: Visitor) -> QueryStats:
+        """Execute one query, accumulating ``visitor``; returns statistics."""
+
+    def run_workload(self, queries, visitor_factory) -> list[QueryStats]:
+        """Execute a list of queries, one fresh visitor per query."""
+        return [self.query(q, visitor_factory()) for q in queries]
+
+    # ------------------------------------------------------------------- size
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Index metadata footprint (excluding the data itself), modeling a
+        C++-equivalent layout: 8 bytes per stored scalar."""
+
+
+def timed() -> float:
+    """Monotonic timestamp; thin alias so index code reads uniformly."""
+    return time.perf_counter()

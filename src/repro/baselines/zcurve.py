@@ -1,0 +1,143 @@
+"""Z-order (Morton) curve utilities: interleaving, decoding, and BIGMIN.
+
+Paper Appendix A: Z-order values are 64-bit; when indexing d dimensions the
+first ``floor(64/d)`` bits of each dimension's (normalized) value are
+interleaved, ordered by selectivity so the most selective dimension's LSB is
+the Z-value's LSB.
+
+``bigmin`` implements the Tropf-Herzog BIGMIN algorithm: the smallest
+Z-value greater than or equal to a given code that lies inside a query
+rectangle. The UB-tree uses it to "skip ahead to the page that contains this
+Z-order value" when the curve exits the query rectangle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZEncoder:
+    """Maps d-dimensional int64 points to Z-codes and back.
+
+    Parameters
+    ----------
+    mins, maxs:
+        Per-dimension data minima and maxima (inclusive); values are
+        normalized to ``v - min`` then truncated to the top
+        ``bits_per_dim`` bits before interleaving.
+    """
+
+    def __init__(self, mins: np.ndarray, maxs: np.ndarray):
+        self.mins = np.asarray(mins, dtype=np.int64)
+        self.maxs = np.asarray(maxs, dtype=np.int64)
+        if self.mins.shape != self.maxs.shape or self.mins.ndim != 1:
+            raise ValueError("mins and maxs must be matching 1-D arrays")
+        if np.any(self.maxs < self.mins):
+            raise ValueError("max < min for some dimension")
+        self.d = int(self.mins.size)
+        self.bits_per_dim = max(1, 64 // self.d)
+        spans = (self.maxs - self.mins).astype(np.uint64)
+        # Bits needed to represent the normalized span of each dimension.
+        self._dim_bits = np.array(
+            [max(1, int(s).bit_length()) for s in spans], dtype=np.int64
+        )
+        # Right-shift that truncates each dimension to bits_per_dim bits.
+        self._shifts = np.maximum(0, self._dim_bits - self.bits_per_dim)
+
+    # -------------------------------------------------------------- transform
+    def code_coords(self, points: np.ndarray) -> np.ndarray:
+        """Normalize and truncate points (n x d) to per-dim code coordinates."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.int64))
+        normalized = np.clip(points - self.mins, 0, self.maxs - self.mins)
+        return (normalized.astype(np.uint64)) >> self._shifts.astype(np.uint64)
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Z-codes for points (n x d), vectorized bit interleaving.
+
+        Dimension 0's LSB lands at Z bit 0 — order dimensions most selective
+        first so the Z-order is finest on the most selective attribute.
+        """
+        coords = self.code_coords(points)
+        z = np.zeros(coords.shape[0], dtype=np.uint64)
+        for bit in range(self.bits_per_dim):
+            for dim in range(self.d):
+                z |= ((coords[:, dim] >> np.uint64(bit)) & np.uint64(1)) << np.uint64(
+                    bit * self.d + dim
+                )
+        return z
+
+    def decode(self, z: int) -> np.ndarray:
+        """Per-dim code coordinates of one Z-code (inverse of interleave)."""
+        coords = np.zeros(self.d, dtype=np.uint64)
+        z = int(z)
+        for bit in range(self.bits_per_dim):
+            for dim in range(self.d):
+                coords[dim] |= np.uint64(((z >> (bit * self.d + dim)) & 1) << bit)
+        return coords
+
+    def rect_codes(self, lows: np.ndarray, highs: np.ndarray) -> tuple[int, int]:
+        """Z-codes of a query rectangle's lower-left and upper-right corners."""
+        lo = self.encode(np.asarray(lows, dtype=np.int64)[None, :])[0]
+        hi = self.encode(np.asarray(highs, dtype=np.int64)[None, :])[0]
+        return int(lo), int(hi)
+
+    # ------------------------------------------------------------- rectangle
+    def in_rect(self, z: int, zmin: int, zmax: int) -> bool:
+        """Whether code ``z`` lies inside the rectangle spanned by corner
+        codes ``zmin``/``zmax`` (per-dimension containment)."""
+        c = self.decode(z)
+        lo = self.decode(zmin)
+        hi = self.decode(zmax)
+        return bool(np.all((c >= lo) & (c <= hi)))
+
+    def bigmin(self, z: int, zmin: int, zmax: int) -> int | None:
+        """Smallest Z-code >= ``z`` inside the rectangle, or None.
+
+        Tropf-Herzog BIGMIN over the interleaved representation. ``zmin`` and
+        ``zmax`` are the rectangle corner codes; ``z`` is the current curve
+        position (typically just past a scanned page).
+        """
+        if z <= zmin:
+            return zmin
+        d = self.d
+        total_bits = self.bits_per_dim * d
+        bigmin = None
+        lo, hi = int(zmin), int(zmax)
+        z = int(z)
+        for i in range(total_bits - 1, -1, -1):
+            zbit = (z >> i) & 1
+            lbit = (lo >> i) & 1
+            hbit = (hi >> i) & 1
+            if zbit == 0 and lbit == 0 and hbit == 1:
+                bigmin = _load(lo, i, 1, d)
+                hi = _load(hi, i, 0, d)
+            elif zbit == 0 and lbit == 1 and hbit == 1:
+                return lo
+            elif zbit == 1 and lbit == 0 and hbit == 0:
+                return bigmin
+            elif zbit == 1 and lbit == 0 and hbit == 1:
+                lo = _load(lo, i, 1, d)
+            # (0,0,0) and (1,1,1): continue; (_,1,0) impossible for valid rects.
+        # Loop exhausted: z itself is inside the rectangle.
+        return z if self.in_rect(z, zmin, zmax) else bigmin
+
+    def size_bytes(self) -> int:
+        return 8 * 4 * self.d  # mins, maxs, dim_bits, shifts
+
+
+def _load(code: int, i: int, bit: int, d: int) -> int:
+    """Tropf-Herzog LOAD: within bit i's dimension, set bit i to ``bit`` and
+    all lower bits of the same dimension to the complement pattern.
+
+    ``bit=1`` -> "10000..." (bit i set, lower same-dim bits cleared);
+    ``bit=0`` -> "01111..." (bit i cleared, lower same-dim bits set).
+    """
+    dim = i % d
+    lower_mask = 0
+    j = dim
+    while j < i:
+        lower_mask |= 1 << j
+        j += d
+    if bit:
+        return (code & ~lower_mask) | (1 << i)
+    return (code & ~(1 << i)) | lower_mask

@@ -1,0 +1,52 @@
+"""Plain-text reporting: the same rows/series the paper's artifacts show."""
+
+from __future__ import annotations
+
+import os
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """A fixed-width text table."""
+    columns = [str(h) for h in headers]
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs, ys, x_label: str = "x", y_label: str = "y") -> str:
+    """A two-column series (one paper figure line)."""
+    rows = list(zip(xs, ys))
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 0.01:
+            return f"{cell:.4g}"
+        return f"{cell:.3e}"
+    return str(cell)
+
+
+def write_result(name: str, text: str, results_dir: str | None = None) -> str:
+    """Print a report and persist it under ``results/`` for EXPERIMENTS.md."""
+    results_dir = results_dir or os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+    return path

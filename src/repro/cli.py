@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    The quickstart flow: generate a dataset, learn a layout, compare Flood
+    against a full scan on held-out queries.
+``bench ARTIFACT``
+    Regenerate one paper artifact (e.g. ``fig7``, ``table2``,
+    ``ablation_flatten``) or ``all``; writes under ``results/``.
+``datasets``
+    List available dataset generators with their bench-scale sizes.
+``calibrate``
+    Force (re)calibration of the machine's cost model and print where it
+    was cached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+#: CLI artifact name -> experiments-module driver function name.
+BENCH_DRIVERS = {
+    "table1": "table1_datasets",
+    "table2": "table2_breakdown",
+    "table3": "table3_robustness",
+    "table4": "table4_creation",
+    "fig5": "fig5_weights",
+    "fig7": "fig7_overall",
+    "fig8": "fig8_pareto",
+    "fig9": "fig9_mixes",
+    "fig10": "fig10_shifting",
+    "fig11": "fig11_ablation",
+    "fig12": "fig12_scaling",
+    "fig13": "fig13_dimensions",
+    "fig14": "fig14_costmodel",
+    "fig15": "fig15_data_sampling",
+    "fig16": "fig16_query_sampling",
+    "fig17": "fig17_percell",
+    "ablation_refinement": "ablation_refinement",
+    "ablation_flatten": "ablation_flatten",
+    "ablation_conditional": "ablation_conditional",
+    "monetdb": "monetdb_parity",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Learning Multi-Dimensional Indexes' (Flood).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="quickstart: learn a layout and query it")
+    demo.add_argument("--dataset", default="tpch", help="dataset name")
+    demo.add_argument("--rows", type=int, default=100_000, help="row count")
+    demo.add_argument("--seed", type=int, default=7)
+
+    bench = sub.add_parser("bench", help="regenerate a paper artifact")
+    bench.add_argument(
+        "artifact",
+        choices=sorted(BENCH_DRIVERS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+
+    sub.add_parser("datasets", help="list dataset generators")
+    sub.add_parser("calibrate", help="(re)calibrate the cost model")
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    import time
+
+    from repro.baselines import FullScanIndex
+    from repro.bench.harness import build_flood
+    from repro.datasets import load
+    from repro.storage.visitor import CountVisitor
+
+    print(f"Loading {args.dataset} at {args.rows} rows...")
+    bundle = load(args.dataset, n=args.rows, num_queries=100, seed=args.seed)
+    flood, opt = build_flood(bundle.table, bundle.train, seed=args.seed)
+    print(f"Learned layout: {opt.layout.describe()} "
+          f"({opt.learn_seconds:.2f}s learning, {flood.build_seconds:.2f}s loading)")
+    scan = FullScanIndex().build(bundle.table)
+    for index in (flood, scan):
+        start = time.perf_counter()
+        for query in bundle.test:
+            index.query(query, CountVisitor())
+        elapsed = (time.perf_counter() - start) / len(bundle.test) * 1e3
+        print(f"  {index.name:10s} {elapsed:8.3f} ms/query")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import experiments
+
+    names = sorted(BENCH_DRIVERS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        driver = getattr(experiments, BENCH_DRIVERS[name])
+        driver()
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.bench.experiments import BENCH_ROWS
+    from repro.datasets import DATASET_NAMES
+    from repro.datasets.base import _DEFAULT_ROWS
+
+    print(f"{'name':10s} {'default rows':>12s} {'bench rows':>11s}")
+    for name in DATASET_NAMES:
+        bench = BENCH_ROWS.get(name, "-")
+        print(f"{name:10s} {_DEFAULT_ROWS[name]:>12,} {bench:>11}")
+    return 0
+
+
+def _cmd_calibrate(_args) -> int:
+    import os
+    import time
+
+    from repro.bench.harness import _model_cache_path, default_cost_model
+
+    path = _model_cache_path(0)
+    if os.path.exists(path):
+        os.remove(path)
+        print(f"Removed stale cache {path}")
+    start = time.perf_counter()
+    default_cost_model()
+    print(f"Calibrated in {time.perf_counter() - start:.1f}s -> {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "demo": _cmd_demo,
+        "bench": _cmd_bench,
+        "datasets": _cmd_datasets,
+        "calibrate": _cmd_calibrate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Flood: the learned multi-dimensional index (the paper's contribution).
+
+- :mod:`repro.core.layout` -- the grid layout: dimension ordering (last is
+  the sort dimension) and per-grid-dimension column counts (Section 3.1).
+- :mod:`repro.core.flatten` -- per-attribute CDF flattening so each column
+  holds equal mass (Section 5.1).
+- :mod:`repro.core.index` -- the Flood index: projection, per-cell PLM
+  refinement, and scan (Sections 3.2 and 5.2).
+- :mod:`repro.core.cost` -- the cost model Time = wp*Nc + wr*Nc + ws*Ns with
+  learned weights (Section 4.1).
+- :mod:`repro.core.calibration` -- weight-model training from random
+  layouts (Section 4.1.1).
+- :mod:`repro.core.optimizer` -- layout optimization over samples
+  (Section 4.2 / Algorithm 1).
+
+Extensions the paper sketches (Sections 6 and 8) are implemented too:
+:mod:`repro.core.knn` (nearest-neighbor search over the grid),
+:mod:`repro.core.delta` (inserts via a delta buffer), and
+:mod:`repro.core.monitor` (workload-shift detection + auto-retraining).
+"""
+
+from repro.core.calibration import calibrate, generate_training_examples
+from repro.core.cost import AnalyticCostModel, CostModel, LearnedCostModel, QueryFeatures
+from repro.core.delta import DeltaBufferedFlood
+from repro.core.flatten import Flattener
+from repro.core.index import FloodIndex
+from repro.core.knn import KNNSearcher, knn
+from repro.core.layout import GridLayout
+from repro.core.monitor import AdaptiveFlood, WorkloadMonitor
+from repro.core.optimizer import find_optimal_layout, heuristic_layout
+
+__all__ = [
+    "DeltaBufferedFlood",
+    "KNNSearcher",
+    "knn",
+    "AdaptiveFlood",
+    "WorkloadMonitor",
+    "calibrate",
+    "generate_training_examples",
+    "AnalyticCostModel",
+    "CostModel",
+    "LearnedCostModel",
+    "QueryFeatures",
+    "Flattener",
+    "FloodIndex",
+    "GridLayout",
+    "find_optimal_layout",
+    "heuristic_layout",
+]

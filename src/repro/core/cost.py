@@ -1,0 +1,183 @@
+"""The Flood cost model (paper Section 4.1).
+
+Query time is modeled as ``Time = wp*Nc + wr*Nc + ws*Ns`` where ``Nc`` is
+the number of cells intersecting the query rectangle, ``Ns`` the number of
+scanned points, and the weights are *not* constants: they are predicted
+from layout/query statistics by regression models (random forests), because
+their dependence on features like scan run length is non-linear (Figure 5).
+
+Two implementations:
+
+- :class:`LearnedCostModel` -- the paper's: three random forests (one per
+  weight) trained by :mod:`repro.core.calibration`.
+- :class:`AnalyticCostModel` -- the paper's strawman: fine-tuned constant
+  weights (reported to be ~9x less accurate; see
+  ``benchmarks/bench_fig5_weights.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+
+
+@dataclass
+class QueryFeatures:
+    """Statistics describing one query against one layout.
+
+    Computable both from an instrumented run (calibration) and from a data
+    sample plus layout parameters (optimization), which is what lets the
+    optimizer avoid building candidate layouts (Section 4.2).
+    """
+
+    total_cells: int
+    nc: int
+    ns: float
+    dims_filtered: int
+    sort_filtered: bool
+    table_rows: int
+
+    @property
+    def avg_visited_per_cell(self) -> float:
+        return self.ns / max(self.nc, 1)
+
+    @property
+    def avg_cell_size(self) -> float:
+        return self.table_rows / max(self.total_cells, 1)
+
+    @property
+    def avg_run_length(self) -> float:
+        """Expected contiguous scan run per cell — a locality proxy that
+        drives the non-linearity of ws (Figure 5)."""
+        return self.avg_visited_per_cell
+
+    def to_vector(self) -> np.ndarray:
+        return np.array(
+            [
+                np.log1p(self.total_cells),
+                np.log1p(self.nc),
+                np.log1p(self.ns),
+                float(self.dims_filtered),
+                float(self.sort_filtered),
+                np.log1p(self.avg_visited_per_cell),
+                np.log1p(self.avg_cell_size),
+            ]
+        )
+
+    #: Feature names aligned with :meth:`to_vector`.
+    FEATURE_NAMES = (
+        "log_total_cells",
+        "log_nc",
+        "log_ns",
+        "dims_filtered",
+        "sort_filtered",
+        "log_avg_visited_per_cell",
+        "log_avg_cell_size",
+    )
+
+
+class CostModel(ABC):
+    """Predicts per-phase weights and total query time for a layout."""
+
+    @abstractmethod
+    def predict_weights(self, features: QueryFeatures) -> tuple[float, float, float]:
+        """(wp, wr, ws) in seconds per cell / cell / point."""
+
+    def predict_time(self, features: QueryFeatures) -> float:
+        """Eq. 1: wp*Nc + wr*Nc (if the sort dim is filtered) + ws*Ns."""
+        wp, wr, ws = self.predict_weights(features)
+        refine = features.nc * wr if features.sort_filtered else 0.0
+        return wp * features.nc + refine + ws * features.ns
+
+    def predict_times(self, features_list) -> np.ndarray:
+        """Predicted time per query; subclasses may batch this."""
+        return np.array([self.predict_time(f) for f in features_list])
+
+    def predict_batch(self, features_list) -> float:
+        """Average predicted time over a workload sample."""
+        if not features_list:
+            return 0.0
+        return float(self.predict_times(features_list).mean())
+
+
+class AnalyticCostModel(CostModel):
+    """Constant-weight strawman (paper Section 4.1.2).
+
+    Defaults are medians measured on this repository's Python/numpy
+    substrate (see ``repro.core.calibration``): cell processing is dominated
+    by interpreter overhead (~microseconds/cell), scans by vectorized numpy
+    (~0.1 microsecond/point at typical per-cell run lengths).
+    """
+
+    def __init__(self, wp: float = 8e-6, wr: float = 1.5e-5, ws: float = 1e-7):
+        self.wp = float(wp)
+        self.wr = float(wr)
+        self.ws = float(ws)
+
+    def predict_weights(self, features: QueryFeatures) -> tuple[float, float, float]:
+        return self.wp, self.wr, self.ws
+
+
+class LearnedCostModel(CostModel):
+    """Random-forest weight models (paper Section 4.1.1).
+
+    Weights span a relatively narrow range, so the forests regress the
+    weights themselves rather than total query time — a single time model
+    "would optimize for accuracy of slow queries at the detriment of fast
+    queries" (Section 4.1.1).
+    """
+
+    def __init__(
+        self,
+        wp_model: RandomForestRegressor,
+        wr_model: RandomForestRegressor,
+        ws_model: RandomForestRegressor,
+        weight_floor: float = 1e-10,
+        log_space: bool = False,
+    ):
+        self._wp = wp_model
+        self._wr = wr_model
+        self._ws = ws_model
+        self.weight_floor = float(weight_floor)
+        #: When True the forests were trained on log-weights. In this
+        #: Python substrate the weights span ~50x (numpy call overhead
+        #: amortizes over scan run length), so log-space targets keep short
+        #: and long runs equally weighted in the variance criterion.
+        self.log_space = bool(log_space)
+
+    def predict_weights(self, features: QueryFeatures) -> tuple[float, float, float]:
+        vector = features.to_vector()[None, :]
+        raw = (
+            float(self._wp.predict(vector)[0]),
+            float(self._wr.predict(vector)[0]),
+            float(self._ws.predict(vector)[0]),
+        )
+        if self.log_space:
+            raw = tuple(np.exp(r) for r in raw)
+        return tuple(max(r, self.weight_floor) for r in raw)
+
+    def predict_times(self, features_list) -> np.ndarray:
+        """Batched Eq. 1: one forest pass per weight for the whole sample.
+
+        The optimizer calls this hundreds of times per layout search; the
+        per-row path would dominate learning time.
+        """
+        if not features_list:
+            return np.empty(0)
+        matrix = np.stack([f.to_vector() for f in features_list])
+        wp = self._wp.predict(matrix)
+        wr = self._wr.predict(matrix)
+        ws = self._ws.predict(matrix)
+        if self.log_space:
+            wp, wr, ws = np.exp(wp), np.exp(wr), np.exp(ws)
+        wp = np.maximum(wp, self.weight_floor)
+        wr = np.maximum(wr, self.weight_floor)
+        ws = np.maximum(ws, self.weight_floor)
+        nc = np.array([f.nc for f in features_list], dtype=np.float64)
+        ns = np.array([f.ns for f in features_list], dtype=np.float64)
+        refine = np.array([f.sort_filtered for f in features_list], dtype=np.float64)
+        return wp * nc + wr * nc * refine + ws * ns

@@ -1,0 +1,150 @@
+"""Insert support via a delta buffer (paper Section 8, "Insertions").
+
+Flood proper is read-only; the paper sketches two extensions: per-cell gaps
+and "a delta index [39] in which updates are buffered and periodically
+merged into the data store, similar to Bigtable [2]". This module
+implements the delta-index variant:
+
+- inserts append to an in-memory row buffer;
+- queries run against the clustered Flood index *and* a brute-force scan of
+  the (small) buffer, merging visitor results;
+- ``merge()`` folds the buffer into the table and rebuilds the index, and
+  is triggered automatically when the buffer exceeds ``merge_threshold``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+from repro.errors import SchemaError
+from repro.query.predicate import Query
+from repro.query.stats import QueryStats
+from repro.storage.table import Table
+from repro.storage.visitor import Visitor
+
+
+class DeltaBufferedFlood:
+    """A Flood index that accepts inserts through a delta buffer.
+
+    Parameters
+    ----------
+    layout:
+        Grid layout for the underlying Flood index.
+    merge_threshold:
+        Automatic merge once the buffer holds this many rows (None
+        disables auto-merge).
+    flood_kwargs:
+        Passed through to :class:`FloodIndex` (flatten, refinement, delta).
+    """
+
+    def __init__(
+        self,
+        layout: GridLayout,
+        merge_threshold: int | None = 4096,
+        **flood_kwargs,
+    ):
+        self.layout = layout
+        self.merge_threshold = merge_threshold
+        self._flood_kwargs = flood_kwargs
+        self._index: FloodIndex | None = None
+        self._dims: list[str] = []
+        self._buffer: dict[str, list[int]] = {}
+        self.merges = 0
+        self.last_merge_seconds = 0.0
+
+    # ------------------------------------------------------------------ build
+    def build(self, table: Table) -> "DeltaBufferedFlood":
+        self._index = FloodIndex(self.layout, **self._flood_kwargs).build(table)
+        self._dims = table.dims
+        self._buffer = {dim: [] for dim in self._dims}
+        return self
+
+    @property
+    def table(self) -> Table:
+        return self._index.table
+
+    @property
+    def buffered_rows(self) -> int:
+        return len(next(iter(self._buffer.values()))) if self._buffer else 0
+
+    # ----------------------------------------------------------------- insert
+    def insert(self, row: dict) -> None:
+        """Buffer one row (mapping of every dimension to an int value)."""
+        if set(row) != set(self._dims):
+            raise SchemaError(
+                f"row dims {sorted(row)} do not match table dims {sorted(self._dims)}"
+            )
+        for dim, value in row.items():
+            self._buffer[dim].append(int(value))
+        if (
+            self.merge_threshold is not None
+            and self.buffered_rows >= self.merge_threshold
+        ):
+            self.merge()
+
+    def insert_many(self, rows: dict) -> None:
+        """Buffer a column-oriented batch (dim -> array of values)."""
+        if set(rows) != set(self._dims):
+            raise SchemaError(
+                f"batch dims {sorted(rows)} do not match table dims {sorted(self._dims)}"
+            )
+        lengths = {len(np.atleast_1d(v)) for v in rows.values()}
+        if len(lengths) != 1:
+            raise SchemaError("batch columns disagree on length")
+        for dim, values in rows.items():
+            self._buffer[dim].extend(int(v) for v in np.atleast_1d(values))
+        if (
+            self.merge_threshold is not None
+            and self.buffered_rows >= self.merge_threshold
+        ):
+            self.merge()
+
+    # ------------------------------------------------------------------ merge
+    def merge(self) -> None:
+        """Fold the buffer into the table and rebuild the clustered index."""
+        if self.buffered_rows == 0:
+            return
+        start = time.perf_counter()
+        combined = {
+            dim: np.concatenate(
+                [self.table.values(dim), np.asarray(self._buffer[dim], dtype=np.int64)]
+            )
+            for dim in self._dims
+        }
+        self.build(Table(combined, compress=self.table.compressed))
+        self.merges += 1
+        self.last_merge_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------ query
+    def query(self, query: Query, visitor: Visitor) -> QueryStats:
+        """Query the main index, then scan the delta buffer brute-force."""
+        stats = self._index.query(query, visitor)
+        n = self.buffered_rows
+        if n == 0:
+            return stats
+        start = time.perf_counter()
+        mask = np.ones(n, dtype=bool)
+        buffer_table = Table(
+            {dim: np.asarray(self._buffer[dim], dtype=np.int64) for dim in self._dims},
+            compress=False,
+        )
+        for dim, (low, high) in query.ranges.items():
+            if dim not in buffer_table:
+                continue
+            values = buffer_table.values(dim)
+            mask &= (values >= low) & (values <= high)
+        matched = int(np.count_nonzero(mask))
+        if matched:
+            visitor.visit(buffer_table, 0, n, mask)
+        stats.points_scanned += n
+        stats.points_matched += matched
+        stats.scan_time += time.perf_counter() - start
+        stats.total_time += time.perf_counter() - start
+        return stats
+
+    def size_bytes(self) -> int:
+        return self._index.size_bytes() + 8 * self.buffered_rows * len(self._dims)

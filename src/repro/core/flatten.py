@@ -1,0 +1,127 @@
+"""Per-attribute CDF flattening (paper Section 5.1).
+
+Flattening maps each grid dimension through a learned model of its CDF so
+that the dimension's columns hold (approximately) equal numbers of points:
+a point with value ``v`` in a dimension with ``c`` columns lands in column
+``floor(CDF(v) * c)``.
+
+Three model kinds are supported:
+
+- ``'rmi'`` -- the paper's choice: a monotone-leaf Recursive Model Index.
+- ``'quantile'`` -- exact empirical quantiles (an ablation upper bound: a
+  perfect but larger/slower CDF).
+- ``'none'`` -- no flattening: equal-width columns between min and max
+  (the "+Sort Dim" rung of the Figure 11 ablation).
+
+Monotonicity of the model is what makes query projection sound: the columns
+intersecting ``[lo, hi]`` are exactly ``[col(lo), col(hi)]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BuildError
+from repro.ml.cdf import EmpiricalCDF
+from repro.ml.rmi import RecursiveModelIndex
+
+_KINDS = ("rmi", "quantile", "none")
+
+
+class Flattener:
+    """Per-dimension CDF models shared by build-time bucketing and
+    query-time projection.
+
+    Parameters
+    ----------
+    table:
+        Source table (only the requested dims are modeled).
+    dims:
+        Dimensions to model.
+    kind:
+        ``'rmi'``, ``'quantile'``, or ``'none'``.
+    num_leaves:
+        RMI leaf experts per dimension (``None`` = sqrt(n)).
+    sample_rows:
+        Optional row indices to train on (layout optimization trains on a
+        sample, Section 7.7).
+    """
+
+    def __init__(self, table, dims, kind="rmi", num_leaves=None, sample_rows=None):
+        if kind not in _KINDS:
+            raise BuildError(f"unknown flattening kind {kind!r}; use one of {_KINDS}")
+        self.kind = kind
+        self.dims = list(dims)
+        self._models = {}
+        self._bounds = {}
+        for dim in self.dims:
+            values = table.values(dim)
+            if sample_rows is not None:
+                values = values[sample_rows]
+            if values.size == 0:
+                raise BuildError(f"cannot flatten empty dimension {dim!r}")
+            lo, hi = int(values.min()), int(values.max())
+            self._bounds[dim] = (lo, hi)
+            if kind == "rmi":
+                self._models[dim] = RecursiveModelIndex(
+                    np.sort(values), num_leaves=num_leaves, leaf="monotone"
+                )
+            elif kind == "quantile":
+                self._models[dim] = EmpiricalCDF(values)
+            # kind == 'none' keeps only the bounds.
+
+    def domain(self, dim: str) -> tuple[int, int]:
+        """(min, max) of the training data along ``dim``."""
+        return self._bounds[dim]
+
+    # ------------------------------------------------------------------- cdf
+    def cdf(self, dim: str, values) -> np.ndarray:
+        """Model CDF of ``values`` along ``dim``, in [0, 1]."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.kind == "rmi":
+            return np.atleast_1d(self._models[dim].cdf(values))
+        if self.kind == "quantile":
+            return np.atleast_1d(self._models[dim].evaluate(values))
+        lo, hi = self._bounds[dim]
+        span = max(hi - lo + 1, 1)
+        return np.clip((values - lo) / span, 0.0, 1.0)
+
+    # --------------------------------------------------------------- columns
+    def column_of(self, dim: str, values, num_columns: int) -> np.ndarray:
+        """Column assignment ``floor(CDF(v) * c)``, clamped to [0, c-1]."""
+        cols = np.floor(self.cdf(dim, values) * num_columns).astype(np.int64)
+        return np.clip(cols, 0, num_columns - 1)
+
+    def cdf_scalar(self, dim: str, value: float) -> float:
+        """Scalar CDF evaluation (the query-projection hot path)."""
+        if self.kind == "rmi":
+            return self._models[dim].cdf_scalar(value)
+        if self.kind == "quantile":
+            return float(self._models[dim].evaluate(value))
+        lo, hi = self._bounds[dim]
+        span = max(hi - lo + 1, 1)
+        cdf = (value - lo) / span
+        return min(max(cdf, 0.0), 1.0)
+
+    def column_range(
+        self, dim: str, low: int, high: int, num_columns: int
+    ) -> tuple[int, int]:
+        """Inclusive column range intersecting ``[low, high]``.
+
+        Sound because the CDF model is monotone: any value in the range maps
+        into ``[col(low), col(high)]``.
+        """
+        top = num_columns - 1
+        first = int(self.cdf_scalar(dim, low) * num_columns)
+        last = int(self.cdf_scalar(dim, high) * num_columns)
+        return min(first, top), min(last, top)
+
+    # ------------------------------------------------------------------ size
+    def size_bytes(self) -> int:
+        total = 16 * len(self.dims)  # per-dim bounds
+        for model in self._models.values():
+            if isinstance(model, RecursiveModelIndex):
+                total += model.size_bytes()
+            elif isinstance(model, EmpiricalCDF):
+                total += model.sorted_values.nbytes
+        return int(total)

@@ -1,0 +1,270 @@
+"""The Flood index: grid + sort dimension + learned refinement.
+
+Build (Sections 3.1 and 5.1): each grid dimension is flattened through its
+CDF model and bucketed into columns; points are ordered by cell id
+(depth-first along the dimension ordering) and, within each cell, by the
+sort dimension. A cell table records the physical start of every cell, and
+each cell gets a delta-bounded PLM over its sort-dimension values.
+
+Query (Sections 3.2 and 5.2):
+
+1. **Projection** -- per grid dimension, map the query bounds through the
+   CDF to an inclusive column range; the intersecting cells are the cross
+   product of those ranges.
+2. **Refinement** -- if the query filters the sort dimension, each cell's
+   physical range is narrowed with its PLM (or binary search, for the
+   ablation), so scanned sort-dimension values are guaranteed in range.
+3. **Scan** -- each refined range is scanned; only *boundary* columns of
+   filtered grid dimensions need per-point checks (interior columns are
+   exact by monotonicity of the CDF), which is why Flood's time per scanned
+   point is low (Table 2).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.baselines.base import BaseIndex, timed
+from repro.core.flatten import Flattener
+from repro.core.layout import GridLayout
+from repro.errors import BuildError, SchemaError
+from repro.ml.plm import PiecewiseLinearModel
+from repro.query.predicate import Query
+from repro.query.stats import QueryStats
+from repro.storage.scan import scan_filtered
+from repro.storage.table import Table
+from repro.storage.visitor import Visitor
+
+_REFINEMENTS = ("plm", "binary", "none")
+
+
+class FloodIndex(BaseIndex):
+    """The learned multi-dimensional index.
+
+    Parameters
+    ----------
+    layout:
+        The grid layout (usually produced by
+        :func:`repro.core.optimizer.find_optimal_layout`).
+    flatten:
+        CDF model kind: ``'rmi'`` (paper), ``'quantile'``, ``'none'``
+        (equal-width columns; the Figure 11 "+Sort Dim" rung), or
+        ``'conditional'`` (correlation-aware sub-CDFs, Section 6 —
+        implemented to verify the paper's claim that it does not pay off).
+    refinement:
+        ``'plm'`` (paper), ``'binary'`` (Section 3.2.2's simple index), or
+        ``'none'`` (skip refinement; sort dimension checked during scan).
+    delta:
+        PLM per-segment average error bound (paper default 50).
+    """
+
+    name = "Flood"
+
+    def __init__(
+        self,
+        layout: GridLayout,
+        flatten: str = "rmi",
+        refinement: str = "plm",
+        delta: float = 50.0,
+    ):
+        super().__init__()
+        if refinement not in _REFINEMENTS:
+            raise BuildError(
+                f"unknown refinement {refinement!r}; use one of {_REFINEMENTS}"
+            )
+        self.layout = layout
+        self.flatten = flatten
+        self.refinement = refinement
+        self.delta = float(delta)
+
+    # ------------------------------------------------------------------ build
+    def _build(self, table: Table) -> None:
+        layout = self.layout
+        for dim in layout.order:
+            if dim not in table:
+                raise SchemaError(f"layout dimension {dim!r} not in table")
+        if self.flatten == "conditional":
+            from repro.core.conditional import ConditionalFlattener
+
+            self._flattener = ConditionalFlattener(
+                table, layout.grid_dims, layout.columns
+            )
+        else:
+            self._flattener = Flattener(table, layout.grid_dims, kind=self.flatten)
+        n = table.num_rows
+        cell_ids = np.zeros(n, dtype=np.int64)
+        for dim, cols in zip(layout.grid_dims, layout.columns):
+            assignment = self._flattener.column_of(dim, table.values(dim), cols)
+            cell_ids = cell_ids * cols + assignment
+        sort_values = table.values(layout.sort_dim)
+        # Order by (cell, sort value): lexsort's last key is primary.
+        order = np.lexsort((sort_values, cell_ids))
+        self._table = table.permute(order)
+        self._sort_values = sort_values[order]
+        num_cells = layout.num_cells
+        counts = np.bincount(cell_ids, minlength=num_cells)
+        self._cell_starts = np.zeros(num_cells + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._cell_starts[1:])
+        self._cell_models: list[PiecewiseLinearModel | None] = [None] * num_cells
+        if self.refinement == "plm":
+            for cell in range(num_cells):
+                start, stop = self._cell_starts[cell], self._cell_starts[cell + 1]
+                if stop > start:
+                    self._cell_models[cell] = PiecewiseLinearModel(
+                        self._sort_values[start:stop], delta=self.delta
+                    )
+
+    # ------------------------------------------------------------------ query
+    def _project(self, query: Query):
+        """Per-grid-dim inclusive column ranges plus boundary metadata.
+
+        Returns (ranges, boundary_info) where ranges[i] = (first, last) and
+        boundary_info[i] = (dim, first, last, filtered).
+        """
+        ranges = []
+        info = []
+        always_check = []
+        exactable = getattr(self._flattener, "exactable", None)
+        for dim, cols in zip(self.layout.grid_dims, self.layout.columns):
+            if query.filters(dim):
+                low, high = query.bounds(dim)
+                first, last = self._flattener.column_range(dim, low, high, cols)
+                if exactable is not None and not exactable(dim):
+                    # Conditioned dims (conditional flattening): the column
+                    # range is a union over predecessor columns, so every
+                    # column needs per-point checks.
+                    always_check.append(dim)
+                    info.append((dim, first, last, False, False))
+                else:
+                    # Boundary columns need per-point checks, unless the
+                    # query bound covers the whole domain on that side.
+                    dom_lo, dom_hi = self._flattener.domain(dim)
+                    check_first = low > dom_lo
+                    check_last = high < dom_hi
+                    info.append((dim, first, last, check_first, check_last))
+            else:
+                first, last = 0, cols - 1
+                info.append((dim, first, last, False, False))
+            ranges.append(range(first, last + 1))
+        return ranges, info, always_check
+
+    def query(self, query: Query, visitor: Visitor) -> QueryStats:
+        stats = QueryStats()
+        layout = self.layout
+        table = self.table
+
+        # ---- projection: enumerate intersecting cells and their residual
+        # check dimensions (timed as a whole; per-cell timers would dominate
+        # the very overhead they measure).
+        index_start = timed()
+        ranges, info, always_check = self._project(query)
+        strides = layout.strides
+        sort_dim = layout.sort_dim
+        sort_filtered = query.filters(sort_dim)
+        refine = sort_filtered and self.refinement != "none"
+        sort_low, sort_high = query.bounds(sort_dim)
+        # Dims filtered by the query but not guaranteed by the grid for at
+        # least some cells: non-indexed dims always; boundary columns of
+        # filtered grid dims per cell; sort dim when not refined.
+        base_checks = tuple(
+            d for d in query.dims if d not in layout.order and d in table
+        ) + tuple(always_check)
+        if sort_filtered and not refine:
+            base_checks += (sort_dim,)
+        # Per-dim boundary flags indexed by column (True = needs checking).
+        boundary_flags = []
+        for (dim, first, last, check_first, check_last), cols in zip(
+            info, ranges
+        ):
+            flags = {}
+            if check_first:
+                flags[first] = True
+            if check_last:
+                flags[last] = True
+            boundary_flags.append(flags)
+        grid_dim_names = layout.grid_dims
+        cell_starts = self._cell_starts
+        tasks = []  # (cell, start, stop, check_dims)
+        for combo in product(*ranges):
+            cell = 0
+            checks = base_checks
+            for k, col in enumerate(combo):
+                cell += col * strides[k]
+                if boundary_flags[k].get(col):
+                    checks = checks + (grid_dim_names[k],)
+            start = int(cell_starts[cell])
+            stop = int(cell_starts[cell + 1])
+            stats.cells_visited += 1
+            if stop > start:
+                tasks.append((cell, start, stop, checks))
+        stats.index_time = timed() - index_start
+
+        # ---- refinement: narrow each cell's physical range on the sort dim.
+        if refine and tasks:
+            refine_start = timed()
+            refined = []
+            for cell, start, stop, checks in tasks:
+                start, stop = self._refine(cell, start, stop, sort_low, sort_high)
+                if stop > start:
+                    refined.append((cell, start, stop, checks))
+            tasks = refined
+            stats.refine_time = timed() - refine_start
+
+        # ---- scan. Residual bounds are resolved once per distinct check
+        # set, not once per cell.
+        scan_start = timed()
+        bounds_cache: dict[tuple, list] = {}
+        for _, start, stop, checks in tasks:
+            if not checks:
+                visitor.visit(table, start, stop, None)
+                scanned = stop - start
+                stats.points_scanned += scanned
+                stats.points_matched += scanned
+                stats.exact_points += scanned
+                continue
+            bounds = bounds_cache.get(checks)
+            if bounds is None:
+                bounds = [(d, *query.bounds(d)) for d in checks]
+                bounds_cache[checks] = bounds
+            scanned, matched = scan_filtered(table, bounds, start, stop, visitor)
+            stats.points_scanned += scanned
+            stats.points_matched += matched
+        stats.scan_time = timed() - scan_start
+
+        stats.total_time = stats.index_time + stats.refine_time + stats.scan_time
+        return stats
+
+    def _refine(self, cell, start, stop, low, high) -> tuple[int, int]:
+        """Narrow [start, stop) to sort-dimension values in [low, high]."""
+        if self.refinement == "plm":
+            model = self._cell_models[cell]
+            if model is None:
+                return start, start
+            i1 = model.search_left(low)
+            i2 = model.search_right(high)
+            return start + i1, start + i2
+        section = self._sort_values[start:stop]
+        i1 = int(np.searchsorted(section, low, side="left"))
+        i2 = int(np.searchsorted(section, high, side="right"))
+        return start + i1, start + i2
+
+    # ------------------------------------------------------------------- size
+    def size_bytes(self) -> int:
+        """Index footprint: cell table + flattening models + per-cell PLMs.
+
+        As in the paper (Section 7.4), over 95% of this is typically the
+        per-cell sort-dimension models.
+        """
+        if self._table is None:
+            return 0
+        total = int(self._cell_starts.nbytes) + self._flattener.size_bytes()
+        for model in self._cell_models:
+            if model is not None:
+                total += model.size_bytes()
+        return total
+
+    def refinement_model_bytes(self) -> int:
+        """Footprint of the per-cell models alone (Figure 8 discussion)."""
+        return sum(m.size_bytes() for m in self._cell_models if m is not None)

@@ -1,0 +1,36 @@
+"""Dataset generators (paper Section 7.3, with documented substitutions).
+
+The paper evaluates on one synthetic and three real datasets; the real ones
+(a proprietary sales database, an OSM dump, and university machine logs)
+are not redistributable, so each module here generates a synthetic stand-in
+that reproduces the distributional properties Flood's behaviour depends on
+(marginal skew, correlations, and the filter-usage pattern of the paired
+query workloads). See DESIGN.md section 2 for the substitution rationale.
+
+``load(name, ...)`` returns a :class:`DatasetBundle` with the table and the
+train/test query workloads, scaled down from the paper's 30M-300M rows to
+laptop-friendly defaults.
+"""
+
+from repro.datasets.base import DATASET_NAMES, DatasetBundle, load
+from repro.datasets.osm import generate_osm, osm_workload
+from repro.datasets.perfmon import generate_perfmon, perfmon_workload
+from repro.datasets.sales import generate_sales, sales_workload
+from repro.datasets.synthetic import generate_uniform, uniform_workload
+from repro.datasets.tpch import generate_lineitem, tpch_workload
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetBundle",
+    "load",
+    "generate_osm",
+    "osm_workload",
+    "generate_perfmon",
+    "perfmon_workload",
+    "generate_sales",
+    "sales_workload",
+    "generate_uniform",
+    "uniform_workload",
+    "generate_lineitem",
+    "tpch_workload",
+]

@@ -1,0 +1,64 @@
+"""Synthetic datasets: uniform d-dimensional data (Figure 13) and skew/
+correlation helpers shared by the dataset simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.predicate import Query
+from repro.storage.table import Table
+from repro.workloads.query_gen import WorkloadSpec, generate_workload
+
+
+def generate_uniform(n: int = 100_000, d: int = 6, seed: int = 0) -> Table:
+    """d-dimensional uniform data (the Section 7.5 dimensions experiment)."""
+    rng = np.random.default_rng(seed)
+    return Table(
+        {f"dim{k}": rng.integers(0, 2**30, size=n) for k in range(d)}
+    )
+
+
+def uniform_workload(
+    table: Table,
+    num_queries: int = 200,
+    overall_selectivity: float = 1e-3,
+    seed: int = 0,
+) -> list[Query]:
+    """The Figure 13 workload: k filtered dims varies uniformly from 1 to d;
+    a k-dim query filters the *first* k dims with equal per-dim selectivity
+    so the overall selectivity matches the target."""
+    dims = list(table.dims)
+    specs = [
+        WorkloadSpec(
+            range_dims=tuple(dims[:k]), selectivity=overall_selectivity, weight=1.0
+        )
+        for k in range(1, len(dims) + 1)
+    ]
+    return generate_workload(table, specs, num_queries, seed=seed)
+
+
+def lognormal_ints(rng, n, mean=8.0, sigma=1.5, scale=1) -> np.ndarray:
+    """Heavy-tailed positive integers (prices, counters, sizes)."""
+    return (rng.lognormal(mean=mean, sigma=sigma, size=n) * scale).astype(np.int64)
+
+
+def zipf_ints(rng, n, a=1.4, cap=10**7) -> np.ndarray:
+    """Zipfian integers (popularity-skewed ids)."""
+    return np.minimum(rng.zipf(a, size=n), cap).astype(np.int64)
+
+
+def mixture_coords(rng, n, centers, spreads, weights) -> np.ndarray:
+    """1-D Gaussian-mixture coordinates (clustered geography)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    weights = weights / weights.sum()
+    component = rng.choice(len(centers), size=n, p=weights)
+    values = rng.normal(
+        loc=np.asarray(centers)[component], scale=np.asarray(spreads)[component]
+    )
+    return values
+
+
+def correlated_column(rng, base: np.ndarray, lag_low: int, lag_high: int) -> np.ndarray:
+    """A column correlated with ``base`` by a bounded positive lag (e.g.
+    TPC-H receipt date = ship date + 1..30 days)."""
+    return base + rng.integers(lag_low, lag_high + 1, size=base.size)

@@ -1,0 +1,63 @@
+"""TPC-H lineitem generator (paper Section 7.3).
+
+The paper uses the lineitem fact table at scale factor 50 (300M rows) with
+filters over ship date, receipt date, quantity, discount, order key, and
+supplier key. This generator follows the TPC-H column distributions for
+those six attributes: dates uniform over the 7-year window with receipt
+date = ship date + 1..30 days, quantity uniform 1..50, discount 0..0.10 in
+cents, uniform keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.predicate import Query
+from repro.storage.table import Table
+from repro.workloads.query_gen import WorkloadSpec, generate_workload
+
+#: Days in the TPC-H date window (1992-01-01 .. 1998-12-01).
+_DATE_SPAN = 2526
+
+
+def generate_lineitem(n: int = 60_000, seed: int = 0, num_orders: int | None = None) -> Table:
+    """Six lineitem attributes used by the paper's query templates."""
+    rng = np.random.default_rng(seed)
+    if num_orders is None:
+        num_orders = max(n // 4, 1)
+    ship = rng.integers(0, _DATE_SPAN, size=n)
+    return Table(
+        {
+            "ship_date": ship,
+            "receipt_date": ship + rng.integers(1, 31, size=n),
+            "quantity": rng.integers(1, 51, size=n),
+            "discount": rng.integers(0, 11, size=n),  # cents: 0.00 .. 0.10
+            "order_key": rng.integers(0, num_orders, size=n),
+            "supp_key": rng.integers(0, max(n // 100, 10), size=n),
+        }
+    )
+
+
+def tpch_workload(
+    table: Table,
+    num_queries: int = 200,
+    selectivity: float = 1e-3,
+    seed: int = 0,
+) -> list[Query]:
+    """Filters "commonly found in the TPC-H query workload", scaled to the
+    target selectivity (Section 7.3)."""
+    specs = [
+        # Q6-style: ship date window + discount band + quantity cap.
+        WorkloadSpec(range_dims=("ship_date", "discount", "quantity"),
+                     selectivity=selectivity, weight=3.0),
+        # Shipping-lag analysis: both dates.
+        WorkloadSpec(range_dims=("ship_date", "receipt_date"),
+                     selectivity=selectivity, weight=2.0),
+        # Order-range scans (Q4-style).
+        WorkloadSpec(range_dims=("order_key",),
+                     selectivity=selectivity, weight=2.0),
+        # Supplier-focused scans.
+        WorkloadSpec(range_dims=("ship_date",), equality_dims=("supp_key",),
+                     selectivity=selectivity * 50, weight=1.0),
+    ]
+    return generate_workload(table, specs, num_queries, seed=seed)

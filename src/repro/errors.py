@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A table, query, or layout refers to an unknown or invalid dimension."""
+
+
+class BuildError(ReproError):
+    """An index or model could not be built from the given inputs."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (e.g. inverted range, wrong arity)."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before being fitted."""

@@ -1,0 +1,37 @@
+"""Learned-model substrate used by Flood and the baselines.
+
+This subpackage implements, from scratch, every model the paper relies on:
+
+- :mod:`repro.ml.linear` -- 1-D linear regression and monotone linear splines.
+- :mod:`repro.ml.rmi` -- the Recursive Model Index of Kraska et al. [23],
+  used to model per-attribute CDFs (flattening, Section 5.1) and as the
+  learned clustered index baseline (Section 7.2).
+- :mod:`repro.ml.plm` -- the delta-bounded piecewise linear model used for
+  per-cell refinement (Section 5.2).
+- :mod:`repro.ml.btree` -- a static array-packed B-tree, used by the PLM to
+  locate segments and as a traditional-index reference point.
+- :mod:`repro.ml.tree` / :mod:`repro.ml.forest` -- CART regression trees and
+  bagged random forests, used by the cost model (Section 4.1.1); the offline
+  environment has no scikit-learn, so these are our own implementations.
+- :mod:`repro.ml.cdf` -- empirical CDF helpers shared by the above.
+"""
+
+from repro.ml.btree import StaticBTree
+from repro.ml.cdf import EmpiricalCDF, quantile_boundaries
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import LinearModel, MonotoneLinearSpline
+from repro.ml.plm import PiecewiseLinearModel
+from repro.ml.rmi import RecursiveModelIndex
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "StaticBTree",
+    "EmpiricalCDF",
+    "quantile_boundaries",
+    "RandomForestRegressor",
+    "LinearModel",
+    "MonotoneLinearSpline",
+    "PiecewiseLinearModel",
+    "RecursiveModelIndex",
+    "DecisionTreeRegressor",
+]

@@ -1,0 +1,50 @@
+"""Empirical CDF helpers shared across the learned models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """The exact empirical CDF of a sample, evaluated by binary search.
+
+    This is the "ground truth" that learned CDF models (RMI, PLM) are
+    approximating; it is also used directly by the exact-quantile flattening
+    ablation. ``evaluate(v)`` returns the fraction of points ``<= v``.
+    """
+
+    __slots__ = ("sorted_values", "n")
+
+    def __init__(self, values: np.ndarray):
+        values = np.asarray(values)
+        if values.size == 0:
+            raise ValueError("cannot build a CDF on empty data")
+        self.sorted_values = np.sort(values)
+        self.n = int(values.size)
+
+    def evaluate(self, v) -> np.ndarray:
+        """Fraction of sample points <= v, in [0, 1]."""
+        ranks = np.searchsorted(self.sorted_values, np.asarray(v), side="right")
+        return ranks / self.n
+
+    def rank(self, v) -> np.ndarray:
+        """Number of sample points <= v (the unscaled CDF)."""
+        return np.searchsorted(self.sorted_values, np.asarray(v), side="right")
+
+
+def quantile_boundaries(values: np.ndarray, num_parts: int) -> np.ndarray:
+    """Boundary values splitting ``values`` into ``num_parts`` equal-mass parts.
+
+    Returns ``num_parts - 1`` interior boundaries b_1..b_{k-1} such that
+    partitioning by ``searchsorted(boundaries, v, side='right')`` assigns
+    roughly ``len(values) / num_parts`` points per part. Duplicates may make
+    some parts larger; boundaries are not deduplicated so the part count is
+    stable.
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    values = np.sort(np.asarray(values))
+    if values.size == 0:
+        raise ValueError("cannot compute boundaries of empty data")
+    positions = (np.arange(1, num_parts) * values.size) // num_parts
+    return values[positions]

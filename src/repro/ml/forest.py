@@ -1,0 +1,84 @@
+"""Bagged random-forest regression on top of :mod:`repro.ml.tree`.
+
+Used by the cost model (Section 4.1.1) to predict the weight parameters
+``wp``, ``wr``, ``ws`` from layout/query statistics. Bootstrap sampling plus
+per-split feature subsampling, predictions averaged across trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """A random forest of CART regression trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_leaf:
+        Passed through to each tree.
+    max_features:
+        Features considered per split; ``None`` means ``ceil(sqrt(d))``
+        chosen at fit time.
+    seed:
+        Seed for bootstrap and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        seed: int = 0,
+    ):
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.seed = int(seed)
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] != targets.shape[0]:
+            raise ValueError("features must be 2-D and aligned with targets")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        n, d = features.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.ceil(np.sqrt(d))))
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            tree.fit(features[sample], targets[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("RandomForestRegressor.predict before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        total = np.zeros(features.shape[0], dtype=np.float64)
+        for tree in self._trees:
+            total += tree.predict(features)
+        return total / len(self._trees)
+
+    def score_mae(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Mean absolute error on a held-out set (used by Table 3 checks)."""
+        preds = self.predict(features)
+        return float(np.abs(preds - np.asarray(targets, dtype=np.float64)).mean())

@@ -1,0 +1,126 @@
+"""Simple 1-D linear models: least-squares fits and monotone splines.
+
+These are the building blocks of the RMI (non-leaf layers are monotone
+splines so downstream expert selection is ordered; leaf layers are plain
+least-squares regressions, exactly as described in Appendix A of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class LinearModel:
+    """A 1-D least-squares linear regression ``y ~ slope * x + intercept``.
+
+    The closed-form fit degrades gracefully: a single point (or zero x
+    variance) yields a constant model predicting the mean of ``y``.
+    """
+
+    __slots__ = ("slope", "intercept", "_fitted")
+
+    def __init__(self, slope: float = 0.0, intercept: float = 0.0):
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+        self._fitted = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearModel":
+        """Fit by ordinary least squares. Empty input raises ValueError."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.size == 0:
+            raise ValueError("cannot fit a linear model on empty data")
+        x_mean = x.mean()
+        y_mean = y.mean()
+        var = np.square(x - x_mean).sum()
+        if var == 0.0:
+            self.slope = 0.0
+            self.intercept = y_mean
+        else:
+            self.slope = float(((x - x_mean) * (y - y_mean)).sum() / var)
+            self.intercept = float(y_mean - self.slope * x_mean)
+        self._fitted = True
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        """Predict y for scalar or array x."""
+        if not self._fitted and self.slope == 0.0 and self.intercept == 0.0:
+            raise NotFittedError("LinearModel.predict called before fit")
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+    @classmethod
+    def from_endpoints(cls, x0: float, y0: float, x1: float, y1: float) -> "LinearModel":
+        """Build the line through two points; vertical pairs become constant."""
+        model = cls()
+        if x1 == x0:
+            model.slope = 0.0
+            model.intercept = (y0 + y1) / 2.0
+        else:
+            model.slope = (y1 - y0) / (x1 - x0)
+            model.intercept = y0 - model.slope * x0
+        model._fitted = True
+        return model
+
+
+class MonotoneLinearSpline:
+    """A monotone non-decreasing piecewise-linear function through knots.
+
+    Used for the non-leaf layers of the RMI ("linear spline models to ensure
+    that the models accessed in the following layer are monotonic", paper
+    Appendix A) and for exact-quantile flattening in the ablation benches.
+
+    Knots are ``(x_i, y_i)`` with strictly increasing x and non-decreasing y.
+    Predictions clamp to the end knots outside the fitted domain.
+    """
+
+    __slots__ = ("knots_x", "knots_y")
+
+    def __init__(self, knots_x: np.ndarray, knots_y: np.ndarray):
+        knots_x = np.asarray(knots_x, dtype=np.float64)
+        knots_y = np.asarray(knots_y, dtype=np.float64)
+        if knots_x.ndim != 1 or knots_x.size < 1 or knots_x.shape != knots_y.shape:
+            raise ValueError("knots must be equal-length 1-D arrays")
+        if np.any(np.diff(knots_x) <= 0):
+            raise ValueError("knot x-values must be strictly increasing")
+        if np.any(np.diff(knots_y) < 0):
+            raise ValueError("knot y-values must be non-decreasing")
+        self.knots_x = knots_x
+        self.knots_y = knots_y
+
+    @classmethod
+    def fit_quantiles(cls, values: np.ndarray, num_knots: int) -> "MonotoneLinearSpline":
+        """Fit a spline through ``num_knots`` evenly spaced quantiles of values.
+
+        ``values`` need not be sorted. The resulting spline approximates the
+        scaled empirical CDF: it maps a value to its (fractional) rank in
+        ``[0, len(values)]``.
+        """
+        values = np.sort(np.asarray(values, dtype=np.float64))
+        n = values.size
+        if n == 0:
+            raise ValueError("cannot fit a spline on empty data")
+        num_knots = max(2, int(num_knots))
+        ranks = np.linspace(0, n - 1, num_knots).astype(np.int64)
+        xs = values[ranks]
+        ys = ranks.astype(np.float64)
+        # Collapse duplicate x knots, keeping the largest rank for each value
+        # so the spline stays a valid function.
+        keep_x = [xs[0]]
+        keep_y = [ys[0]]
+        for x, y in zip(xs[1:], ys[1:]):
+            if x == keep_x[-1]:
+                keep_y[-1] = y
+            else:
+                keep_x.append(x)
+                keep_y.append(y)
+        if len(keep_x) == 1:
+            # Degenerate: all values identical; emit a flat two-knot spline.
+            return cls(np.array([keep_x[0], keep_x[0] + 1.0]),
+                       np.array([keep_y[0], keep_y[0]]))
+        return cls(np.asarray(keep_x), np.asarray(keep_y))
+
+    def predict(self, x) -> np.ndarray:
+        """Interpolate at x (scalar or array), clamped to the knot range."""
+        return np.interp(np.asarray(x, dtype=np.float64), self.knots_x, self.knots_y)

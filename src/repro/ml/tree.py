@@ -1,0 +1,187 @@
+"""CART regression trees, implemented on numpy.
+
+The cost model (Section 4.1.1) trains "a random forest regression model to
+predict the weights based on the statistics". The offline environment has no
+scikit-learn, so this module provides the underlying regression tree: greedy
+variance-reduction splits, depth and leaf-size limits, and optional feature
+subsampling for forest use.
+
+Trees are stored in flat arrays (feature, threshold, children, value) so
+prediction is a vectorized descent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+_LEAF = -1
+
+
+class DecisionTreeRegressor:
+    """A greedy CART regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_leaf:
+        Minimum training samples in each leaf.
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    max_features:
+        If not None, number of candidate features per split (sampled without
+        replacement with ``rng``); this is the randomness random forests add.
+    rng:
+        ``numpy.random.Generator`` for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        min_samples_split: int = 4,
+        max_features: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.min_samples_split = int(min_samples_split)
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng(0)
+        self._fitted = False
+
+    # -------------------------------------------------------------------- fit
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (samples x features)")
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets disagree on sample count")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        # Growable flat representation; lists are appended during the
+        # recursive build then frozen into arrays.
+        self._feat: list[int] = []
+        self._thresh: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._value: list[float] = []
+        self._grow(features, targets, np.arange(features.shape[0]), depth=0)
+        self.feature_ = np.asarray(self._feat, dtype=np.int64)
+        self.threshold_ = np.asarray(self._thresh, dtype=np.float64)
+        self.left_ = np.asarray(self._left, dtype=np.int64)
+        self.right_ = np.asarray(self._right, dtype=np.int64)
+        self.value_ = np.asarray(self._value, dtype=np.float64)
+        del self._feat, self._thresh, self._left, self._right, self._value
+        self._fitted = True
+        return self
+
+    def _new_node(self) -> int:
+        self._feat.append(_LEAF)
+        self._thresh.append(0.0)
+        self._left.append(_LEAF)
+        self._right.append(_LEAF)
+        self._value.append(0.0)
+        return len(self._feat) - 1
+
+    def _grow(self, features, targets, idx, depth) -> int:
+        node = self._new_node()
+        y = targets[idx]
+        self._value[node] = float(y.mean())
+        if (
+            depth >= self.max_depth
+            or idx.size < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return node
+        split = self._best_split(features, targets, idx)
+        if split is None:
+            return node
+        feat, thresh = split
+        mask = features[idx, feat] <= thresh
+        left_idx = idx[mask]
+        right_idx = idx[~mask]
+        self._feat[node] = feat
+        self._thresh[node] = thresh
+        self._left[node] = self._grow(features, targets, left_idx, depth + 1)
+        self._right[node] = self._grow(features, targets, right_idx, depth + 1)
+        return node
+
+    def _best_split(self, features, targets, idx):
+        """Best (feature, threshold) by weighted-variance reduction, or None."""
+        num_features = features.shape[1]
+        if self.max_features is not None and self.max_features < num_features:
+            candidates = self._rng.choice(
+                num_features, size=self.max_features, replace=False
+            )
+        else:
+            candidates = np.arange(num_features)
+        y = targets[idx]
+        n = idx.size
+        base_sse = float(np.square(y - y.mean()).sum())
+        best = None
+        best_sse = base_sse - 1e-12
+        for feat in candidates:
+            x = features[idx, feat]
+            order = np.argsort(x, kind="stable")
+            xs = x[order]
+            ys = y[order]
+            # Candidate split positions: between distinct consecutive values,
+            # respecting min_samples_leaf on both sides.
+            prefix = np.cumsum(ys)
+            prefix_sq = np.cumsum(np.square(ys))
+            total = prefix[-1]
+            total_sq = prefix_sq[-1]
+            positions = np.arange(self.min_samples_leaf, n - self.min_samples_leaf + 1)
+            if positions.size == 0:
+                continue
+            valid = xs[positions - 1] < xs[np.minimum(positions, n - 1)]
+            positions = positions[valid]
+            if positions.size == 0:
+                continue
+            left_n = positions.astype(np.float64)
+            left_sum = prefix[positions - 1]
+            left_sq = prefix_sq[positions - 1]
+            right_n = n - left_n
+            right_sum = total - left_sum
+            right_sq = total_sq - left_sq
+            sse = (
+                left_sq
+                - np.square(left_sum) / left_n
+                + right_sq
+                - np.square(right_sum) / right_n
+            )
+            k = int(np.argmin(sse))
+            if sse[k] < best_sse:
+                best_sse = float(sse[k])
+                pos = positions[k]
+                # Midpoint threshold between the straddling values.
+                best = (int(feat), float((xs[pos - 1] + xs[pos]) / 2.0))
+        return best
+
+    # ---------------------------------------------------------------- predict
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("DecisionTreeRegressor.predict before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        nodes = np.zeros(features.shape[0], dtype=np.int64)
+        active = self.feature_[nodes] != _LEAF
+        while np.any(active):
+            rows = np.nonzero(active)[0]
+            cur = nodes[rows]
+            go_left = (
+                features[rows, self.feature_[cur]] <= self.threshold_[cur]
+            )
+            nodes[rows[go_left]] = self.left_[cur[go_left]]
+            nodes[rows[~go_left]] = self.right_[cur[~go_left]]
+            active = self.feature_[nodes] != _LEAF
+        return self.value_[nodes]
+
+    @property
+    def node_count(self) -> int:
+        if not self._fitted:
+            raise NotFittedError("tree not fitted")
+        return int(self.feature_.size)

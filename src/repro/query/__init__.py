@@ -1,0 +1,11 @@
+"""Query model: range predicates over hyper-rectangles plus statistics.
+
+Queries are conjunctions of inclusive ranges over one or more attributes
+(Section 3); equality predicates are ranges with equal endpoints. OR clauses
+decompose into multiple queries over disjoint ranges, hence only ANDs here.
+"""
+
+from repro.query.predicate import Query
+from repro.query.stats import QueryStats, WorkloadResult
+
+__all__ = ["Query", "QueryStats", "WorkloadResult"]

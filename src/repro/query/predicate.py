@@ -1,0 +1,127 @@
+"""Range-predicate queries over hyper-rectangles.
+
+A :class:`Query` is an immutable conjunction of inclusive integer ranges,
+one per filtered attribute:
+
+    SELECT agg FROM t WHERE a <= t.y <= b AND c <= t.z <= d
+
+Dimensions absent from the query are unbounded (Section 3.2.1: their range
+endpoints are taken as -inf / +inf at projection time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import QueryError
+
+UNBOUNDED_LOW = -(2**62)
+UNBOUNDED_HIGH = 2**62
+
+
+class Query:
+    """An immutable conjunction of inclusive ranges.
+
+    Parameters
+    ----------
+    ranges:
+        Mapping of dimension name to inclusive ``(low, high)`` integer
+        bounds. Ranges with ``low > high`` are rejected.
+    """
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges: Mapping[str, tuple[int, int]]):
+        if not ranges:
+            raise QueryError("a query needs at least one range")
+        cleaned = {}
+        for dim, bounds in ranges.items():
+            try:
+                low, high = bounds
+            except (TypeError, ValueError) as exc:
+                raise QueryError(f"range for {dim!r} must be a (low, high) pair") from exc
+            low, high = int(low), int(high)
+            if low > high:
+                raise QueryError(f"inverted range for {dim!r}: ({low}, {high})")
+            cleaned[dim] = (low, high)
+        self._ranges = cleaned
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def equals(cls, dim: str, value: int, **more_ranges) -> "Query":
+        """An equality predicate ``dim == value`` (rewritten as a range)."""
+        ranges = {dim: (value, value)}
+        ranges.update(more_ranges)
+        return cls(ranges)
+
+    def with_range(self, dim: str, low: int, high: int) -> "Query":
+        """A new query with one range added or replaced."""
+        ranges = dict(self._ranges)
+        ranges[dim] = (low, high)
+        return Query(ranges)
+
+    def without(self, dim: str) -> "Query":
+        """A new query with one dimension's filter dropped."""
+        ranges = {d: b for d, b in self._ranges.items() if d != dim}
+        if not ranges:
+            raise QueryError("cannot drop the only filtered dimension")
+        return Query(ranges)
+
+    # ----------------------------------------------------------------- access
+    @property
+    def ranges(self) -> dict[str, tuple[int, int]]:
+        """Dim -> inclusive (low, high). Returns a copy."""
+        return dict(self._ranges)
+
+    @property
+    def dims(self) -> list[str]:
+        """Filtered dimension names."""
+        return list(self._ranges)
+
+    def filters(self, dim: str) -> bool:
+        """Whether the query constrains ``dim``."""
+        return dim in self._ranges
+
+    def bounds(self, dim: str) -> tuple[int, int]:
+        """Bounds for ``dim``; unbounded sentinels if not filtered."""
+        return self._ranges.get(dim, (UNBOUNDED_LOW, UNBOUNDED_HIGH))
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Query) and self._ranges == other._ranges
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._ranges.items())))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{d}∈[{lo},{hi}]" for d, (lo, hi) in self._ranges.items())
+        return f"Query({parts})"
+
+    # ------------------------------------------------------------- evaluation
+    def match_mask(self, table) -> np.ndarray:
+        """Boolean match mask over all rows (brute force; testing/calibration)."""
+        mask = np.ones(table.num_rows, dtype=bool)
+        for dim, (low, high) in self._ranges.items():
+            if dim not in table:
+                continue
+            values = table.values(dim)
+            mask &= (values >= low) & (values <= high)
+        return mask
+
+    def selectivity(self, table) -> float:
+        """Fraction of rows matching the full predicate (brute force)."""
+        if table.num_rows == 0:
+            return 0.0
+        return float(self.match_mask(table).mean())
+
+    def dim_selectivity(self, table, dim: str) -> float:
+        """Fraction of rows matching this dimension's range alone."""
+        if not self.filters(dim) or dim not in table or table.num_rows == 0:
+            return 1.0
+        low, high = self._ranges[dim]
+        values = table.values(dim)
+        return float(((values >= low) & (values <= high)).mean())

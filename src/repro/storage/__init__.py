@@ -1,0 +1,50 @@
+"""In-memory column store substrate (paper Section 7.1).
+
+Every index in this repository — Flood and all baselines — executes on this
+store, mirroring the paper's methodology ("each implemented on the same
+column store and using the same optimizations where applicable"):
+
+- :mod:`repro.storage.column` -- block-delta compressed columns (128-value
+  blocks, each value encoded as a delta to its block minimum) with
+  constant-time element access.
+- :mod:`repro.storage.dictionary` -- order-preserving dictionary encoding
+  for string attributes.
+- :mod:`repro.storage.scaling` -- decimal scaling of floats to int64.
+- :mod:`repro.storage.table` -- the table abstraction: named columns, row
+  permutation (clustering), and cumulative-aggregate companion columns.
+- :mod:`repro.storage.visitor` -- aggregation visitors (COUNT / SUM / AVG /
+  MIN / MAX / collect) accumulated during scans.
+- :mod:`repro.storage.scan` -- the scan-and-filter kernel, including the
+  exact-range optimization that skips per-value checks.
+"""
+
+from repro.storage.column import CompressedColumn, BLOCK_SIZE
+from repro.storage.dictionary import DictionaryEncoder
+from repro.storage.scaling import DecimalScaler
+from repro.storage.scan import scan_range
+from repro.storage.table import Table
+from repro.storage.visitor import (
+    AvgVisitor,
+    CollectVisitor,
+    CountVisitor,
+    MaxVisitor,
+    MinVisitor,
+    SumVisitor,
+    Visitor,
+)
+
+__all__ = [
+    "CompressedColumn",
+    "BLOCK_SIZE",
+    "DictionaryEncoder",
+    "DecimalScaler",
+    "scan_range",
+    "Table",
+    "Visitor",
+    "CountVisitor",
+    "SumVisitor",
+    "AvgVisitor",
+    "MinVisitor",
+    "MaxVisitor",
+    "CollectVisitor",
+]

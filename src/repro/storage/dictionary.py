@@ -1,0 +1,62 @@
+"""Order-preserving dictionary encoding for string attributes.
+
+Paper Section 7.1: "Any string values are dictionary encoded prior to
+evaluation." Codes are assigned in sorted order of the distinct strings so
+that range predicates on the encoded column are equivalent to lexicographic
+range predicates on the original strings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+class DictionaryEncoder:
+    """Encode an array of strings as dense int64 codes, order-preserving."""
+
+    def __init__(self, values):
+        values = np.asarray(values)
+        if values.size == 0:
+            raise ValueError("cannot build a dictionary on empty data")
+        self._sorted_terms, codes = np.unique(values, return_inverse=True)
+        self._codes = codes.astype(np.int64)
+        self._term_to_code = {
+            term: code for code, term in enumerate(self._sorted_terms)
+        }
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The encoded column, aligned with the input array."""
+        return self._codes
+
+    @property
+    def cardinality(self) -> int:
+        return int(self._sorted_terms.size)
+
+    def encode(self, term) -> int:
+        """Code for a term; raises QueryError for unknown terms."""
+        code = self._term_to_code.get(term)
+        if code is None:
+            raise QueryError(f"term {term!r} is not in the dictionary")
+        return int(code)
+
+    def encode_range(self, low, high) -> tuple[int, int]:
+        """Inclusive code range equivalent to the string range [low, high].
+
+        Works for terms not present in the dictionary: the returned range
+        covers exactly the stored terms within the lexicographic interval.
+        """
+        lo = int(np.searchsorted(self._sorted_terms, low, side="left"))
+        hi = int(np.searchsorted(self._sorted_terms, high, side="right")) - 1
+        return lo, hi
+
+    def decode(self, code: int):
+        """Term for a code."""
+        if not 0 <= code < self._sorted_terms.size:
+            raise QueryError(f"code {code} out of dictionary range")
+        return self._sorted_terms[code]
+
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        return self._sorted_terms[np.asarray(codes, dtype=np.int64)]

@@ -1,0 +1,67 @@
+"""Decimal scaling of floating-point attributes to int64.
+
+Paper Section 7.1: "Floating point values are typically limited to a fixed
+number of decimal points (e.g., 2 for price values). We scale all values by
+the smallest power of 10 that converts them to integers."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MAX_DECIMALS = 9
+
+
+class DecimalScaler:
+    """Scale floats to int64 by the smallest sufficient power of ten.
+
+    Parameters
+    ----------
+    decimals:
+        Fixed number of decimal places, or ``None`` to infer the smallest
+        number (up to 9) that makes every value integral.
+    """
+
+    def __init__(self, values: np.ndarray, decimals: int | None = None):
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot infer scaling from empty data")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("values must be finite")
+        if decimals is None:
+            decimals = self._infer_decimals(values)
+        if not 0 <= decimals <= _MAX_DECIMALS:
+            raise ValueError(f"decimals must be in [0, {_MAX_DECIMALS}]")
+        self.decimals = int(decimals)
+        self.factor = 10 ** self.decimals
+
+    @staticmethod
+    def _infer_decimals(values: np.ndarray) -> int:
+        for decimals in range(_MAX_DECIMALS + 1):
+            scaled = values * (10**decimals)
+            if np.allclose(scaled, np.round(scaled), atol=1e-6, rtol=0):
+                return decimals
+        return _MAX_DECIMALS
+
+    def to_int(self, values) -> np.ndarray:
+        """Scale float values to int64."""
+        scaled = np.round(np.asarray(values, dtype=np.float64) * self.factor)
+        return scaled.astype(np.int64)
+
+    def to_float(self, values) -> np.ndarray:
+        """Invert the scaling."""
+        return np.asarray(values, dtype=np.float64) / self.factor
+
+    def scale_bound(self, value: float, side: str) -> int:
+        """Convert a float query bound into an equivalent int64 bound.
+
+        ``side='low'`` rounds up (smallest int whose unscaled value is
+        >= the bound); ``side='high'`` rounds down. This keeps float range
+        predicates exact after scaling.
+        """
+        scaled = float(value) * self.factor
+        if side == "low":
+            return int(np.ceil(scaled - 1e-9))
+        if side == "high":
+            return int(np.floor(scaled + 1e-9))
+        raise ValueError("side must be 'low' or 'high'")

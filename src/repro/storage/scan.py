@@ -1,0 +1,102 @@
+"""The scan-and-filter kernel shared by every index.
+
+``scan_range`` scans one physical range of the clustered table, checks each
+row against the residual filter, and feeds the visitor. Two paper
+optimizations live here:
+
+- **Exact ranges** (Section 7.1, optimization 1): when the caller guarantees
+  every row in the range matches (``exact=True``), per-value checks are
+  skipped entirely and the visitor receives ``mask=None`` — which in turn
+  unlocks cumulative-aggregate answers.
+- **Skip dims**: dimensions already guaranteed by the caller (e.g. the sort
+  dimension after refinement, or a k-d tree page fully inside the query
+  rectangle on some dimension) are excluded from the residual filter,
+  reducing per-point work — this is why Flood's "time per scanned point" is
+  lower than the baselines' in Table 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.storage.table import Table
+from repro.storage.visitor import Visitor
+
+
+def scan_range(
+    table: Table,
+    ranges: Mapping[str, tuple[int, int]],
+    start: int,
+    stop: int,
+    visitor: Visitor,
+    exact: bool = False,
+    skip_dims: frozenset[str] | set[str] = frozenset(),
+) -> tuple[int, int]:
+    """Scan rows [start, stop), filter by ``ranges``, accumulate ``visitor``.
+
+    Parameters
+    ----------
+    ranges:
+        Dim name -> inclusive (low, high) bounds. Dims not in the table are
+        ignored (the paper ignores filters on unindexed dims at this layer).
+    exact:
+        The caller guarantees all rows match; skip all checks.
+    skip_dims:
+        Dims whose bounds are already guaranteed for this range.
+
+    Returns
+    -------
+    (points_scanned, points_matched)
+    """
+    start = max(0, int(start))
+    stop = min(table.num_rows, int(stop))
+    if stop <= start:
+        return 0, 0
+    scanned = stop - start
+    if exact:
+        visitor.visit(table, start, stop, None)
+        return scanned, scanned
+    applicable = [
+        (dim, bounds)
+        for dim, bounds in ranges.items()
+        if dim in table and dim not in skip_dims
+    ]
+    if not applicable:
+        visitor.visit(table, start, stop, None)
+        return scanned, scanned
+    mask = None
+    for dim, (low, high) in applicable:
+        values = table.values(dim, start, stop)
+        dim_mask = (values >= low) & (values <= high)
+        mask = dim_mask if mask is None else (mask & dim_mask)
+    matched = int(np.count_nonzero(mask))
+    if matched:
+        visitor.visit(table, start, stop, mask)
+    return scanned, matched
+
+
+def scan_filtered(
+    table: Table,
+    bounds: list[tuple[str, int, int]],
+    start: int,
+    stop: int,
+    visitor: Visitor,
+) -> tuple[int, int]:
+    """Lean scan kernel for callers that pre-resolved the residual filter.
+
+    ``bounds`` is a non-empty list of ``(dim, low, high)`` already
+    restricted to dims present in the table; range clamping is the caller's
+    job. Flood's per-cell scan path uses this to avoid re-deriving the
+    residual filter for every cell.
+    """
+    mask = None
+    for dim, low, high in bounds:
+        values = table.values(dim, start, stop)
+        dim_mask = (values >= low) & (values <= high)
+        mask = dim_mask if mask is None else (mask & dim_mask)
+    matched = int(np.count_nonzero(mask))
+    if matched:
+        visitor.visit(table, start, stop, mask)
+    return stop - start, matched

@@ -1,0 +1,173 @@
+"""Aggregation visitors accumulated during scans.
+
+Paper Appendix A: "the user provides ... a Visitor object which will
+accumulate the statistic of the aggregation." A visitor receives physical
+ranges plus an optional match mask (``None`` means the range is *exact*:
+every row matches the filter, enabling the paper's exact-range
+optimizations — skipping per-value checks and, for SUM/COUNT, answering
+from cumulative-aggregate columns without touching the data at all).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Visitor(ABC):
+    """Accumulates an aggregate over the rows fed to :meth:`visit`."""
+
+    @abstractmethod
+    def visit(self, table, start: int, stop: int, mask: np.ndarray | None) -> None:
+        """Consume rows ``[start, stop)``; ``mask`` selects matches (None = all)."""
+
+    @property
+    @abstractmethod
+    def result(self):
+        """The accumulated aggregate."""
+
+    def reset(self) -> None:
+        """Restore the initial state so the visitor can be reused."""
+        self.__init__()  # subclasses with constructor args override
+
+
+class CountVisitor(Visitor):
+    """COUNT(*) over matching rows."""
+
+    def __init__(self):
+        self.count = 0
+
+    def visit(self, table, start, stop, mask):
+        if mask is None:
+            self.count += stop - start
+        else:
+            self.count += int(np.count_nonzero(mask))
+
+    @property
+    def result(self) -> int:
+        return self.count
+
+
+class SumVisitor(Visitor):
+    """SUM(dim) over matching rows.
+
+    For exact ranges on tables with a cumulative column for ``dim``, the sum
+    is answered in O(1) from the prefix sums (paper Section 7.1, optimization
+    2); ``cumulative_hits`` counts how often that fast path fired.
+    """
+
+    def __init__(self, dim: str, use_cumulative: bool = True):
+        self.dim = dim
+        self.use_cumulative = use_cumulative
+        self.total = 0
+        self.cumulative_hits = 0
+
+    def reset(self) -> None:
+        self.total = 0
+        self.cumulative_hits = 0
+
+    def visit(self, table, start, stop, mask):
+        if mask is None:
+            if self.use_cumulative and table.has_cumulative(self.dim):
+                self.total += table.cumulative_sum(self.dim, start, stop)
+                self.cumulative_hits += 1
+                return
+            self.total += int(table.values(self.dim, start, stop).sum())
+        else:
+            values = table.values(self.dim, start, stop)
+            self.total += int(values[mask].sum())
+
+    @property
+    def result(self) -> int:
+        return self.total
+
+
+class AvgVisitor(Visitor):
+    """AVG(dim) over matching rows (None when no rows match)."""
+
+    def __init__(self, dim: str):
+        self.dim = dim
+        self._sum = SumVisitor(dim)
+        self._count = CountVisitor()
+
+    def reset(self) -> None:
+        self._sum.reset()
+        self._count.reset()
+
+    def visit(self, table, start, stop, mask):
+        self._sum.visit(table, start, stop, mask)
+        self._count.visit(table, start, stop, mask)
+
+    @property
+    def result(self):
+        if self._count.result == 0:
+            return None
+        return self._sum.result / self._count.result
+
+
+class MinVisitor(Visitor):
+    """MIN(dim) over matching rows (None when no rows match)."""
+
+    def __init__(self, dim: str):
+        self.dim = dim
+        self._min = None
+
+    def visit(self, table, start, stop, mask):
+        values = table.values(self.dim, start, stop)
+        if mask is not None:
+            values = values[mask]
+        if values.size:
+            local = int(values.min())
+            self._min = local if self._min is None else min(self._min, local)
+
+    @property
+    def result(self):
+        return self._min
+
+
+class MaxVisitor(Visitor):
+    """MAX(dim) over matching rows (None when no rows match)."""
+
+    def __init__(self, dim: str):
+        self.dim = dim
+        self._max = None
+
+    def visit(self, table, start, stop, mask):
+        values = table.values(self.dim, start, stop)
+        if mask is not None:
+            values = values[mask]
+        if values.size:
+            local = int(values.max())
+            self._max = local if self._max is None else max(self._max, local)
+
+    @property
+    def result(self):
+        return self._max
+
+
+class CollectVisitor(Visitor):
+    """Collects the physical row ids of matching rows.
+
+    The result is sorted per visited range; across ranges the order follows
+    visit order. Used heavily by the correctness tests to compare indexes
+    against brute force (compare as sets or after sorting).
+    """
+
+    def __init__(self):
+        self._chunks: list[np.ndarray] = []
+
+    def reset(self) -> None:
+        self._chunks = []
+
+    def visit(self, table, start, stop, mask):
+        if mask is None:
+            self._chunks.append(np.arange(start, stop, dtype=np.int64))
+        else:
+            self._chunks.append(np.nonzero(mask)[0].astype(np.int64) + start)
+
+    @property
+    def result(self) -> np.ndarray:
+        if not self._chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self._chunks)

@@ -1,0 +1,30 @@
+"""Query-workload generation: calibrated selectivities and paper mixes.
+
+- :mod:`repro.workloads.query_gen` -- selectivity-calibrated range/equality
+  query synthesis (all paper workloads target ~0.1% selectivity).
+- :mod:`repro.workloads.mixes` -- the Figure 9 representative workloads
+  (FD, MD, O, Ou, O1, O2, OO, ST).
+- :mod:`repro.workloads.random_shift` -- the Figure 10 randomly shifting
+  workloads.
+"""
+
+from repro.workloads.mixes import WORKLOAD_MIXES, build_mix
+from repro.workloads.query_gen import (
+    WorkloadSpec,
+    calibrated_range,
+    generate_workload,
+    most_selective_dim,
+    split_train_test,
+)
+from repro.workloads.random_shift import random_workload
+
+__all__ = [
+    "WORKLOAD_MIXES",
+    "build_mix",
+    "WorkloadSpec",
+    "calibrated_range",
+    "generate_workload",
+    "most_selective_dim",
+    "split_train_test",
+    "random_workload",
+]

@@ -1,0 +1,106 @@
+"""The Figure 9 representative workload mixes.
+
+The paper evaluates eight workload characters against indexes tuned for the
+original OLAP workload:
+
+- ``FD``: fewer dimensions than the index (a strict subset).
+- ``MD``: as many dimensions as the index.
+- ``O``:  a skewed OLAP workload (some query types more frequent).
+- ``Ou``: a uniform OLAP workload (each query type equally likely).
+- ``O1``: OLTP point lookups on one primary-key attribute.
+- ``O2``: OLTP point lookups on two key attributes.
+- ``OO``: an equal split of OLTP and OLAP queries.
+- ``ST``: a single query type (same dims, same selectivities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query.predicate import Query
+from repro.workloads.query_gen import WorkloadSpec, generate_workload
+
+WORKLOAD_MIXES = ("FD", "MD", "O", "Ou", "O1", "O2", "OO", "ST")
+
+
+def _key_dims(table, key_dims):
+    if key_dims:
+        return list(key_dims)
+    # Default: treat the highest-cardinality dims as keys.
+    cards = {dim: np.unique(table.values(dim)).size for dim in table.dims}
+    ranked = sorted(table.dims, key=lambda d: -cards[d])
+    return ranked[:2]
+
+
+def _point_lookup_queries(table, dims, num_queries, seed):
+    rng = np.random.default_rng(seed)
+    columns = {dim: table.values(dim) for dim in dims}
+    queries = []
+    for _ in range(num_queries):
+        row = int(rng.integers(0, table.num_rows))
+        ranges = {
+            dim: (int(columns[dim][row]), int(columns[dim][row])) for dim in dims
+        }
+        queries.append(Query(ranges))
+    return queries
+
+
+def _olap_specs(dims, selectivity, skewed: bool) -> list[WorkloadSpec]:
+    """A handful of OLAP query types over rotating dim subsets."""
+    specs = []
+    for i in range(min(4, len(dims))):
+        subset = tuple(dims[i : i + 2]) if i + 2 <= len(dims) else (dims[i], dims[0])
+        weight = (4 - i) if skewed else 1.0
+        specs.append(
+            WorkloadSpec(range_dims=subset, selectivity=selectivity, weight=weight)
+        )
+    return specs
+
+
+def build_mix(
+    table,
+    mix: str,
+    num_queries: int = 100,
+    selectivity: float = 1e-3,
+    key_dims=None,
+    seed: int = 0,
+):
+    """Generate one of the Figure 9 workloads over ``table``.
+
+    ``key_dims`` identifies the OLTP lookup keys (defaults to the two
+    highest-cardinality dimensions).
+    """
+    dims = list(table.dims)
+    if mix not in WORKLOAD_MIXES:
+        raise QueryError(f"unknown mix {mix!r}; choose from {WORKLOAD_MIXES}")
+    keys = _key_dims(table, key_dims)
+
+    if mix == "FD":
+        subset = tuple(dims[: max(1, len(dims) // 2)])
+        specs = [WorkloadSpec(range_dims=subset, selectivity=selectivity)]
+        return generate_workload(table, specs, num_queries, seed=seed)
+    if mix == "MD":
+        specs = [WorkloadSpec(range_dims=tuple(dims), selectivity=selectivity)]
+        return generate_workload(table, specs, num_queries, seed=seed)
+    if mix == "O":
+        specs = _olap_specs(dims, selectivity, skewed=True)
+        return generate_workload(table, specs, num_queries, seed=seed)
+    if mix == "Ou":
+        specs = _olap_specs(dims, selectivity, skewed=False)
+        return generate_workload(table, specs, num_queries, seed=seed)
+    if mix == "O1":
+        return _point_lookup_queries(table, keys[:1], num_queries, seed)
+    if mix == "O2":
+        return _point_lookup_queries(table, keys[:2], num_queries, seed)
+    if mix == "OO":
+        half = num_queries // 2
+        olap = generate_workload(
+            table, _olap_specs(dims, selectivity, skewed=True), half, seed=seed
+        )
+        oltp = _point_lookup_queries(table, keys[:1], num_queries - half, seed + 1)
+        return olap + oltp
+    # ST: one fixed query type.
+    subset = tuple(dims[:2]) if len(dims) >= 2 else (dims[0],)
+    specs = [WorkloadSpec(range_dims=subset, selectivity=selectivity)]
+    return generate_workload(table, specs, num_queries, seed=seed)

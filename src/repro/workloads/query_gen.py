@@ -1,0 +1,144 @@
+"""Selectivity-calibrated query synthesis.
+
+The paper's workloads mix range and equality filters, scaled so that the
+average query selectivity is ~0.1% (Section 7.3). ``calibrated_range``
+picks a range over one attribute hitting a target *marginal* selectivity by
+sliding a window over the attribute's empirical quantiles; multi-dimension
+templates split the target selectivity evenly across dimensions on the
+independence approximation the paper also uses (Section 7.5: "the filter
+selectivity along each dimension is the same and is set so that the overall
+selectivity is 0.1%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query.predicate import Query
+
+
+def calibrated_range(
+    sorted_values: np.ndarray,
+    selectivity: float,
+    rng: np.random.Generator,
+) -> tuple[int, int]:
+    """An inclusive value range covering ~``selectivity`` of the column.
+
+    ``sorted_values`` must be sorted ascending. The window's quantile start
+    is uniform in [0, 1 - selectivity].
+    """
+    n = sorted_values.size
+    if n == 0:
+        raise QueryError("cannot calibrate a range on an empty column")
+    selectivity = float(np.clip(selectivity, 1.0 / n, 1.0))
+    width = max(1, int(round(selectivity * n)))
+    start = int(rng.integers(0, max(n - width, 0) + 1))
+    low = int(sorted_values[start])
+    high = int(sorted_values[min(start + width - 1, n - 1)])
+    return low, high
+
+
+def equality_value(values: np.ndarray, rng: np.random.Generator) -> int:
+    """A value drawn from the column (so equality filters always match)."""
+    return int(values[int(rng.integers(0, values.size))])
+
+
+@dataclass
+class WorkloadSpec:
+    """One query template: which dims are filtered and how.
+
+    Parameters
+    ----------
+    range_dims:
+        Dimensions receiving calibrated range filters.
+    equality_dims:
+        Dimensions receiving equality filters (selectivity given by the
+        column's value frequencies, as in real categorical filters).
+    selectivity:
+        Target overall selectivity for the range dimensions combined.
+    weight:
+        Relative frequency of this template in the workload.
+    """
+
+    range_dims: tuple[str, ...] = ()
+    equality_dims: tuple[str, ...] = ()
+    selectivity: float = 1e-3
+    weight: float = 1.0
+
+    def dims(self) -> tuple[str, ...]:
+        """All dimensions this template filters."""
+        return self.range_dims + self.equality_dims
+
+
+def generate_workload(
+    table,
+    specs: list[WorkloadSpec],
+    num_queries: int,
+    seed: int = 0,
+) -> list[Query]:
+    """Draw ``num_queries`` queries from weighted templates."""
+    if not specs:
+        raise QueryError("need at least one workload spec")
+    rng = np.random.default_rng(seed)
+    sorted_cols = {}
+    raw_cols = {}
+    for spec in specs:
+        for dim in spec.dims():
+            if dim not in sorted_cols:
+                raw_cols[dim] = table.values(dim)
+                sorted_cols[dim] = np.sort(raw_cols[dim])
+    weights = np.array([spec.weight for spec in specs], dtype=np.float64)
+    weights = weights / weights.sum()
+    queries = []
+    for _ in range(num_queries):
+        spec = specs[int(rng.choice(len(specs), p=weights))]
+        ranges = {}
+        k = len(spec.range_dims)
+        per_dim = spec.selectivity ** (1.0 / k) if k else 1.0
+        for dim in spec.range_dims:
+            ranges[dim] = calibrated_range(sorted_cols[dim], per_dim, rng)
+        for dim in spec.equality_dims:
+            value = equality_value(raw_cols[dim], rng)
+            ranges[dim] = (value, value)
+        queries.append(Query(ranges))
+    return queries
+
+
+def split_train_test(queries, train_fraction: float = 0.5, seed: int = 0):
+    """Shuffle-split a workload; layouts are learned on train, reported on
+    test (Section 7.3)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(queries))
+    cut = int(len(queries) * train_fraction)
+    train = [queries[i] for i in order[:cut]]
+    test = [queries[i] for i in order[cut:]]
+    return train, test
+
+
+def most_selective_dim(table, queries) -> str:
+    """The dimension with the lowest average selectivity across a workload.
+
+    Used to tune the baselines the way the paper does: the clustered
+    index's sort dimension and the Z-order bit ordering.
+    """
+    if not queries:
+        raise QueryError("need queries to rank dimensions")
+    totals = {dim: 0.0 for dim in table.dims}
+    for query in queries:
+        for dim in table.dims:
+            totals[dim] += query.dim_selectivity(table, dim)
+    return min(totals, key=totals.get)
+
+
+def selectivity_ranked_dims(table, queries) -> list[str]:
+    """All table dims, most selective first (for Z-order / k-d ordering)."""
+    if not queries:
+        return list(table.dims)
+    totals = {dim: 0.0 for dim in table.dims}
+    for query in queries:
+        for dim in table.dims:
+            totals[dim] += query.dim_selectivity(table, dim)
+    return sorted(table.dims, key=lambda d: totals[d])

@@ -1,0 +1,45 @@
+"""Randomly shifting workloads (Figure 10).
+
+Each random workload has at most ``max_query_types`` distinct query types;
+each type filters up to ``max_dims`` dimensions chosen uniformly at random,
+with random per-dimension selectivities constrained so the average total
+selectivity is around the target (the paper uses 0.1%) and key attributes
+are filtered more selectively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.query_gen import WorkloadSpec, generate_workload
+
+
+def random_workload(
+    table,
+    num_queries: int = 100,
+    max_query_types: int = 10,
+    max_dims: int | None = None,
+    target_selectivity: float = 1e-3,
+    seed: int = 0,
+):
+    """One random workload: random templates, then queries drawn from them."""
+    rng = np.random.default_rng(seed)
+    dims = list(table.dims)
+    if max_dims is None:
+        max_dims = len(dims)
+    num_types = int(rng.integers(1, max_query_types + 1))
+    specs = []
+    for _ in range(num_types):
+        k = int(rng.integers(1, min(max_dims, len(dims)) + 1))
+        chosen = tuple(rng.choice(dims, size=k, replace=False))
+        # Jitter the per-type selectivity around the target (log-uniform
+        # within ~1/3x to 3x) so types differ, as in the paper's Figure 10.
+        jitter = float(np.exp(rng.uniform(-1.1, 1.1)))
+        specs.append(
+            WorkloadSpec(
+                range_dims=chosen,
+                selectivity=target_selectivity * jitter,
+                weight=float(rng.uniform(0.5, 2.0)),
+            )
+        )
+    return generate_workload(table, specs, num_queries, seed=seed + 1)

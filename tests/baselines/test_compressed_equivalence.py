@@ -1,0 +1,99 @@
+"""Failure-surface tests: compression on/off must never change results,
+and every index must behave on degenerate tables."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClusteredIndex,
+    HyperoctreeIndex,
+    KDTreeIndex,
+    UBTreeIndex,
+    ZOrderIndex,
+)
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+from repro.query.predicate import Query
+from repro.storage.table import Table
+from repro.storage.visitor import CountVisitor
+
+from tests.helpers import make_table, random_query
+
+DIMS = ("x", "y", "z")
+
+
+def _pairs(seed):
+    compressed = make_table(n=400, dims=DIMS, seed=seed, compress=True)
+    raw = make_table(n=400, dims=DIMS, seed=seed, compress=False)
+    return compressed, raw
+
+
+class TestCompressionTransparency:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ClusteredIndex(sort_dim="x"),
+            lambda: ZOrderIndex(list(DIMS), page_size=64),
+            lambda: UBTreeIndex(list(DIMS), page_size=64),
+            lambda: HyperoctreeIndex(list(DIMS), page_size=64),
+            lambda: KDTreeIndex(list(DIMS), page_size=64),
+            lambda: FloodIndex(GridLayout(DIMS, (3, 3))),
+        ],
+        ids=["clustered", "zorder", "ubtree", "octree", "kdtree", "flood"],
+    )
+    def test_compressed_equals_raw(self, factory):
+        compressed, raw = _pairs(seed=31)
+        index_c = factory().build(compressed)
+        index_r = factory().build(raw)
+        rng = np.random.default_rng(32)
+        for _ in range(8):
+            query = random_query(compressed, rng)
+            a = CountVisitor()
+            b = CountVisitor()
+            index_c.query(query, a)
+            index_r.query(query, b)
+            assert a.result == b.result, f"{query}"
+
+
+class TestDegenerateTables:
+    def test_single_row_table(self):
+        table = Table({"x": np.array([5]), "y": np.array([7])})
+        for index in (
+            FloodIndex(GridLayout(("x", "y"), (2,))).build(table),
+            KDTreeIndex(["x", "y"], page_size=4).build(table),
+            ZOrderIndex(["x", "y"], page_size=4).build(table),
+        ):
+            visitor = CountVisitor()
+            index.query(Query({"x": (5, 5)}), visitor)
+            assert visitor.result == 1
+
+    def test_all_identical_rows(self):
+        table = Table({"x": np.full(100, 3), "y": np.full(100, 4)})
+        index = FloodIndex(GridLayout(("x", "y"), (4,))).build(table)
+        visitor = CountVisitor()
+        index.query(Query({"x": (3, 3), "y": (4, 4)}), visitor)
+        assert visitor.result == 100
+        miss = CountVisitor()
+        index.query(Query({"x": (0, 2)}), miss)
+        assert miss.result == 0
+
+    def test_two_distinct_values(self):
+        rng = np.random.default_rng(33)
+        table = Table({
+            "x": rng.choice([10, 20], size=200),
+            "y": rng.integers(0, 5, size=200),
+        })
+        index = FloodIndex(GridLayout(("x", "y"), (8,))).build(table)
+        visitor = CountVisitor()
+        index.query(Query({"x": (10, 10)}), visitor)
+        assert visitor.result == int((table.values("x") == 10).sum())
+
+    def test_extreme_value_range(self):
+        table = Table({
+            "x": np.array([-(2**55), 0, 2**55]),
+            "y": np.array([1, 2, 3]),
+        })
+        index = FloodIndex(GridLayout(("x", "y"), (2,))).build(table)
+        visitor = CountVisitor()
+        index.query(Query({"x": (-(2**55), 0)}), visitor)
+        assert visitor.result == 2

@@ -1,0 +1,149 @@
+"""The central correctness invariant: every index returns exactly the rows a
+brute-force scan returns, on random data and random queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    ClusteredIndex,
+    FullScanIndex,
+    GridFileIndex,
+    HyperoctreeIndex,
+    KDTreeIndex,
+    RStarTreeIndex,
+    SimpleGridIndex,
+    UBTreeIndex,
+    ZOrderIndex,
+)
+
+from tests.helpers import brute_force_rows, collected_rows, make_table, random_query
+
+DIMS = ("x", "y", "z")
+
+
+def _build_all(table):
+    dims = list(table.dims)
+    indexes = [
+        FullScanIndex(),
+        ClusteredIndex(sort_dim=dims[0]),
+        SimpleGridIndex({d: 4 for d in dims}),
+        GridFileIndex(dims, page_size=64),
+        ZOrderIndex(dims, page_size=64),
+        UBTreeIndex(dims, page_size=64),
+        HyperoctreeIndex(dims, page_size=64),
+        KDTreeIndex(dims, page_size=64),
+        RStarTreeIndex(dims, page_size=64),
+    ]
+    for index in indexes:
+        index.build(table)
+    return indexes
+
+
+class TestAllIndexesEquivalent:
+    """Fixed-seed sweep: 9 indexes x uniform/skewed data x 20 queries."""
+
+    @pytest.mark.parametrize("skew", [False, True], ids=["uniform", "skewed"])
+    def test_indexes_match_brute_force(self, skew):
+        table = make_table(n=600, dims=DIMS, seed=42, skew=skew)
+        indexes = _build_all(table)
+        rng = np.random.default_rng(7)
+        queries = [random_query(table, rng) for _ in range(20)]
+        for index in indexes:
+            for query in queries:
+                expected = brute_force_rows(index, query)
+                got = collected_rows(index, query)
+                assert np.array_equal(got, expected), (
+                    f"{index.name} diverged on {query}"
+                )
+
+    def test_counts_match_across_indexes(self):
+        from repro.storage.visitor import CountVisitor
+
+        table = make_table(n=400, seed=3)
+        indexes = _build_all(table)
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            query = random_query(table, rng)
+            counts = set()
+            for index in indexes:
+                visitor = CountVisitor()
+                index.query(query, visitor)
+                counts.add(visitor.result)
+            assert len(counts) == 1, f"count mismatch on {query}: {counts}"
+
+    def test_sums_match_across_indexes(self):
+        from repro.storage.visitor import SumVisitor
+
+        table = make_table(n=400, seed=5)
+        indexes = _build_all(table)
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            query = random_query(table, rng)
+            sums = set()
+            for index in indexes:
+                visitor = SumVisitor("y")
+                index.query(query, visitor)
+                sums.add(visitor.result)
+            assert len(sums) == 1, f"sum mismatch on {query}: {sums}"
+
+
+class TestEquivalenceProperty:
+    """Hypothesis-driven: random bounds against a fixed mid-size table."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 10**6),
+        st.sampled_from(["clustered", "grid", "zorder", "ubtree", "octree", "kdtree", "rstar", "gridfile"]),
+    )
+    def test_random_queries(self, qseed, kind):
+        table = make_table(n=300, dims=DIMS, seed=1, skew=True)
+        dims = list(table.dims)
+        index = {
+            "clustered": lambda: ClusteredIndex(sort_dim=dims[1]),
+            "grid": lambda: SimpleGridIndex({d: 3 for d in dims}),
+            "zorder": lambda: ZOrderIndex(dims, page_size=32),
+            "ubtree": lambda: UBTreeIndex(dims, page_size=32),
+            "octree": lambda: HyperoctreeIndex(dims, page_size=32),
+            "kdtree": lambda: KDTreeIndex(dims, page_size=32),
+            "rstar": lambda: RStarTreeIndex(dims, page_size=32),
+            "gridfile": lambda: GridFileIndex(dims, page_size=32),
+        }[kind]()
+        index.build(table)
+        rng = np.random.default_rng(qseed)
+        query = random_query(table, rng)
+        assert np.array_equal(
+            collected_rows(index, query), brute_force_rows(index, query)
+        )
+
+    def test_equality_predicates(self):
+        table = make_table(n=500, seed=9)
+        indexes = _build_all(table)
+        values = table.values("x")
+        for index in indexes:
+            from repro.query.predicate import Query
+
+            query = Query.equals("x", int(values[0]))
+            assert np.array_equal(
+                collected_rows(index, query), brute_force_rows(index, query)
+            )
+
+    def test_unbounded_dims(self):
+        from repro.query.predicate import Query
+
+        table = make_table(n=300, seed=15)
+        indexes = _build_all(table)
+        query = Query({"y": (200, 800)})  # only one of three dims filtered
+        for index in indexes:
+            assert np.array_equal(
+                collected_rows(index, query), brute_force_rows(index, query)
+            )
+
+    def test_empty_result_queries(self):
+        from repro.query.predicate import Query
+
+        table = make_table(n=200, seed=21)
+        indexes = _build_all(table)
+        query = Query({"x": (10**7, 10**8)})
+        for index in indexes:
+            assert collected_rows(index, query).size == 0

@@ -1,0 +1,257 @@
+"""Behavioral unit tests for individual baseline indexes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClusteredIndex,
+    FullScanIndex,
+    GridFileIndex,
+    HyperoctreeIndex,
+    KDTreeIndex,
+    RStarTreeIndex,
+    SimpleGridIndex,
+    UBTreeIndex,
+    ZOrderIndex,
+)
+from repro.baselines.simple_grid import merge_runs
+from repro.errors import BuildError, SchemaError
+from repro.query.predicate import Query
+from repro.storage.visitor import CountVisitor
+
+from tests.helpers import make_table
+
+DIMS = ("x", "y", "z")
+
+
+class TestFullScan:
+    def test_scans_everything(self):
+        table = make_table(n=300)
+        index = FullScanIndex().build(table)
+        stats = index.query(Query({"x": (0, 10)}), CountVisitor())
+        assert stats.points_scanned == 300
+        assert index.size_bytes() == 0
+
+    def test_used_before_build_raises(self):
+        with pytest.raises(BuildError):
+            FullScanIndex().query(Query({"x": (0, 1)}), CountVisitor())
+
+
+class TestClustered:
+    def test_sorted_by_sort_dim(self):
+        table = make_table(n=400)
+        index = ClusteredIndex(sort_dim="y").build(table)
+        assert np.all(np.diff(index.table.values("y")) >= 0)
+
+    def test_scans_only_sorted_range(self):
+        table = make_table(n=1000, seed=2)
+        index = ClusteredIndex(sort_dim="x").build(table)
+        query = Query({"x": (100, 200)})
+        stats = index.query(query, CountVisitor())
+        # Only the matching sorted run is scanned: scan overhead is 1.
+        assert stats.points_scanned == stats.points_matched
+
+    def test_exact_range_marks_exact_points(self):
+        table = make_table(n=500, seed=4)
+        index = ClusteredIndex(sort_dim="x").build(table)
+        stats = index.query(Query({"x": (0, 500)}), CountVisitor())
+        assert stats.exact_points == stats.points_scanned
+
+    def test_residual_filter_not_exact(self):
+        table = make_table(n=500, seed=4)
+        index = ClusteredIndex(sort_dim="x").build(table)
+        stats = index.query(Query({"x": (0, 500), "y": (0, 100)}), CountVisitor())
+        assert stats.exact_points == 0
+
+    def test_fallback_to_full_scan(self):
+        table = make_table(n=500, seed=4)
+        index = ClusteredIndex(sort_dim="x").build(table)
+        stats = index.query(Query({"y": (0, 100)}), CountVisitor())
+        assert stats.points_scanned == 500
+
+    def test_unknown_sort_dim(self):
+        with pytest.raises(SchemaError):
+            ClusteredIndex(sort_dim="nope").build(make_table())
+
+    def test_size_is_model_only(self):
+        index = ClusteredIndex(sort_dim="x").build(make_table(n=2000))
+        assert 0 < index.size_bytes() < 2000 * 8
+
+
+class TestSimpleGrid:
+    def test_merge_runs(self):
+        assert merge_runs(np.array([1, 2, 3, 7, 9, 10])) == [(1, 3), (7, 7), (9, 10)]
+        assert merge_runs(np.array([], dtype=np.int64)) == []
+        assert merge_runs(np.array([5])) == [(5, 5)]
+
+    def test_cell_count(self):
+        table = make_table(n=200)
+        index = SimpleGridIndex({"x": 4, "y": 3, "z": 2}).build(table)
+        assert index.num_cells == 24
+
+    def test_cells_partition_rows(self):
+        table = make_table(n=500, seed=6)
+        index = SimpleGridIndex({"x": 5, "y": 5, "z": 5}).build(table)
+        assert index._cell_starts[-1] == 500
+
+    def test_narrow_query_visits_few_cells(self):
+        table = make_table(n=2000, seed=8)
+        index = SimpleGridIndex({"x": 10, "y": 10, "z": 10}).build(table)
+        lo, hi = table.min_max("x")
+        width = (hi - lo) // 10
+        stats = index.query(
+            Query({"x": (lo, lo + width // 2)}), CountVisitor()
+        )
+        # One column of x times full y/z extent = 100 of 1000 cells.
+        assert stats.cells_visited <= 100
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(BuildError):
+            SimpleGridIndex({"x": 0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(BuildError):
+            SimpleGridIndex({})
+
+
+class TestZOrderFamily:
+    def test_pages_cover_table(self):
+        table = make_table(n=777, seed=10)
+        index = ZOrderIndex(list(DIMS), page_size=100).build(table)
+        assert index.num_pages == 8
+        assert index._page_starts[-1] == 777
+
+    def test_zorder_sorted_by_z(self):
+        table = make_table(n=300, seed=12)
+        index = ZOrderIndex(list(DIMS), page_size=50).build(table)
+        assert np.all(np.diff(index._z_sorted.astype(np.int64)) >= 0)
+
+    def test_ubtree_skips_pages(self):
+        # A query selective in both dims leaves Z-gaps; BIGMIN should let
+        # the UB-tree visit no more pages than the plain Z-order index.
+        table = make_table(n=5000, dims=("x", "y"), seed=14)
+        z = ZOrderIndex(["x", "y"], page_size=64).build(table)
+        ub = UBTreeIndex(["x", "y"], page_size=64).build(table)
+        query = Query({"x": (100, 200), "y": (100, 200)})
+        z_stats = z.query(query, CountVisitor())
+        ub_stats = ub.query(query, CountVisitor())
+        assert ub_stats.cells_visited <= z_stats.cells_visited
+        assert ub_stats.points_matched == z_stats.points_matched
+
+    def test_empty_rect_short_circuits(self):
+        table = make_table(n=200, seed=16)
+        for cls in (ZOrderIndex, UBTreeIndex):
+            index = cls(list(DIMS), page_size=50).build(table)
+            stats = index.query(Query({"x": (10**8, 10**9)}), CountVisitor())
+            assert stats.points_scanned == 0
+
+    def test_rejects_no_dims(self):
+        with pytest.raises(SchemaError):
+            ZOrderIndex([])
+        with pytest.raises(SchemaError):
+            UBTreeIndex([])
+
+
+class TestTrees:
+    def test_octree_leaf_sizes(self):
+        table = make_table(n=2000, seed=18)
+        index = HyperoctreeIndex(list(DIMS), page_size=100).build(table)
+        assert index.num_leaves >= 2000 // 100
+        assert index.num_nodes >= index.num_leaves
+
+    def test_kdtree_leaf_sizes_bounded(self):
+        table = make_table(n=2000, seed=20)
+        index = KDTreeIndex(list(DIMS), page_size=100).build(table)
+
+        def leaf_sizes(node):
+            if node.is_leaf:
+                yield node.stop - node.start
+            else:
+                yield from leaf_sizes(node.left)
+                yield from leaf_sizes(node.right)
+
+        assert max(leaf_sizes(index._root)) <= 100
+
+    def test_kdtree_handles_duplicate_heavy_dim(self):
+        rng = np.random.default_rng(22)
+        from repro.storage.table import Table
+
+        table = Table(
+            {
+                "const": np.full(1000, 7),
+                "x": rng.integers(0, 100, size=1000),
+            }
+        )
+        index = KDTreeIndex(["const", "x"], page_size=64).build(table)
+        stats = index.query(Query({"x": (0, 50)}), CountVisitor())
+        assert stats.points_matched > 0
+
+    def test_kdtree_all_duplicates(self):
+        from repro.storage.table import Table
+
+        table = Table({"a": np.full(300, 5), "b": np.full(300, 9)})
+        index = KDTreeIndex(["a", "b"], page_size=64).build(table)
+        visitor = CountVisitor()
+        index.query(Query({"a": (5, 5)}), visitor)
+        assert visitor.result == 300
+
+    def test_rstar_contained_leaves_are_exact(self):
+        table = make_table(n=3000, seed=24)
+        index = RStarTreeIndex(list(DIMS), page_size=64).build(table)
+        # A very wide query fully contains many leaves.
+        stats = index.query(
+            Query({"x": (-10**6, 10**6)}), CountVisitor()
+        )
+        assert stats.exact_points > 0
+
+    def test_tree_sizes_positive(self):
+        table = make_table(n=1000, seed=26)
+        for cls in (HyperoctreeIndex, KDTreeIndex, RStarTreeIndex):
+            index = cls(list(DIMS), page_size=100).build(table)
+            assert index.size_bytes() > 0
+
+
+class TestGridFile:
+    def test_bucket_capacity_respected(self):
+        table = make_table(n=1500, seed=28)
+        index = GridFileIndex(list(DIMS), page_size=100).build(table)
+        sizes = np.diff(index._bucket_starts)
+        # Oversized buckets are possible only for duplicate-heavy data.
+        assert sizes.max() <= 100
+
+    def test_rows_preserved(self):
+        table = make_table(n=800, seed=30)
+        index = GridFileIndex(list(DIMS), page_size=64).build(table)
+        assert index._bucket_starts[-1] == 800
+
+    def test_directory_growth_guard(self):
+        # Extremely skewed data with a tiny cap triggers the paper's
+        # "construction took too long" condition.
+        rng = np.random.default_rng(32)
+        from repro.storage.table import Table
+
+        data = {
+            "a": np.sort(rng.zipf(1.3, size=4000)).astype(np.int64),
+            "b": rng.zipf(1.3, size=4000).astype(np.int64),
+        }
+        table = Table(data)
+        with pytest.raises(BuildError):
+            GridFileIndex(["a", "b"], page_size=8, max_directory_entries=64).build(
+                table
+            )
+
+    def test_duplicate_only_data_builds(self):
+        from repro.storage.table import Table
+
+        table = Table({"a": np.full(500, 3), "b": np.full(500, 4)})
+        index = GridFileIndex(["a", "b"], page_size=50).build(table)
+        visitor = CountVisitor()
+        index.query(Query({"a": (3, 3)}), visitor)
+        assert visitor.result == 500
+
+
+class TestBuildTiming:
+    def test_build_seconds_recorded(self):
+        table = make_table(n=500)
+        index = KDTreeIndex(list(DIMS), page_size=64).build(table)
+        assert index.build_seconds > 0

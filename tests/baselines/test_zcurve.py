@@ -1,0 +1,124 @@
+"""Unit and property tests for Z-curve encoding and BIGMIN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.zcurve import ZEncoder
+
+
+def _encoder(d=2, span=255):
+    return ZEncoder(np.zeros(d, dtype=np.int64), np.full(d, span, dtype=np.int64))
+
+
+class TestZEncoding:
+    def test_2d_known_codes(self):
+        enc = _encoder(d=2, span=3)
+        # Classic 2x2 Morton order: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3.
+        points = np.array([[0, 0], [1, 0], [0, 1], [1, 1]])
+        codes = enc.encode(points)
+        assert list(codes) == [0, 1, 2, 3]
+
+    def test_roundtrip(self):
+        enc = _encoder(d=3, span=1023)
+        rng = np.random.default_rng(0)
+        points = rng.integers(0, 1024, size=(200, 3))
+        codes = enc.encode(points)
+        for point, code in zip(points, codes):
+            assert np.array_equal(enc.decode(int(code)), point)
+
+    def test_truncation_for_wide_dims(self):
+        # 8 dims -> 8 bits each; a dimension spanning 2^20 gets truncated.
+        d = 8
+        enc = ZEncoder(np.zeros(d, np.int64), np.full(d, 2**20, np.int64))
+        assert enc.bits_per_dim == 8
+        coords = enc.code_coords(np.full((1, d), 2**20, dtype=np.int64))
+        assert int(coords.max()) < 2**8
+
+    def test_monotone_along_each_axis(self):
+        enc = _encoder(d=2, span=63)
+        for axis in range(2):
+            base = np.zeros((64, 2), dtype=np.int64)
+            base[:, axis] = np.arange(64)
+            codes = enc.encode(base)
+            assert np.all(np.diff(codes.astype(np.int64)) > 0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ZEncoder(np.array([5]), np.array([1]))
+
+    def test_negative_values_normalized(self):
+        enc = ZEncoder(np.array([-100, -100]), np.array([100, 100]))
+        codes = enc.encode(np.array([[-100, -100], [100, 100]]))
+        assert codes[0] == 0
+        assert codes[1] > codes[0]
+
+
+class TestInRect:
+    def test_inside_and_outside(self):
+        enc = _encoder(d=2, span=15)
+        zmin, zmax = enc.rect_codes(np.array([2, 3]), np.array([5, 9]))
+        inside = enc.encode(np.array([[3, 4]]))[0]
+        outside = enc.encode(np.array([[10, 4]]))[0]
+        assert enc.in_rect(int(inside), zmin, zmax)
+        assert not enc.in_rect(int(outside), zmin, zmax)
+
+
+def _brute_bigmin(enc, z, zmin, zmax, span):
+    """Smallest code >= z inside the rect, by exhaustive enumeration."""
+    lo = enc.decode(zmin)
+    hi = enc.decode(zmax)
+    best = None
+    all_points = np.array(
+        [[x, y] for x in range(span + 1) for y in range(span + 1)], dtype=np.int64
+    )
+    codes = enc.encode(all_points)
+    for point, code in zip(all_points, codes):
+        code = int(code)
+        if code >= z and np.all(point >= lo) and np.all(point <= hi):
+            if best is None or code < best:
+                best = code
+    return best
+
+
+class TestBigmin:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 255),
+    )
+    def test_matches_brute_force(self, a, b, c, d, z):
+        span = 15
+        enc = _encoder(d=2, span=span)
+        lo = np.array([min(a, b), min(c, d)])
+        hi = np.array([max(a, b), max(c, d)])
+        zmin, zmax = enc.rect_codes(lo, hi)
+        expected = _brute_bigmin(enc, z, zmin, zmax, span)
+        got = enc.bigmin(z, zmin, zmax)
+        assert got == expected
+
+    def test_returns_zmin_when_below(self):
+        enc = _encoder(d=2, span=15)
+        zmin, zmax = enc.rect_codes(np.array([4, 4]), np.array([8, 8]))
+        assert enc.bigmin(0, zmin, zmax) == zmin
+
+    def test_returns_none_when_beyond(self):
+        enc = _encoder(d=2, span=15)
+        zmin, zmax = enc.rect_codes(np.array([1, 1]), np.array([2, 2]))
+        assert enc.bigmin(zmax + 1, zmin, zmax) is None
+
+    def test_result_always_geq_z_and_in_rect(self):
+        enc = _encoder(d=3, span=31)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            corners = rng.integers(0, 32, size=(2, 3))
+            lo, hi = corners.min(axis=0), corners.max(axis=0)
+            zmin, zmax = enc.rect_codes(lo, hi)
+            z = int(rng.integers(0, zmax + 2))
+            got = enc.bigmin(z, zmin, zmax)
+            if got is not None:
+                assert got >= z
+                assert enc.in_rect(got, zmin, zmax)

@@ -1,0 +1,39 @@
+"""Light tests for the experiments module (no heavy drivers)."""
+
+from repro.bench import experiments
+from repro.cli import BENCH_DRIVERS
+
+
+class TestGetBundle:
+    def test_caches_identical_requests(self):
+        a = experiments.get_bundle("sales", n=1000, num_queries=10, seed=3)
+        b = experiments.get_bundle("sales", n=1000, num_queries=10, seed=3)
+        assert a is b
+
+    def test_different_params_differ(self):
+        a = experiments.get_bundle("sales", n=1000, num_queries=10, seed=3)
+        b = experiments.get_bundle("sales", n=1000, num_queries=10, seed=4)
+        assert a is not b
+
+
+class TestConfiguration:
+    def test_bench_rows_cover_paper_datasets(self):
+        assert set(experiments.PAPER_DATASETS) <= set(experiments.BENCH_ROWS)
+
+    def test_paper_datasets_are_four(self):
+        assert experiments.PAPER_DATASETS == ("sales", "tpch", "osm", "perfmon")
+
+    def test_cli_drivers_all_resolve(self):
+        for driver in BENCH_DRIVERS.values():
+            assert callable(getattr(experiments, driver))
+
+    def test_every_bench_file_has_a_driver(self):
+        import os
+
+        bench_dir = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+        files = [
+            f for f in os.listdir(bench_dir)
+            if f.startswith("bench_") and f.endswith(".py")
+        ]
+        # Tables 1-4, Figures 5 and 7-17, three ablations, parity = 19+.
+        assert len(files) >= 19

@@ -1,0 +1,128 @@
+"""Unit tests for the benchmark harness (tuned builds, workload runs)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    BASELINE_NAMES,
+    build_flood,
+    build_tuned_baselines,
+    geometric_speedup,
+    run_workload,
+    summarize,
+)
+from repro.core.cost import AnalyticCostModel
+from repro.query.stats import QueryStats, WorkloadResult
+
+from tests.helpers import make_table
+from tests.core.test_calibration_optimizer import _workload
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    table = make_table(n=2000, dims=("x", "y", "z"), seed=0)
+    queries = _workload(table, n=16, seed=1)
+    return table, queries
+
+
+class TestBuildTunedBaselines:
+    def test_builds_requested_subset(self, small_setup):
+        table, queries = small_setup
+        indexes = build_tuned_baselines(
+            table, queries, include=("Full Scan", "Clustered", "K-d tree")
+        )
+        assert set(indexes) == {"Full Scan", "Clustered", "K-d tree"}
+        assert all(index is not None for index in indexes.values())
+
+    def test_all_baselines_build_on_uniform_data(self, small_setup):
+        table, queries = small_setup
+        indexes = build_tuned_baselines(table, queries)
+        assert set(indexes) == set(BASELINE_NAMES)
+        built = [name for name, index in indexes.items() if index is not None]
+        assert len(built) == len(BASELINE_NAMES)
+
+    def test_page_tuning_picks_a_candidate(self, small_setup):
+        table, queries = small_setup
+        indexes = build_tuned_baselines(
+            table, queries, include=("Z Order",), tune_pages=True
+        )
+        from repro.bench.harness import PAGE_SIZE_CANDIDATES
+
+        assert indexes["Z Order"].page_size in PAGE_SIZE_CANDIDATES
+
+    def test_unknown_baseline_raises(self, small_setup):
+        from repro.errors import BuildError
+
+        table, queries = small_setup
+        with pytest.raises(BuildError):
+            build_tuned_baselines(table, queries, include=("Mystery Index",))
+
+    def test_results_equivalent_across_built_indexes(self, small_setup):
+        table, queries = small_setup
+        indexes = build_tuned_baselines(
+            table, queries, include=("Full Scan", "Z Order", "Hyperoctree")
+        )
+        from repro.storage.visitor import CountVisitor
+
+        for query in queries[:5]:
+            counts = set()
+            for index in indexes.values():
+                visitor = CountVisitor()
+                index.query(query, visitor)
+                counts.add(visitor.result)
+            assert len(counts) == 1
+
+
+class TestBuildFlood:
+    def test_returns_index_and_result(self, small_setup):
+        table, queries = small_setup
+        flood, result = build_flood(
+            table, queries, cost_model=AnalyticCostModel(),
+            data_sample_size=400, query_sample_size=8, seed=2,
+        )
+        assert flood.table.num_rows == 2000
+        assert result.learn_seconds > 0
+
+    def test_flood_matches_full_scan(self, small_setup):
+        table, queries = small_setup
+        flood, _ = build_flood(
+            table, queries, cost_model=AnalyticCostModel(),
+            data_sample_size=400, query_sample_size=8, seed=3,
+        )
+        from repro.storage.visitor import CountVisitor
+
+        for query in queries[:5]:
+            visitor = CountVisitor()
+            flood.query(query, visitor)
+            assert visitor.result == int(query.match_mask(flood.table).sum())
+
+
+class TestRunWorkloadAndSummaries:
+    def test_run_workload_counts(self, small_setup):
+        table, queries = small_setup
+        from repro.baselines import FullScanIndex
+
+        index = FullScanIndex().build(table)
+        result = run_workload(index, queries)
+        assert result.num_queries == len(queries)
+        assert result.avg_total_time > 0
+
+    def test_geometric_speedup(self):
+        assert geometric_speedup(10.0, 2.0) == 5.0
+        assert geometric_speedup(1.0, 0.0) == float("inf")
+
+    def test_summarize_handles_none(self):
+        result = WorkloadResult("ok")
+        result.add(QueryStats(points_scanned=10, points_matched=5,
+                              scan_time=0.001, total_time=0.001))
+        rows = summarize({"ok": result, "failed": None})
+        assert rows[0][0] == "ok"
+        assert rows[1][1] == "N/A"
+        assert rows[1][3] == "construction failed"
+
+    def test_summarize_infinite_overhead(self):
+        result = WorkloadResult("empty-matches")
+        result.add(QueryStats(points_scanned=10, points_matched=0,
+                              total_time=0.001))
+        rows = summarize({"empty-matches": result})
+        assert rows[0][2] == "inf"

@@ -1,0 +1,54 @@
+"""Unit tests for the benchmark reporting helpers."""
+
+import os
+
+from repro.bench.report import format_series, format_table, write_result
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.00001234], [123.456], [0.5], [0]])
+        assert "1.234e-05" in text
+        assert "123.5" in text
+        assert "0.5" in text
+
+    def test_handles_strings_and_na(self):
+        text = format_table(["index", "t"], [["Grid File", "N/A"]])
+        assert "N/A" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series("curve", [1, 2], [10.0, 20.0], "n", "ms")
+        assert "curve" in text
+        assert "n" in text and "ms" in text
+        assert text.count("\n") == 4
+
+
+class TestWriteResult:
+    def test_writes_file_and_returns_path(self, tmp_path, capsys):
+        path = write_result("unit_test_result", "hello", results_dir=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read().strip() == "hello"
+        assert "unit_test_result" in capsys.readouterr().out
+
+    def test_respects_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "envdir"))
+        path = write_result("env_result", "x")
+        assert str(tmp_path / "envdir") in path

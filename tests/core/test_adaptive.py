@@ -1,0 +1,60 @@
+"""End-to-end tests for the self-retraining AdaptiveFlood wrapper."""
+
+import numpy as np
+
+from repro.core.cost import AnalyticCostModel
+from repro.core.monitor import AdaptiveFlood, WorkloadMonitor
+from repro.query.predicate import Query
+from repro.storage.visitor import CountVisitor
+
+from tests.helpers import make_table
+
+
+def _range_queries(table, dims, n, seed, width=50):
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(n):
+        ranges = {}
+        for dim in dims:
+            lo, hi = table.min_max(dim)
+            start = int(rng.integers(lo, max(hi - width, lo + 1)))
+            ranges[dim] = (start, start + width)
+        queries.append(Query(ranges))
+    return queries
+
+
+class TestAdaptiveFlood:
+    def _adaptive(self, table, queries, window=12, threshold=1.5):
+        return AdaptiveFlood(
+            table,
+            queries,
+            cost_model=AnalyticCostModel(),
+            monitor=WorkloadMonitor(window=window, threshold=threshold, min_samples=6),
+            seed=5,
+        )
+
+    def test_queries_remain_correct_across_retrains(self):
+        table = make_table(n=3000, dims=("x", "y", "z"), seed=7)
+        initial = _range_queries(table, ["x"], 10, seed=8)
+        adaptive = self._adaptive(table, initial)
+        shifted = _range_queries(table, ["y", "z"], 40, seed=9)
+        for query in shifted:
+            visitor = CountVisitor()
+            adaptive.query(query, visitor)
+            assert visitor.result == int(query.match_mask(table).sum())
+
+    def test_monitor_records_every_query(self):
+        table = make_table(n=1500, seed=10)
+        queries = _range_queries(table, ["x"], 8, seed=11)
+        adaptive = self._adaptive(table, queries, window=100, threshold=10.0)
+        for query in queries:
+            adaptive.query(query, CountVisitor())
+        assert len(adaptive.monitor.recent_queries()) == len(queries)
+
+    def test_no_retrain_on_stable_workload(self):
+        table = make_table(n=1500, seed=12)
+        queries = _range_queries(table, ["x"], 30, seed=13)
+        adaptive = self._adaptive(table, queries, threshold=50.0)
+        for query in queries:
+            adaptive.query(query, CountVisitor())
+        assert adaptive.retrains == 0

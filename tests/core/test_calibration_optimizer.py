@@ -1,0 +1,181 @@
+"""Tests for cost-model calibration and layout optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    calibrate,
+    fit_cost_model,
+    generate_training_examples,
+    random_layout,
+)
+from repro.core.cost import AnalyticCostModel
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+from repro.core.optimizer import find_optimal_layout, heuristic_layout
+from repro.errors import BuildError
+from repro.query.predicate import Query
+from repro.storage.visitor import CountVisitor
+
+from tests.helpers import make_table
+
+DIMS = ("x", "y", "z")
+
+
+def _workload(table, n=20, seed=0, dims_used=("x", "z")):
+    """Queries selective on a couple of dims, like a real OLAP mix."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(n):
+        ranges = {}
+        for dim in dims_used:
+            lo, hi = table.min_max(dim)
+            width = max((hi - lo) // 10, 1)
+            start = int(rng.integers(lo, max(hi - width, lo + 1)))
+            ranges[dim] = (start, start + width)
+        queries.append(Query(ranges))
+    return queries
+
+
+class TestRandomLayout:
+    def test_valid_layouts(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            layout = random_layout(list(DIMS), rng, max_cells=512)
+            assert set(layout.order) == set(DIMS)
+            assert layout.num_cells <= 4 * 512  # rounding slack
+
+    def test_single_dim(self):
+        layout = random_layout(["only"], np.random.default_rng(1))
+        assert layout.order == ("only",)
+        assert layout.columns == ()
+
+
+class TestCalibration:
+    def test_examples_one_per_query_per_layout(self):
+        table = make_table(n=400, dims=DIMS, seed=1)
+        queries = _workload(table, n=5)
+        data = generate_training_examples(table, queries, num_layouts=3, seed=2)
+        assert len(data) == 15
+        assert data.matrix().shape == (15, 7)
+
+    def test_weights_finite_and_nonnegative(self):
+        table = make_table(n=400, dims=DIMS, seed=3)
+        data = generate_training_examples(
+            table, _workload(table, n=5), num_layouts=2, seed=4
+        )
+        for name in ("wp", "wr", "ws"):
+            values = np.asarray(getattr(data, name))
+            assert np.all(np.isfinite(values))
+            assert np.all(values >= 0)
+
+    def test_calibrate_end_to_end(self):
+        table = make_table(n=500, dims=DIMS, seed=5)
+        model = calibrate(table, _workload(table, n=6), num_layouts=3, seed=6)
+        from tests.core.test_cost import _features
+
+        wp, wr, ws = model.predict_weights(_features())
+        assert wp > 0 and ws > 0
+
+    def test_fit_cost_model_prediction_scale(self):
+        # Predicted query times should be within an order of magnitude of
+        # measured times on the training workload itself.
+        table = make_table(n=2000, dims=DIMS, seed=7)
+        queries = _workload(table, n=8)
+        data = generate_training_examples(table, queries, num_layouts=4, seed=8)
+        model = fit_cost_model(data, seed=8)
+        layout = GridLayout(DIMS, (4, 4))
+        index = FloodIndex(layout).build(table)
+        for query in queries[:4]:
+            stats = index.query(query, CountVisitor())
+            from repro.core.cost import QueryFeatures
+
+            features = QueryFeatures(
+                total_cells=layout.num_cells,
+                nc=stats.cells_visited,
+                ns=stats.points_scanned,
+                dims_filtered=len(query),
+                sort_filtered=query.filters(layout.sort_dim),
+                table_rows=table.num_rows,
+            )
+            predicted = model.predict_time(features)
+            assert predicted > 0
+            assert predicted < stats.total_time * 100 + 1.0
+
+
+class TestHeuristicLayout:
+    def test_sort_dim_is_most_selective(self):
+        table = make_table(n=800, dims=DIMS, seed=9)
+        # Queries are very selective on z, mild on x.
+        rng = np.random.default_rng(10)
+        queries = []
+        for _ in range(10):
+            zlo, zhi = table.min_max("z")
+            start = int(rng.integers(zlo, zhi))
+            queries.append(Query({"z": (start, start + 1), "x": (0, 900)}))
+        layout = heuristic_layout(table, queries)
+        assert layout.sort_dim == "z"
+
+    def test_respects_explicit_sort_dim(self):
+        table = make_table(n=300, seed=11)
+        layout = heuristic_layout(table, _workload(table, n=4), sort_dim="y")
+        assert layout.sort_dim == "y"
+
+    def test_unfiltered_dims_get_few_columns(self):
+        table = make_table(n=800, dims=DIMS, seed=12)
+        queries = _workload(table, n=10, dims_used=("x",))
+        layout = heuristic_layout(table, queries, target_cells=256, sort_dim="z")
+        cols = dict(zip(layout.grid_dims, layout.columns))
+        assert cols["x"] > cols["y"]
+
+    def test_empty_dims_raises(self):
+        with pytest.raises(BuildError):
+            heuristic_layout(make_table(), [], dims=[])
+
+
+class TestFindOptimalLayout:
+    def test_produces_valid_layout(self):
+        table = make_table(n=1500, dims=DIMS, seed=13)
+        queries = _workload(table, n=12)
+        result = find_optimal_layout(
+            table, queries, AnalyticCostModel(), data_sample_size=500,
+            query_sample_size=10, seed=14,
+        )
+        assert set(result.layout.order) == set(DIMS)
+        assert result.learn_seconds > 0
+        assert len(result.candidates) == len(DIMS)
+
+    def test_empty_workload_raises(self):
+        with pytest.raises(BuildError):
+            find_optimal_layout(make_table(), [], AnalyticCostModel())
+
+    def test_learned_layout_not_worse_than_heuristic_under_model(self):
+        table = make_table(n=1500, dims=DIMS, seed=15)
+        queries = _workload(table, n=12, dims_used=("x", "y"))
+        model = AnalyticCostModel()
+        result = find_optimal_layout(
+            table, queries, model, data_sample_size=500, query_sample_size=12,
+            seed=16,
+        )
+        # The chosen candidate is the arg-min over all candidates.
+        costs = [cost for _, cost in result.candidates]
+        assert result.predicted_cost == pytest.approx(min(costs))
+
+    def test_learned_beats_naive_grid_on_real_queries(self):
+        # End-to-end: the optimizer's layout should scan fewer points than
+        # an untuned uniform grid on the training distribution.
+        table = make_table(n=6000, dims=DIMS, seed=17)
+        queries = _workload(table, n=15, dims_used=("x", "z"), seed=18)
+        result = find_optimal_layout(
+            table, queries, AnalyticCostModel(), data_sample_size=1500,
+            query_sample_size=15, seed=19,
+        )
+        learned = FloodIndex(result.layout).build(table)
+        naive = FloodIndex(GridLayout(DIMS, (3, 3))).build(table)
+        learned_scanned = sum(
+            learned.query(q, CountVisitor()).points_scanned for q in queries
+        )
+        naive_scanned = sum(
+            naive.query(q, CountVisitor()).points_scanned for q in queries
+        )
+        assert learned_scanned <= naive_scanned

@@ -1,0 +1,95 @@
+"""Unit tests for the cost model and its features."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import AnalyticCostModel, LearnedCostModel, QueryFeatures
+from repro.ml.forest import RandomForestRegressor
+
+
+def _features(nc=10, ns=1000.0, sort_filtered=True):
+    return QueryFeatures(
+        total_cells=100,
+        nc=nc,
+        ns=ns,
+        dims_filtered=2,
+        sort_filtered=sort_filtered,
+        table_rows=10000,
+    )
+
+
+class TestQueryFeatures:
+    def test_derived_quantities(self):
+        f = _features(nc=10, ns=1000.0)
+        assert f.avg_visited_per_cell == 100.0
+        assert f.avg_cell_size == 100.0
+        assert f.avg_run_length == 100.0
+
+    def test_zero_nc_guard(self):
+        f = _features(nc=0, ns=50.0)
+        assert f.avg_visited_per_cell == 50.0
+
+    def test_vector_matches_names(self):
+        f = _features()
+        assert f.to_vector().shape == (len(QueryFeatures.FEATURE_NAMES),)
+
+    def test_vector_finite(self):
+        assert np.all(np.isfinite(_features(nc=0, ns=0.0).to_vector()))
+
+
+class TestAnalyticCostModel:
+    def test_eq1_composition(self):
+        model = AnalyticCostModel(wp=1e-6, wr=2e-6, ws=1e-8)
+        f = _features(nc=10, ns=1000.0, sort_filtered=True)
+        expected = 1e-6 * 10 + 2e-6 * 10 + 1e-8 * 1000
+        assert model.predict_time(f) == pytest.approx(expected)
+
+    def test_no_refinement_when_sort_unfiltered(self):
+        model = AnalyticCostModel(wp=1e-6, wr=2e-6, ws=1e-8)
+        f = _features(nc=10, ns=1000.0, sort_filtered=False)
+        assert model.predict_time(f) == pytest.approx(1e-6 * 10 + 1e-8 * 1000)
+
+    def test_more_scanning_costs_more(self):
+        model = AnalyticCostModel()
+        assert model.predict_time(_features(ns=10**6)) > model.predict_time(
+            _features(ns=10**2)
+        )
+
+    def test_batch_average(self):
+        model = AnalyticCostModel()
+        fs = [_features(ns=100.0), _features(ns=300.0)]
+        single = [model.predict_time(f) for f in fs]
+        assert model.predict_batch(fs) == pytest.approx(sum(single) / 2)
+
+    def test_batch_empty(self):
+        assert AnalyticCostModel().predict_batch([]) == 0.0
+
+
+class TestLearnedCostModel:
+    def _trained(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=(200, len(QueryFeatures.FEATURE_NAMES)))
+        forests = []
+        for target_scale in (1e-6, 1e-6, 1e-8):
+            forest = RandomForestRegressor(n_estimators=5, seed=1)
+            forest.fit(x, np.full(200, target_scale))
+            forests.append(forest)
+        return LearnedCostModel(*forests)
+
+    def test_predict_weights_positive(self):
+        model = self._trained()
+        wp, wr, ws = model.predict_weights(_features())
+        assert wp > 0 and wr > 0 and ws > 0
+
+    def test_weight_floor_applied(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(size=(50, len(QueryFeatures.FEATURE_NAMES)))
+        negative = RandomForestRegressor(n_estimators=3, seed=3).fit(
+            x, np.full(50, -1.0)
+        )
+        model = LearnedCostModel(negative, negative, negative, weight_floor=1e-10)
+        wp, wr, ws = model.predict_weights(_features())
+        assert wp == wr == ws == 1e-10
+
+    def test_predict_time_positive(self):
+        assert self._trained().predict_time(_features()) > 0

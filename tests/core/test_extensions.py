@@ -1,0 +1,223 @@
+"""Tests for the Section 6/8 extensions: delta-buffered inserts, workload
+monitoring, and kNN search."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaBufferedFlood
+from repro.core.index import FloodIndex
+from repro.core.knn import KNNSearcher, knn
+from repro.core.layout import GridLayout
+from repro.core.monitor import WorkloadMonitor
+from repro.errors import QueryError, SchemaError
+from repro.query.predicate import Query
+from repro.storage.visitor import CollectVisitor, CountVisitor
+
+from tests.helpers import make_table
+
+DIMS = ("x", "y", "z")
+
+
+def _row(rng):
+    return {d: int(rng.integers(0, 1000)) for d in DIMS}
+
+
+class TestDeltaBufferedFlood:
+    def _build(self, n=500, threshold=None, seed=0):
+        table = make_table(n=n, dims=DIMS, seed=seed)
+        index = DeltaBufferedFlood(
+            GridLayout(DIMS, (3, 3)), merge_threshold=threshold
+        )
+        return index.build(table)
+
+    def test_insert_visible_in_queries(self):
+        index = self._build()
+        before = CountVisitor()
+        query = Query({"x": (0, 1000)})
+        index.query(query, before)
+        index.insert({"x": 5, "y": 5, "z": 5})
+        after = CountVisitor()
+        index.query(query, after)
+        assert after.result == before.result + 1
+
+    def test_inserted_rows_match_filters_exactly(self):
+        index = self._build()
+        index.insert({"x": 777, "y": 1, "z": 1})
+        index.insert({"x": 3, "y": 1, "z": 1})
+        visitor = CountVisitor()
+        index.query(Query({"x": (700, 800)}), visitor)
+        brute = int(
+            ((index.table.values("x") >= 700) & (index.table.values("x") <= 800)).sum()
+        )
+        assert visitor.result == brute + 1  # only the 777 row from the buffer
+
+    def test_auto_merge_at_threshold(self):
+        index = self._build(threshold=10)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            index.insert(_row(rng))
+        assert index.merges == 1
+        assert index.buffered_rows == 0
+        assert index.table.num_rows == 510
+
+    def test_manual_merge_preserves_results(self):
+        index = self._build()
+        rng = np.random.default_rng(2)
+        rows = [_row(rng) for _ in range(25)]
+        for row in rows:
+            index.insert(row)
+        query = Query({"y": (100, 900)})
+        before = CountVisitor()
+        index.query(query, before)
+        index.merge()
+        assert index.buffered_rows == 0
+        after = CountVisitor()
+        index.query(query, after)
+        assert after.result == before.result
+
+    def test_insert_many(self):
+        index = self._build()
+        index.insert_many({"x": [1, 2], "y": [3, 4], "z": [5, 6]})
+        assert index.buffered_rows == 2
+
+    def test_insert_many_misaligned(self):
+        index = self._build()
+        with pytest.raises(SchemaError):
+            index.insert_many({"x": [1], "y": [2, 3], "z": [4]})
+
+    def test_wrong_schema_rejected(self):
+        index = self._build()
+        with pytest.raises(SchemaError):
+            index.insert({"x": 1, "y": 2})
+
+    def test_merge_noop_when_empty(self):
+        index = self._build()
+        index.merge()
+        assert index.merges == 0
+
+    def test_size_includes_buffer(self):
+        index = self._build()
+        base = index.size_bytes()
+        index.insert({"x": 1, "y": 2, "z": 3})
+        assert index.size_bytes() > base
+
+
+class TestWorkloadMonitor:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor(window=0)
+        with pytest.raises(ValueError):
+            WorkloadMonitor(threshold=1.0)
+
+    def test_no_signal_before_min_samples(self):
+        monitor = WorkloadMonitor(window=10, threshold=2.0, min_samples=5)
+        query = Query({"x": (0, 1)})
+        for _ in range(3):
+            monitor.record(query, 1.0)
+        assert not monitor.should_retrain()
+
+    def test_signals_on_sustained_slowdown(self):
+        monitor = WorkloadMonitor(window=10, threshold=2.0, min_samples=5)
+        query = Query({"x": (0, 1)})
+        for _ in range(10):
+            monitor.record(query, 1.0)  # baseline ~1.0
+        assert not monitor.should_retrain()
+        for _ in range(10):
+            monitor.record(query, 5.0)  # recent window all slow
+        assert monitor.should_retrain()
+
+    def test_no_signal_for_mild_variation(self):
+        monitor = WorkloadMonitor(window=10, threshold=2.0, min_samples=5)
+        query = Query({"x": (0, 1)})
+        for _ in range(10):
+            monitor.record(query, 1.0)
+        for _ in range(10):
+            monitor.record(query, 1.5)
+        assert not monitor.should_retrain()
+
+    def test_reset_clears_baseline(self):
+        monitor = WorkloadMonitor(window=5, threshold=2.0, min_samples=2)
+        query = Query({"x": (0, 1)})
+        for _ in range(5):
+            monitor.record(query, 1.0)
+        monitor.reset()
+        assert monitor.baseline_avg == 0.0
+        assert not monitor.should_retrain()
+
+    def test_recent_queries_returned(self):
+        monitor = WorkloadMonitor(window=3)
+        queries = [Query({"x": (i, i + 1)}) for i in range(5)]
+        for query in queries:
+            monitor.record(query, 0.001)
+        assert monitor.recent_queries() == queries[-3:]
+
+
+class TestKNN:
+    def _index(self, n=800, seed=3):
+        table = make_table(n=n, dims=DIMS, seed=seed)
+        return FloodIndex(GridLayout(DIMS, (4, 4))).build(table)
+
+    def _brute(self, index, point, k, dims=DIMS):
+        table = index.table
+        weights = {}
+        for d in dims:
+            lo, hi = table.min_max(d)
+            weights[d] = 1.0 / max(hi - lo + 1, 1)
+        matrix = table.column_matrix(list(dims)).astype(np.float64)
+        target = np.array([point[d] for d in dims])
+        wvec = np.array([weights[d] for d in dims])
+        dists = np.sqrt(np.square((matrix - target) * wvec).sum(axis=1))
+        order = np.argsort(dists, kind="stable")[:k]
+        return [(float(dists[i]), int(i)) for i in order]
+
+    def test_matches_brute_force_distances(self):
+        index = self._index()
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            point = {d: int(rng.integers(0, 1000)) for d in DIMS}
+            got = knn(index, point, k=5)
+            expected = self._brute(index, point, 5)
+            assert np.allclose(
+                [d for d, _ in got], [d for d, _ in expected], atol=1e-9
+            ), f"point {point}"
+
+    def test_k_one_is_nearest(self):
+        index = self._index()
+        row = {d: int(index.table.values(d)[42]) for d in DIMS}
+        (dist, found), = knn(index, row, k=1)
+        assert dist == pytest.approx(0.0)
+
+    def test_k_larger_than_table(self):
+        index = self._index(n=20)
+        got = knn(index, {d: 500 for d in DIMS}, k=50)
+        assert len(got) == 20
+
+    def test_searcher_reuse(self):
+        index = self._index()
+        searcher = KNNSearcher(index)
+        a = searcher.search({d: 10 for d in DIMS}, 3)
+        b = searcher.search({d: 990 for d in DIMS}, 3)
+        assert len(a) == len(b) == 3
+        assert a != b
+
+    def test_missing_dim_raises(self):
+        searcher = KNNSearcher(self._index())
+        with pytest.raises(QueryError):
+            searcher.search({"x": 1}, 2)
+
+    def test_invalid_k(self):
+        searcher = KNNSearcher(self._index())
+        with pytest.raises(QueryError):
+            searcher.search({d: 0 for d in DIMS}, 0)
+
+    def test_subset_dims(self):
+        index = self._index()
+        got = knn(index, {"x": 500, "y": 500}, k=4, dims=("x", "y"))
+        expected = self._brute(index, {"x": 500, "y": 500}, 4, dims=("x", "y"))
+        assert np.allclose([d for d, _ in got], [d for d, _ in expected])
+
+    def test_results_sorted_by_distance(self):
+        index = self._index()
+        got = knn(index, {d: 250 for d in DIMS}, k=8)
+        dists = [d for d, _ in got]
+        assert dists == sorted(dists)

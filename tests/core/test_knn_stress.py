@@ -1,0 +1,75 @@
+"""Stress tests for kNN: skewed data, flattened grids, larger k."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import FloodIndex
+from repro.core.knn import KNNSearcher
+from repro.core.layout import GridLayout
+from repro.storage.table import Table
+
+
+def _skewed_index(n=2000, seed=0, columns=(6, 6)):
+    rng = np.random.default_rng(seed)
+    table = Table({
+        "a": rng.lognormal(mean=6, sigma=1.5, size=n).astype(np.int64),
+        "b": rng.lognormal(mean=6, sigma=1.5, size=n).astype(np.int64),
+        "s": rng.integers(0, 10**6, size=n),
+    })
+    return FloodIndex(GridLayout(("a", "b", "s"), columns)).build(table)
+
+
+def _brute(index, point, k, dims):
+    table = index.table
+    weights = {}
+    for d in dims:
+        lo, hi = table.min_max(d)
+        weights[d] = 1.0 / max(hi - lo + 1, 1)
+    matrix = table.column_matrix(list(dims)).astype(np.float64)
+    target = np.array([point[d] for d in dims])
+    wvec = np.array([weights[d] for d in dims])
+    dists = np.sqrt(np.square((matrix - target) * wvec).sum(axis=1))
+    return np.sort(dists)[:k]
+
+
+class TestKNNStress:
+    @pytest.mark.parametrize("k", [1, 3, 10, 40])
+    def test_skewed_data_matches_brute(self, k):
+        index = _skewed_index()
+        searcher = KNNSearcher(index, dims=("a", "b", "s"))
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            point = {
+                "a": int(rng.integers(0, 5000)),
+                "b": int(rng.integers(0, 5000)),
+                "s": int(rng.integers(0, 10**6)),
+            }
+            got = [d for d, _ in searcher.search(point, k)]
+            expected = _brute(index, point, k, ("a", "b", "s"))
+            assert np.allclose(got, expected, atol=1e-9), f"k={k} {point}"
+
+    def test_query_point_far_outside_domain(self):
+        index = _skewed_index(seed=2)
+        searcher = KNNSearcher(index, dims=("a", "b"))
+        point = {"a": 10**9, "b": 10**9}
+        got = [d for d, _ in searcher.search(point, 5)]
+        expected = _brute(index, point, 5, ("a", "b"))
+        assert np.allclose(got, expected, atol=1e-9)
+
+    def test_duplicate_points(self):
+        table = Table({
+            "a": np.full(200, 7),
+            "b": np.full(200, 9),
+        })
+        index = FloodIndex(GridLayout(("a", "b"), (2,))).build(table)
+        searcher = KNNSearcher(index)
+        got = searcher.search({"a": 7, "b": 9}, 5)
+        assert len(got) == 5
+        assert all(d == pytest.approx(0.0) for d, _ in got)
+
+    def test_single_cell_grid(self):
+        index = _skewed_index(columns=(1, 1))
+        searcher = KNNSearcher(index, dims=("a", "b"))
+        got = [d for d, _ in searcher.search({"a": 500, "b": 500}, 3)]
+        expected = _brute(index, {"a": 500, "b": 500}, 3, ("a", "b"))
+        assert np.allclose(got, expected, atol=1e-9)

@@ -1,0 +1,60 @@
+"""Unit tests for the grid layout."""
+
+import pytest
+
+from repro.core.layout import GridLayout
+from repro.errors import BuildError
+
+
+class TestGridLayout:
+    def test_basic(self):
+        layout = GridLayout(("a", "b", "c"), (4, 5))
+        assert layout.sort_dim == "c"
+        assert layout.grid_dims == ("a", "b")
+        assert layout.num_cells == 20
+        assert layout.columns_for("a") == 4
+
+    def test_strides_mixed_radix(self):
+        layout = GridLayout(("a", "b", "c", "s"), (2, 3, 4))
+        assert layout.strides == (12, 4, 1)
+
+    def test_single_dim_layout(self):
+        layout = GridLayout(("s",), ())
+        assert layout.num_cells == 1
+        assert layout.grid_dims == ()
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(BuildError):
+            GridLayout(("a", "a"), (2,))
+
+    def test_rejects_wrong_column_arity(self):
+        with pytest.raises(BuildError):
+            GridLayout(("a", "b"), (2, 3))
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(BuildError):
+            GridLayout(("a", "b"), (0,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(BuildError):
+            GridLayout((), ())
+
+    def test_with_columns(self):
+        layout = GridLayout(("a", "b"), (2,)).with_columns((9,))
+        assert layout.columns == (9,)
+
+    def test_scaled(self):
+        layout = GridLayout(("a", "b", "c"), (10, 20))
+        doubled = layout.scaled(2.0)
+        assert doubled.columns == (20, 40)
+        halved = layout.scaled(0.01)
+        assert halved.columns == (1, 1)
+
+    def test_describe(self):
+        text = GridLayout(("a", "b"), (7,)).describe()
+        assert "a:7" in text and "sort[b]" in text
+
+    def test_immutable(self):
+        layout = GridLayout(("a", "b"), (2,))
+        with pytest.raises(AttributeError):
+            layout.order = ("x",)

@@ -1,0 +1,124 @@
+"""Tests for dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, load
+from repro.datasets.osm import generate_osm
+from repro.datasets.perfmon import generate_perfmon
+from repro.datasets.sales import generate_sales
+from repro.datasets.synthetic import (
+    correlated_column,
+    generate_uniform,
+    lognormal_ints,
+    mixture_coords,
+    zipf_ints,
+)
+from repro.datasets.tpch import generate_lineitem
+from repro.errors import SchemaError
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_load_all(self, name):
+        bundle = load(name, n=2000, num_queries=20, seed=0)
+        assert bundle.num_rows == 2000
+        assert len(bundle.train) + len(bundle.test) == 20
+        assert len(bundle.dims) >= 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SchemaError):
+            load("mystery")
+
+    def test_deterministic(self):
+        a = load("tpch", n=1000, num_queries=10, seed=5)
+        b = load("tpch", n=1000, num_queries=10, seed=5)
+        for dim in a.dims:
+            assert np.array_equal(a.table.values(dim), b.table.values(dim))
+        assert a.train == b.train
+
+    def test_workload_queries_use_table_dims(self):
+        bundle = load("osm", n=2000, num_queries=20, seed=1)
+        for query in bundle.train + bundle.test:
+            for dim in query.dims:
+                assert dim in bundle.table
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_workload_selectivity_reasonable(self, name):
+        # Average selectivity should be near the paper's ~0.1%; with small
+        # n and equality templates there is slack, but queries must neither
+        # select everything nor (on average) nothing.
+        bundle = load(name, n=5000, num_queries=40, seed=2)
+        sels = [q.selectivity(bundle.table) for q in bundle.test]
+        assert 0 < np.mean(sels) < 0.2
+
+
+class TestCharacteristics:
+    def test_tpch_receipt_after_ship(self):
+        table = generate_lineitem(n=3000, seed=3)
+        lag = table.values("receipt_date") - table.values("ship_date")
+        assert lag.min() >= 1 and lag.max() <= 30
+
+    def test_tpch_domains(self):
+        table = generate_lineitem(n=3000, seed=4)
+        assert 1 <= table.values("quantity").min()
+        assert table.values("quantity").max() <= 50
+        assert table.values("discount").max() <= 10
+
+    def test_osm_geography_clustered(self):
+        table = generate_osm(n=8000, seed=5)
+        lat = table.values("lat") / 10_000
+        # A clustered geography concentrates mass: the densest 1-degree
+        # band should hold far more than the uniform share.
+        hist, _ = np.histogram(lat, bins=20)
+        assert hist.max() > 3 * hist.mean()
+
+    def test_osm_timestamps_recency_skewed(self):
+        table = generate_osm(n=8000, seed=6)
+        ts = table.values("timestamp")
+        assert np.median(ts) > ts.mean() * 0.9  # mass near the present
+
+    def test_perfmon_swap_mostly_zero(self):
+        table = generate_perfmon(n=8000, seed=7)
+        swap = table.values("swap")
+        assert (swap == 0).mean() > 0.8
+        assert swap.max() > 1000  # but with a heavy tail
+
+    def test_perfmon_cpu_in_basis_points(self):
+        table = generate_perfmon(n=3000, seed=8)
+        cpu = table.values("cpu")
+        assert cpu.min() >= 0 and cpu.max() <= 10_000
+
+    def test_sales_price_positive(self):
+        table = generate_sales(n=3000, seed=9)
+        assert table.values("price").min() >= 100  # >= $1.00 in cents
+
+    def test_uniform_is_uniform(self):
+        table = generate_uniform(n=20_000, d=3, seed=10)
+        for dim in table.dims:
+            hist, _ = np.histogram(table.values(dim), bins=10)
+            assert hist.max() < 1.3 * hist.mean()
+
+
+class TestSyntheticHelpers:
+    def test_lognormal_positive(self):
+        values = lognormal_ints(np.random.default_rng(0), 1000)
+        assert values.min() >= 0
+
+    def test_zipf_capped(self):
+        values = zipf_ints(np.random.default_rng(1), 1000, cap=100)
+        assert values.max() <= 100
+
+    def test_mixture_weights_normalized(self):
+        values = mixture_coords(
+            np.random.default_rng(2), 5000, [0.0, 100.0], [1.0, 1.0], [3, 1]
+        )
+        near_zero = (np.abs(values) < 10).mean()
+        assert 0.6 < near_zero < 0.9
+
+    def test_correlated_column_lag(self):
+        rng = np.random.default_rng(3)
+        base = rng.integers(0, 100, size=500)
+        derived = correlated_column(rng, base, 5, 9)
+        lag = derived - base
+        assert lag.min() >= 5 and lag.max() <= 9

@@ -1,0 +1,77 @@
+"""Unit and property tests for the static B-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.btree import StaticBTree
+
+
+class TestStaticBTree:
+    def test_lookup_exact_keys(self):
+        keys = np.array([0, 10, 20, 30, 40])
+        tree = StaticBTree(keys, branching=2)
+        for i, k in enumerate(keys):
+            assert tree.lookup(k) == i
+
+    def test_lookup_between_keys(self):
+        tree = StaticBTree(np.array([0, 10, 20]), branching=2)
+        assert tree.lookup(5) == 0
+        assert tree.lookup(15) == 1
+        assert tree.lookup(100) == 2
+
+    def test_lookup_below_all(self):
+        tree = StaticBTree(np.array([10, 20]), branching=4)
+        assert tree.lookup(5) == -1
+
+    def test_empty_tree(self):
+        tree = StaticBTree(np.array([], dtype=np.int64))
+        assert tree.lookup(1) == -1
+        assert len(tree) == 0
+
+    def test_single_key(self):
+        tree = StaticBTree(np.array([7]))
+        assert tree.lookup(7) == 0
+        assert tree.lookup(6) == -1
+        assert tree.lookup(8) == 0
+
+    def test_height_grows_logarithmically(self):
+        tree = StaticBTree(np.arange(16**3), branching=16)
+        assert tree.height == 3
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            StaticBTree(np.array([3, 1, 2]))
+
+    def test_rejects_small_branching(self):
+        with pytest.raises(ValueError):
+            StaticBTree(np.arange(4), branching=1)
+
+    def test_duplicate_keys_return_last(self):
+        tree = StaticBTree(np.array([1, 1, 1, 2]), branching=2)
+        assert tree.lookup(1) == 2
+
+    def test_size_bytes_positive(self):
+        tree = StaticBTree(np.arange(1000), branching=16)
+        assert tree.size_bytes() >= 1000 * 8
+
+    @given(
+        st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=300),
+        st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=50),
+        st.integers(2, 32),
+    )
+    def test_matches_searchsorted(self, keys, probes, branching):
+        keys = np.sort(np.array(keys, dtype=np.int64))
+        tree = StaticBTree(keys, branching=branching)
+        for probe in probes:
+            expected = int(np.searchsorted(keys, probe, side="right")) - 1
+            assert tree.lookup(probe) == expected
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=100))
+    def test_batch_matches_scalar(self, keys):
+        keys = np.sort(np.array(keys, dtype=np.int64))
+        tree = StaticBTree(keys, branching=4)
+        probes = np.arange(-110, 111, 17)
+        batch = tree.lookup_batch(probes)
+        for probe, got in zip(probes, batch):
+            assert got == tree.lookup(probe)

@@ -1,0 +1,68 @@
+"""Unit tests for empirical CDF helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.cdf import EmpiricalCDF, quantile_boundaries
+
+
+class TestEmpiricalCDF:
+    def test_uniform_values(self):
+        cdf = EmpiricalCDF(np.arange(100))
+        assert cdf.evaluate(49) == pytest.approx(0.5)
+        assert cdf.evaluate(99) == 1.0
+        assert cdf.evaluate(-1) == 0.0
+
+    def test_rank_counts_leq(self):
+        cdf = EmpiricalCDF(np.array([1, 1, 2, 3]))
+        assert cdf.rank(1) == 2
+        assert cdf.rank(2) == 3
+        assert cdf.rank(0) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.array([]))
+
+    def test_vectorized(self):
+        cdf = EmpiricalCDF(np.arange(10))
+        out = cdf.evaluate(np.array([0, 4, 9]))
+        assert np.allclose(out, [0.1, 0.5, 1.0])
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    def test_cdf_monotone_and_bounded(self, data):
+        cdf = EmpiricalCDF(np.array(data))
+        grid = np.linspace(min(data) - 1, max(data) + 1, 64)
+        vals = cdf.evaluate(grid)
+        assert np.all(np.diff(vals) >= 0)
+        assert vals.min() >= 0.0 and vals.max() <= 1.0
+
+
+class TestQuantileBoundaries:
+    def test_uniform_split(self):
+        bounds = quantile_boundaries(np.arange(100), 4)
+        assert list(bounds) == [25, 50, 75]
+
+    def test_single_part_no_boundaries(self):
+        assert quantile_boundaries(np.arange(10), 1).size == 0
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            quantile_boundaries(np.arange(10), 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile_boundaries(np.array([]), 2)
+
+    @given(
+        st.lists(st.integers(0, 10**6), min_size=10, max_size=500),
+        st.integers(2, 10),
+    )
+    def test_parts_roughly_balanced_without_duplicates(self, data, k):
+        values = np.unique(np.array(data))
+        if values.size < 2 * k:
+            return
+        bounds = quantile_boundaries(values, k)
+        parts = np.searchsorted(bounds, values, side="right")
+        counts = np.bincount(parts, minlength=k)
+        assert counts.max() - counts.min() <= values.size // k + 1

@@ -1,0 +1,61 @@
+"""Unit tests for the random forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.forest import RandomForestRegressor
+
+
+def _friedman_like(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 4))
+    y = 10 * x[:, 0] + 5 * np.square(x[:, 1]) + 2 * (x[:, 2] > 0.5)
+    return x, y
+
+
+class TestRandomForest:
+    def test_fits_nonlinear_target(self):
+        x, y = _friedman_like()
+        forest = RandomForestRegressor(n_estimators=15, max_depth=8, seed=1).fit(x, y)
+        preds = forest.predict(x)
+        assert np.abs(preds - y).mean() < 1.0
+
+    def test_generalizes(self):
+        x, y = _friedman_like(n=800, seed=2)
+        x_test, y_test = _friedman_like(n=200, seed=3)
+        forest = RandomForestRegressor(n_estimators=20, max_depth=8, seed=4).fit(x, y)
+        assert forest.score_mae(x_test, y_test) < 1.5
+
+    def test_deterministic_given_seed(self):
+        x, y = _friedman_like(n=200)
+        a = RandomForestRegressor(n_estimators=5, seed=7).fit(x, y).predict(x)
+        b = RandomForestRegressor(n_estimators=5, seed=7).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        x, y = _friedman_like(n=200)
+        a = RandomForestRegressor(n_estimators=3, seed=1).fit(x, y).predict(x)
+        b = RandomForestRegressor(n_estimators=3, seed=2).fit(x, y).predict(x)
+        assert not np.array_equal(a, b)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 4)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_beats_single_shallow_tree_oob(self):
+        x, y = _friedman_like(n=600, seed=5)
+        x_test, y_test = _friedman_like(n=300, seed=6)
+        forest = RandomForestRegressor(n_estimators=25, max_depth=10, seed=8).fit(x, y)
+        single = RandomForestRegressor(n_estimators=1, max_depth=3, seed=8).fit(x, y)
+        assert forest.score_mae(x_test, y_test) < single.score_mae(x_test, y_test)
+
+    def test_predict_single_row(self):
+        x, y = _friedman_like(n=100)
+        forest = RandomForestRegressor(n_estimators=3, seed=0).fit(x, y)
+        out = forest.predict(x[0])
+        assert out.shape == (1,)

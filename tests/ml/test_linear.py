@@ -1,0 +1,95 @@
+"""Unit tests for linear models and monotone splines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.linear import LinearModel, MonotoneLinearSpline
+
+
+class TestLinearModel:
+    def test_exact_line_recovered(self):
+        x = np.arange(100, dtype=float)
+        y = 3.0 * x + 7.0
+        model = LinearModel().fit(x, y)
+        assert model.slope == pytest.approx(3.0)
+        assert model.intercept == pytest.approx(7.0)
+
+    def test_predict_matches_fit(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        y = -2.0 * x + 1.0 + rng.normal(scale=0.01, size=500)
+        model = LinearModel().fit(x, y)
+        assert np.allclose(model.predict(x), y, atol=0.1)
+
+    def test_constant_x_degrades_to_mean(self):
+        model = LinearModel().fit(np.full(10, 5.0), np.arange(10.0))
+        assert model.slope == 0.0
+        assert model.intercept == pytest.approx(4.5)
+
+    def test_single_point(self):
+        model = LinearModel().fit(np.array([2.0]), np.array([9.0]))
+        assert model.predict(2.0) == pytest.approx(9.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LinearModel().fit(np.array([]), np.array([]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearModel().predict(1.0)
+
+    def test_from_endpoints(self):
+        model = LinearModel.from_endpoints(0.0, 0.0, 10.0, 20.0)
+        assert model.predict(5.0) == pytest.approx(10.0)
+
+    def test_from_endpoints_vertical(self):
+        model = LinearModel.from_endpoints(3.0, 1.0, 3.0, 5.0)
+        assert model.slope == 0.0
+        assert model.predict(3.0) == pytest.approx(3.0)
+
+    def test_predict_array(self):
+        model = LinearModel.from_endpoints(0.0, 0.0, 1.0, 2.0)
+        out = model.predict(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 1.0, 2.0])
+
+
+class TestMonotoneLinearSpline:
+    def test_interpolates_knots(self):
+        spline = MonotoneLinearSpline(np.array([0.0, 1.0, 2.0]), np.array([0.0, 10.0, 10.0]))
+        assert spline.predict(0.5) == pytest.approx(5.0)
+        assert spline.predict(1.5) == pytest.approx(10.0)
+
+    def test_clamps_outside_domain(self):
+        spline = MonotoneLinearSpline(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert spline.predict(-5.0) == 0.0
+        assert spline.predict(5.0) == 1.0
+
+    def test_rejects_decreasing_y(self):
+        with pytest.raises(ValueError):
+            MonotoneLinearSpline(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+
+    def test_rejects_non_increasing_x(self):
+        with pytest.raises(ValueError):
+            MonotoneLinearSpline(np.array([0.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_fit_quantiles_is_monotone(self):
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(size=5000)
+        spline = MonotoneLinearSpline.fit_quantiles(values, 32)
+        grid = np.linspace(values.min(), values.max(), 1000)
+        preds = spline.predict(grid)
+        assert np.all(np.diff(preds) >= 0)
+
+    def test_fit_quantiles_approximates_rank(self):
+        values = np.arange(10000, dtype=float)
+        spline = MonotoneLinearSpline.fit_quantiles(values, 16)
+        assert spline.predict(5000.0) == pytest.approx(5000.0, abs=5)
+
+    def test_fit_quantiles_all_equal(self):
+        spline = MonotoneLinearSpline.fit_quantiles(np.full(100, 7.0), 8)
+        assert np.isfinite(spline.predict(7.0))
+
+    def test_fit_quantiles_empty_raises(self):
+        with pytest.raises(ValueError):
+            MonotoneLinearSpline.fit_quantiles(np.array([]), 8)

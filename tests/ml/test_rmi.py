@@ -1,0 +1,91 @@
+"""Unit and property tests for the Recursive Model Index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BuildError
+from repro.ml.rmi import RecursiveModelIndex
+
+sorted_arrays = st.lists(
+    st.integers(-10**6, 10**6), min_size=1, max_size=400
+).map(lambda xs: np.sort(np.array(xs, dtype=np.int64)))
+
+
+class TestRMIConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(BuildError):
+            RecursiveModelIndex(np.array([], dtype=np.int64))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            RecursiveModelIndex(np.array([3, 1]))
+
+    def test_rejects_bad_leaf_kind(self):
+        with pytest.raises(ValueError):
+            RecursiveModelIndex(np.arange(10), leaf="cubic")
+
+    def test_leaf_count_clamped_to_n(self):
+        rmi = RecursiveModelIndex(np.arange(5), num_leaves=100)
+        assert rmi.num_leaves <= 5
+
+    def test_size_bytes_positive(self):
+        rmi = RecursiveModelIndex(np.arange(1000))
+        assert rmi.size_bytes() > 0
+
+
+class TestRMIPrediction:
+    def test_uniform_data_accurate(self):
+        values = np.arange(0, 100000, 10, dtype=np.int64)
+        rmi = RecursiveModelIndex(values, num_leaves=64)
+        probes = values[:: 97]
+        preds = rmi.predict(probes.astype(float))
+        truth = np.searchsorted(values, probes)
+        assert np.abs(preds - truth).max() < 50
+
+    def test_cdf_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        values = np.sort(rng.lognormal(mean=5, sigma=2, size=5000).astype(np.int64))
+        rmi = RecursiveModelIndex(values, leaf="monotone")
+        grid = np.linspace(values.min() - 10, values.max() + 10, 500)
+        cdf = rmi.cdf(grid)
+        assert cdf.min() >= 0.0 and cdf.max() <= 1.0
+
+    @settings(max_examples=40)
+    @given(sorted_arrays)
+    def test_monotone_leaf_is_monotone(self, values):
+        rmi = RecursiveModelIndex(values, num_leaves=16, leaf="monotone")
+        grid = np.linspace(float(values.min()) - 5, float(values.max()) + 5, 200)
+        preds = rmi.predict(grid)
+        assert np.all(np.diff(preds) >= -1e-9)
+
+    def test_scalar_predict_returns_float(self):
+        rmi = RecursiveModelIndex(np.arange(100))
+        assert isinstance(rmi.predict(50.0), float)
+
+
+class TestRMISearch:
+    @settings(max_examples=60)
+    @given(
+        sorted_arrays,
+        st.lists(st.integers(-10**6 - 5, 10**6 + 5), min_size=1, max_size=30),
+    )
+    def test_search_matches_searchsorted(self, values, probes):
+        rmi = RecursiveModelIndex(values, num_leaves=8)
+        for probe in probes:
+            assert rmi.search_left(probe) == np.searchsorted(values, probe, side="left")
+            assert rmi.search_right(probe) == np.searchsorted(values, probe, side="right")
+
+    def test_search_on_skewed_data(self):
+        rng = np.random.default_rng(2)
+        values = np.sort(rng.zipf(1.5, size=20000).astype(np.int64))
+        rmi = RecursiveModelIndex(values, num_leaves=128)
+        for probe in [1, 2, 10, 1000, int(values.max())]:
+            assert rmi.search_left(probe) == np.searchsorted(values, probe, side="left")
+            assert rmi.search_right(probe) == np.searchsorted(values, probe, side="right")
+
+    def test_search_duplicates(self):
+        values = np.repeat(np.array([5, 6, 7], dtype=np.int64), 500)
+        rmi = RecursiveModelIndex(values, num_leaves=4)
+        assert rmi.search_left(6) == 500
+        assert rmi.search_right(6) == 1000

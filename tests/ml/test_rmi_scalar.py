@@ -1,0 +1,47 @@
+"""Consistency tests: the RMI scalar fast path must match the batch path.
+
+Query projection uses ``cdf_scalar`` while build-time bucketing uses the
+vectorized ``cdf``; any disagreement between them breaks the soundness of
+Flood's column-range projection, so this equivalence is load-bearing.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.rmi import RecursiveModelIndex
+
+sorted_arrays = st.lists(
+    st.integers(-10**6, 10**6), min_size=1, max_size=300
+).map(lambda xs: np.sort(np.array(xs, dtype=np.int64)))
+
+
+class TestScalarBatchConsistency:
+    @settings(max_examples=40, deadline=None)
+    @given(sorted_arrays, st.lists(st.integers(-10**6 - 9, 10**6 + 9), min_size=1, max_size=20))
+    def test_monotone_leaf_scalar_matches_batch(self, values, probes):
+        rmi = RecursiveModelIndex(values, num_leaves=16, leaf="monotone")
+        batch = rmi.predict(np.array(probes, dtype=np.float64))
+        for probe, expected in zip(probes, np.atleast_1d(batch)):
+            assert rmi.predict_scalar(probe) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(sorted_arrays, st.lists(st.integers(-10**6 - 9, 10**6 + 9), min_size=1, max_size=20))
+    def test_regression_leaf_scalar_matches_batch(self, values, probes):
+        rmi = RecursiveModelIndex(values, num_leaves=8, leaf="regression")
+        batch = np.atleast_1d(rmi.predict(np.array(probes, dtype=np.float64)))
+        for probe, expected in zip(probes, batch):
+            assert abs(rmi.predict_scalar(probe) - expected) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(sorted_arrays)
+    def test_scalar_cdf_monotone(self, values):
+        rmi = RecursiveModelIndex(values, num_leaves=16, leaf="monotone")
+        grid = np.linspace(float(values.min()) - 5, float(values.max()) + 5, 100)
+        scalar_cdf = [rmi.cdf_scalar(v) for v in grid]
+        assert all(b >= a - 1e-12 for a, b in zip(scalar_cdf, scalar_cdf[1:]))
+        assert min(scalar_cdf) >= 0.0 and max(scalar_cdf) <= 1.0
+
+    def test_scalar_handles_extremes(self):
+        rmi = RecursiveModelIndex(np.arange(1000), leaf="monotone")
+        assert rmi.cdf_scalar(-(2**62)) == 0.0
+        assert rmi.cdf_scalar(2**62) == 1.0

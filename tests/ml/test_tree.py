@@ -1,0 +1,76 @@
+"""Unit tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _step_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 2))
+    y = np.where(x[:, 0] > 0.5, 10.0, 0.0) + np.where(x[:, 1] > 0.5, 1.0, 0.0)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_learns_step_function(self):
+        x, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        preds = tree.predict(x)
+        assert np.abs(preds - y).mean() < 0.5
+
+    def test_constant_target_single_node(self):
+        x = np.random.default_rng(0).uniform(size=(50, 3))
+        tree = DecisionTreeRegressor().fit(x, np.full(50, 3.0))
+        assert tree.node_count == 1
+        assert np.allclose(tree.predict(x), 3.0)
+
+    def test_depth_zero_predicts_mean(self):
+        x, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=0).fit(x, y)
+        assert np.allclose(tree.predict(x), y.mean())
+
+    def test_min_samples_leaf_respected(self):
+        x, y = _step_data(n=20)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=10).fit(x, y)
+        # With 20 samples and 10 per leaf, at most one split can happen.
+        assert tree.node_count <= 3
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.arange(10.0), np.arange(10.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_single_row_predicts_it(self):
+        tree = DecisionTreeRegressor().fit(np.array([[1.0, 2.0]]), np.array([7.0]))
+        assert tree.predict(np.array([[1.0, 2.0]]))[0] == pytest.approx(7.0)
+
+    def test_deeper_tree_fits_better(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, size=(600, 1))
+        y = np.sin(8 * x[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(x, y)
+        err_shallow = np.abs(shallow.predict(x) - y).mean()
+        err_deep = np.abs(deep.predict(x) - y).mean()
+        assert err_deep < err_shallow
+
+    def test_feature_subsampling_still_fits(self):
+        x, y = _step_data()
+        tree = DecisionTreeRegressor(
+            max_depth=6, max_features=1, rng=np.random.default_rng(1)
+        ).fit(x, y)
+        assert np.abs(tree.predict(x) - y).mean() < 2.0

@@ -1,0 +1,91 @@
+"""Unit tests for the query predicate model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query.predicate import UNBOUNDED_HIGH, UNBOUNDED_LOW, Query
+from repro.storage.table import Table
+
+
+def _table():
+    return Table({"a": np.arange(100), "b": np.arange(100) % 10})
+
+
+class TestQueryConstruction:
+    def test_basic(self):
+        q = Query({"a": (1, 5), "b": (0, 0)})
+        assert q.dims == ["a", "b"]
+        assert len(q) == 2
+        assert q.bounds("a") == (1, 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            Query({})
+
+    def test_rejects_inverted(self):
+        with pytest.raises(QueryError):
+            Query({"a": (5, 1)})
+
+    def test_rejects_malformed(self):
+        with pytest.raises(QueryError):
+            Query({"a": 5})
+
+    def test_equals(self):
+        q = Query.equals("a", 7)
+        assert q.bounds("a") == (7, 7)
+
+    def test_equals_with_extra_ranges(self):
+        q = Query.equals("a", 7, b=(1, 3))
+        assert q.bounds("b") == (1, 3)
+
+    def test_with_range(self):
+        q = Query({"a": (0, 1)}).with_range("b", 2, 3)
+        assert q.bounds("b") == (2, 3)
+
+    def test_without(self):
+        q = Query({"a": (0, 1), "b": (2, 3)}).without("a")
+        assert not q.filters("a")
+
+    def test_without_last_raises(self):
+        with pytest.raises(QueryError):
+            Query({"a": (0, 1)}).without("a")
+
+    def test_unfiltered_dim_unbounded(self):
+        q = Query({"a": (0, 1)})
+        assert q.bounds("zzz") == (UNBOUNDED_LOW, UNBOUNDED_HIGH)
+
+    def test_hash_and_eq(self):
+        assert Query({"a": (0, 1)}) == Query({"a": (0, 1)})
+        assert hash(Query({"a": (0, 1)})) == hash(Query({"a": (0, 1)}))
+        assert Query({"a": (0, 1)}) != Query({"a": (0, 2)})
+
+    def test_repr_mentions_ranges(self):
+        assert "a" in repr(Query({"a": (0, 1)}))
+
+
+class TestQueryEvaluation:
+    def test_match_mask(self):
+        q = Query({"a": (10, 19)})
+        mask = q.match_mask(_table())
+        assert mask.sum() == 10
+
+    def test_selectivity(self):
+        assert Query({"a": (0, 24)}).selectivity(_table()) == pytest.approx(0.25)
+
+    def test_dim_selectivity(self):
+        q = Query({"a": (0, 49), "b": (0, 1)})
+        table = _table()
+        assert q.dim_selectivity(table, "a") == pytest.approx(0.5)
+        assert q.dim_selectivity(table, "b") == pytest.approx(0.2)
+        assert q.dim_selectivity(table, "zzz") == 1.0
+
+    def test_unknown_dims_ignored_in_mask(self):
+        q = Query({"zzz": (0, 1), "a": (0, 9)})
+        assert q.match_mask(_table()).sum() == 10
+
+    def test_conjunction(self):
+        q = Query({"a": (0, 49), "b": (0, 0)})
+        table = _table()
+        expected = ((table.values("a") <= 49) & (table.values("b") == 0)).sum()
+        assert q.match_mask(table).sum() == expected

@@ -1,0 +1,54 @@
+"""Unit tests for query/workload statistics."""
+
+import pytest
+
+from repro.query.stats import QueryStats, WorkloadResult
+
+
+class TestQueryStats:
+    def test_scan_overhead(self):
+        stats = QueryStats(points_scanned=100, points_matched=20)
+        assert stats.scan_overhead == 5.0
+
+    def test_scan_overhead_no_matches(self):
+        assert QueryStats(points_scanned=10).scan_overhead == float("inf")
+        assert QueryStats().scan_overhead == 1.0
+
+    def test_time_per_scan(self):
+        stats = QueryStats(points_scanned=1000, scan_time=0.01)
+        assert stats.time_per_scan == pytest.approx(1e-5)
+        assert QueryStats().time_per_scan == 0.0
+
+
+class TestWorkloadResult:
+    def _result(self):
+        result = WorkloadResult("test-index")
+        result.add(QueryStats(points_scanned=100, points_matched=50,
+                              index_time=0.001, scan_time=0.004, total_time=0.005))
+        result.add(QueryStats(points_scanned=300, points_matched=50,
+                              index_time=0.002, refine_time=0.001,
+                              scan_time=0.006, total_time=0.009))
+        return result
+
+    def test_averages(self):
+        result = self._result()
+        assert result.num_queries == 2
+        assert result.avg_total_time == pytest.approx(0.007)
+        assert result.avg_scan_time == pytest.approx(0.005)
+        assert result.avg_index_time == pytest.approx(0.002)
+
+    def test_workload_scan_overhead_is_global_ratio(self):
+        assert self._result().scan_overhead == pytest.approx(400 / 100)
+
+    def test_time_per_scan_weighted(self):
+        assert self._result().time_per_scan == pytest.approx(0.01 / 400)
+
+    def test_summary_row_fields(self):
+        row = self._result().summary_row()
+        assert set(row) == {"index", "SO", "TPS_ns", "ST_ms", "IT_ms", "TT_ms"}
+        assert row["index"] == "test-index"
+
+    def test_empty_workload(self):
+        result = WorkloadResult("empty")
+        assert result.avg_total_time == 0.0
+        assert result.scan_overhead == 1.0

@@ -1,0 +1,56 @@
+"""Unit tests for order-preserving dictionary encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.storage.dictionary import DictionaryEncoder
+
+
+class TestDictionaryEncoder:
+    def setup_method(self):
+        self.terms = np.array(["cherry", "apple", "banana", "apple", "date"])
+        self.enc = DictionaryEncoder(self.terms)
+
+    def test_codes_align_with_input(self):
+        decoded = self.enc.decode_array(self.enc.codes)
+        assert list(decoded) == list(self.terms)
+
+    def test_codes_are_order_preserving(self):
+        order = np.argsort(self.terms, kind="stable")
+        code_order = np.argsort(self.enc.codes, kind="stable")
+        assert np.array_equal(order, code_order)
+
+    def test_cardinality(self):
+        assert self.enc.cardinality == 4
+
+    def test_encode_known_term(self):
+        assert self.enc.decode(self.enc.encode("banana")) == "banana"
+
+    def test_encode_unknown_raises(self):
+        with pytest.raises(QueryError):
+            self.enc.encode("kiwi")
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(QueryError):
+            self.enc.decode(99)
+
+    def test_range_equivalence(self):
+        lo, hi = self.enc.encode_range("apple", "cherry")
+        in_range = (self.enc.codes >= lo) & (self.enc.codes <= hi)
+        expected = (self.terms >= "apple") & (self.terms <= "cherry")
+        assert np.array_equal(in_range, expected)
+
+    def test_range_with_absent_endpoints(self):
+        lo, hi = self.enc.encode_range("apricot", "coconut")
+        in_range = (self.enc.codes >= lo) & (self.enc.codes <= hi)
+        expected = (self.terms >= "apricot") & (self.terms <= "coconut")
+        assert np.array_equal(in_range, expected)
+
+    def test_empty_range(self):
+        lo, hi = self.enc.encode_range("x", "z")
+        assert lo > hi
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            DictionaryEncoder(np.array([]))

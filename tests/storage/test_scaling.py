@@ -1,0 +1,65 @@
+"""Unit tests for decimal scaling."""
+
+import numpy as np
+import pytest
+
+from repro.storage.scaling import DecimalScaler
+
+
+class TestDecimalScaler:
+    def test_infers_two_decimals_for_prices(self):
+        prices = np.array([19.99, 5.25, 100.00])
+        scaler = DecimalScaler(prices)
+        assert scaler.decimals == 2
+        assert np.array_equal(scaler.to_int(prices), [1999, 525, 10000])
+
+    def test_integers_need_no_scaling(self):
+        scaler = DecimalScaler(np.array([1.0, 2.0, 3.0]))
+        assert scaler.decimals == 0
+
+    def test_roundtrip(self):
+        values = np.array([0.07, 1.23, -9.99])
+        scaler = DecimalScaler(values)
+        assert np.allclose(scaler.to_float(scaler.to_int(values)), values)
+
+    def test_explicit_decimals(self):
+        scaler = DecimalScaler(np.array([1.5]), decimals=4)
+        assert scaler.factor == 10000
+
+    def test_invalid_decimals(self):
+        with pytest.raises(ValueError):
+            DecimalScaler(np.array([1.0]), decimals=-1)
+
+    def test_nonfinite_raises(self):
+        with pytest.raises(ValueError):
+            DecimalScaler(np.array([np.inf]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DecimalScaler(np.array([]))
+
+    def test_scale_bound_low_rounds_up(self):
+        scaler = DecimalScaler(np.array([0.01]), decimals=2)
+        # Low bound 0.015 -> smallest scaled int covering it is 2 (=0.02).
+        assert scaler.scale_bound(0.015, "low") == 2
+        assert scaler.scale_bound(0.02, "low") == 2
+
+    def test_scale_bound_high_rounds_down(self):
+        scaler = DecimalScaler(np.array([0.01]), decimals=2)
+        assert scaler.scale_bound(0.015, "high") == 1
+        assert scaler.scale_bound(0.02, "high") == 2
+
+    def test_scale_bound_bad_side(self):
+        scaler = DecimalScaler(np.array([1.0]))
+        with pytest.raises(ValueError):
+            scaler.scale_bound(1.0, "middle")
+
+    def test_bound_preserves_range_semantics(self):
+        values = np.array([0.05, 0.06, 0.07, 0.08])
+        scaler = DecimalScaler(values)
+        ints = scaler.to_int(values)
+        lo = scaler.scale_bound(0.055, "low")
+        hi = scaler.scale_bound(0.075, "high")
+        selected = (ints >= lo) & (ints <= hi)
+        expected = (values >= 0.055) & (values <= 0.075)
+        assert np.array_equal(selected, expected)

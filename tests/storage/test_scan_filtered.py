@@ -1,0 +1,56 @@
+"""Tests for the lean pre-resolved scan kernel used by Flood's hot path."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.scan import scan_filtered, scan_range
+from repro.storage.table import Table
+from repro.storage.visitor import CollectVisitor, CountVisitor
+
+
+def _table(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table({
+        "x": rng.integers(0, 100, size=n),
+        "y": rng.integers(0, 100, size=n),
+    })
+
+
+class TestScanFiltered:
+    def test_matches_scan_range(self):
+        table = _table()
+        bounds = [("x", 10, 40), ("y", 20, 90)]
+        a = CollectVisitor()
+        scanned_a, matched_a = scan_filtered(table, bounds, 50, 400, a)
+        b = CollectVisitor()
+        scanned_b, matched_b = scan_range(
+            table, {"x": (10, 40), "y": (20, 90)}, 50, 400, b
+        )
+        assert (scanned_a, matched_a) == (scanned_b, matched_b)
+        assert np.array_equal(np.sort(a.result), np.sort(b.result))
+
+    def test_counts_scanned_points(self):
+        table = _table()
+        scanned, _ = scan_filtered(table, [("x", 0, 99)], 100, 300, CountVisitor())
+        assert scanned == 200
+
+    def test_zero_match_does_not_visit(self):
+        table = _table()
+        visitor = CountVisitor()
+        _, matched = scan_filtered(table, [("x", 500, 600)], 0, 500, visitor)
+        assert matched == 0
+        assert visitor.result == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 99), st.integers(0, 99),
+        st.integers(0, 500), st.integers(0, 500),
+    )
+    def test_property_matches_brute(self, a, b, s0, s1):
+        table = _table(seed=3)
+        low, high = min(a, b), max(a, b)
+        start, stop = min(s0, s1), max(s0, s1)
+        visitor = CountVisitor()
+        scan_filtered(table, [("x", low, high)], start, stop, visitor)
+        values = table.values("x", start, stop)
+        assert visitor.result == int(((values >= low) & (values <= high)).sum())

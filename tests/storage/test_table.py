@@ -1,0 +1,111 @@
+"""Unit tests for the column-store table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.table import Table
+
+
+def _table(n=500, compress=True, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "a": rng.integers(0, 1000, size=n),
+            "b": rng.integers(-50, 50, size=n),
+            "c": np.arange(n),
+        },
+        compress=compress,
+    )
+
+
+class TestTable:
+    def test_dims_and_len(self):
+        table = _table()
+        assert table.dims == ["a", "b", "c"]
+        assert len(table) == 500
+        assert "a" in table and "z" not in table
+
+    def test_values_full_and_slice(self):
+        table = _table()
+        assert np.array_equal(table.values("c"), np.arange(500))
+        assert np.array_equal(table.values("c", 10, 20), np.arange(10, 20))
+
+    def test_take(self):
+        table = _table()
+        idx = np.array([3, 400, 77])
+        assert np.array_equal(table.take("c", idx), idx)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            _table().values("nope")
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(SchemaError):
+            Table({"a": np.arange(5), "b": np.arange(6)})
+
+    def test_empty_schema_raises(self):
+        with pytest.raises(SchemaError):
+            Table({})
+
+    def test_column_matrix(self):
+        table = _table(n=10)
+        mat = table.column_matrix(["c", "a"])
+        assert mat.shape == (10, 2)
+        assert np.array_equal(mat[:, 0], np.arange(10))
+
+    def test_min_max(self):
+        table = _table()
+        lo, hi = table.min_max("c")
+        assert (lo, hi) == (0, 499)
+
+    def test_compressed_and_raw_agree(self):
+        compressed = _table(compress=True)
+        raw = _table(compress=False)
+        for dim in compressed.dims:
+            assert np.array_equal(compressed.values(dim), raw.values(dim))
+
+    def test_permute_reorders_rows(self):
+        table = _table(n=100)
+        order = np.argsort(table.values("a"), kind="stable")
+        clustered = table.permute(order)
+        assert np.all(np.diff(clustered.values("a")) >= 0)
+        # Row multisets are preserved.
+        assert sorted(clustered.values("b")) == sorted(table.values("b"))
+
+    def test_permute_requires_full_permutation(self):
+        with pytest.raises(ValueError):
+            _table(n=10).permute(np.arange(5))
+
+    def test_cumulative_sum_matches_direct(self):
+        table = _table()
+        table.add_cumulative("b")
+        direct = int(table.values("b", 100, 300).sum())
+        assert table.cumulative_sum("b", 100, 300) == direct
+
+    def test_cumulative_full_range(self):
+        table = _table()
+        table.add_cumulative("a")
+        assert table.cumulative_sum("a", 0, len(table)) == int(table.values("a").sum())
+
+    def test_cumulative_missing_raises(self):
+        with pytest.raises(SchemaError):
+            _table().cumulative_sum("a", 0, 10)
+
+    def test_has_cumulative(self):
+        table = _table()
+        assert not table.has_cumulative("a")
+        table.add_cumulative("a")
+        assert table.has_cumulative("a")
+
+    def test_permute_drops_cumulative(self):
+        table = _table(n=50)
+        table.add_cumulative("a")
+        clustered = table.permute(np.arange(49, -1, -1))
+        assert not clustered.has_cumulative("a")
+
+    def test_size_bytes_counts_everything(self):
+        table = _table()
+        before = table.size_bytes()
+        table.add_cumulative("a")
+        assert table.size_bytes() > before

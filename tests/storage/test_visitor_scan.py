@@ -1,0 +1,161 @@
+"""Unit and property tests for visitors and the scan kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.scan import scan_range
+from repro.storage.table import Table
+from repro.storage.visitor import (
+    AvgVisitor,
+    CollectVisitor,
+    CountVisitor,
+    MaxVisitor,
+    MinVisitor,
+    SumVisitor,
+)
+
+
+def _table(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "x": rng.integers(0, 100, size=n),
+            "y": rng.integers(0, 100, size=n),
+        }
+    )
+
+
+def _brute(table, ranges):
+    mask = np.ones(len(table), dtype=bool)
+    for dim, (lo, hi) in ranges.items():
+        vals = table.values(dim)
+        mask &= (vals >= lo) & (vals <= hi)
+    return mask
+
+
+class TestVisitors:
+    def test_count(self):
+        table = _table()
+        visitor = CountVisitor()
+        scan_range(table, {"x": (0, 49)}, 0, len(table), visitor)
+        assert visitor.result == int(_brute(table, {"x": (0, 49)}).sum())
+
+    def test_sum_masked(self):
+        table = _table()
+        ranges = {"x": (10, 60)}
+        visitor = SumVisitor("y")
+        scan_range(table, ranges, 0, len(table), visitor)
+        mask = _brute(table, ranges)
+        assert visitor.result == int(table.values("y")[mask].sum())
+
+    def test_sum_exact_uses_cumulative(self):
+        table = _table()
+        table.add_cumulative("y")
+        visitor = SumVisitor("y")
+        scan_range(table, {}, 100, 500, visitor, exact=True)
+        assert visitor.cumulative_hits == 1
+        assert visitor.result == int(table.values("y", 100, 500).sum())
+
+    def test_sum_exact_without_cumulative(self):
+        table = _table()
+        visitor = SumVisitor("y")
+        scan_range(table, {}, 100, 500, visitor, exact=True)
+        assert visitor.cumulative_hits == 0
+        assert visitor.result == int(table.values("y", 100, 500).sum())
+
+    def test_avg(self):
+        table = _table()
+        visitor = AvgVisitor("y")
+        scan_range(table, {"x": (0, 100)}, 0, len(table), visitor)
+        assert visitor.result == pytest.approx(float(table.values("y").mean()))
+
+    def test_avg_empty_is_none(self):
+        table = _table()
+        visitor = AvgVisitor("y")
+        scan_range(table, {"x": (5000, 6000)}, 0, len(table), visitor)
+        assert visitor.result is None
+
+    def test_min_max(self):
+        table = _table()
+        lo = MinVisitor("y")
+        hi = MaxVisitor("y")
+        scan_range(table, {}, 0, len(table), lo)
+        scan_range(table, {}, 0, len(table), hi)
+        assert lo.result == int(table.values("y").min())
+        assert hi.result == int(table.values("y").max())
+
+    def test_min_empty_is_none(self):
+        visitor = MinVisitor("y")
+        scan_range(_table(), {"x": (-10, -5)}, 0, 1000, visitor)
+        assert visitor.result is None
+
+    def test_collect(self):
+        table = _table()
+        ranges = {"x": (20, 30), "y": (40, 80)}
+        visitor = CollectVisitor()
+        scan_range(table, ranges, 0, len(table), visitor)
+        expected = np.nonzero(_brute(table, ranges))[0]
+        assert np.array_equal(np.sort(visitor.result), expected)
+
+    def test_reset(self):
+        table = _table()
+        visitor = CountVisitor()
+        scan_range(table, {}, 0, 10, visitor, exact=True)
+        visitor.reset()
+        assert visitor.result == 0
+
+    def test_sum_reset(self):
+        visitor = SumVisitor("y")
+        table = _table()
+        scan_range(table, {}, 0, 10, visitor, exact=True)
+        visitor.reset()
+        assert visitor.result == 0
+
+
+class TestScanRange:
+    def test_returns_scanned_and_matched(self):
+        table = _table()
+        scanned, matched = scan_range(table, {"x": (0, 9)}, 0, 500, CountVisitor())
+        assert scanned == 500
+        assert 0 <= matched <= scanned
+
+    def test_empty_range(self):
+        scanned, matched = scan_range(_table(), {}, 50, 50, CountVisitor())
+        assert (scanned, matched) == (0, 0)
+
+    def test_range_clamped(self):
+        table = _table()
+        scanned, _ = scan_range(table, {}, -100, 10**6, CountVisitor(), exact=True)
+        assert scanned == len(table)
+
+    def test_skip_dims_excluded_from_filter(self):
+        table = _table()
+        visitor = CountVisitor()
+        # The x bound would exclude rows, but we claim it is guaranteed.
+        scanned, matched = scan_range(
+            table, {"x": (-5, -1)}, 0, 100, visitor, skip_dims={"x"}
+        )
+        assert matched == 100
+        assert visitor.result == 100
+
+    def test_unknown_dims_ignored(self):
+        table = _table()
+        visitor = CountVisitor()
+        scan_range(table, {"nope": (0, 1)}, 0, 100, visitor)
+        assert visitor.result == 100
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, 99),
+        st.integers(0, 99),
+        st.integers(0, 99),
+        st.integers(0, 99),
+    )
+    def test_matches_brute_force(self, a, b, c, d):
+        table = _table(n=400, seed=7)
+        ranges = {"x": (min(a, b), max(a, b)), "y": (min(c, d), max(c, d))}
+        visitor = CollectVisitor()
+        scan_range(table, ranges, 0, len(table), visitor)
+        expected = np.nonzero(_brute(table, ranges))[0]
+        assert np.array_equal(np.sort(visitor.result), expected)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import BENCH_DRIVERS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.dataset == "tpch"
+        assert args.rows == 100_000
+
+    def test_demo_overrides(self):
+        args = build_parser().parse_args(
+            ["demo", "--dataset", "osm", "--rows", "5000"]
+        )
+        assert args.dataset == "osm"
+        assert args.rows == 5000
+
+    def test_bench_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+    def test_bench_accepts_all(self):
+        args = build_parser().parse_args(["bench", "all"])
+        assert args.artifact == "all"
+
+    def test_every_driver_name_exists(self):
+        from repro.bench import experiments
+
+        for driver_name in BENCH_DRIVERS.values():
+            assert hasattr(experiments, driver_name), driver_name
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sales", "tpch", "osm", "perfmon", "uniform"):
+            assert name in out
+
+    def test_demo_runs_small(self, capsys):
+        assert main(["demo", "--rows", "2000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Learned layout" in out
+        assert "Flood" in out and "Full Scan" in out

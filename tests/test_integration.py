@@ -1,0 +1,77 @@
+"""Cross-module integration tests: the full pipeline on every dataset.
+
+For each simulated dataset, learn a layout with the (analytic) cost model,
+build Flood and a couple of baselines on the same table, and check that all
+of them agree with brute force on the dataset's own workload — the
+end-to-end version of the per-index equivalence tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ClusteredIndex, HyperoctreeIndex
+from repro.bench.harness import build_flood
+from repro.core.cost import AnalyticCostModel
+from repro.datasets import DATASET_NAMES, load
+from repro.storage.visitor import CollectVisitor, CountVisitor, SumVisitor
+from repro.workloads.query_gen import most_selective_dim
+
+from tests.helpers import brute_force_rows, collected_rows
+
+
+@pytest.fixture(scope="module", params=[n for n in DATASET_NAMES if n != "uniform"])
+def pipeline(request):
+    bundle = load(request.param, n=3_000, num_queries=40, seed=17)
+    flood, opt = build_flood(
+        bundle.table, bundle.train, cost_model=AnalyticCostModel(),
+        data_sample_size=800, query_sample_size=12, seed=18,
+    )
+    clustered = ClusteredIndex(
+        sort_dim=most_selective_dim(bundle.table, bundle.train)
+    ).build(bundle.table)
+    octree = HyperoctreeIndex(bundle.dims, page_size=128).build(bundle.table)
+    return bundle, flood, clustered, octree, opt
+
+
+class TestEndToEnd:
+    def test_flood_matches_brute_force(self, pipeline):
+        bundle, flood, _, _, _ = pipeline
+        for query in bundle.test[:12]:
+            assert np.array_equal(
+                collected_rows(flood, query), brute_force_rows(flood, query)
+            ), f"{bundle.name}: {query}"
+
+    def test_all_indexes_agree_on_counts(self, pipeline):
+        bundle, flood, clustered, octree, _ = pipeline
+        for query in bundle.test[:12]:
+            counts = set()
+            for index in (flood, clustered, octree):
+                visitor = CountVisitor()
+                index.query(query, visitor)
+                counts.add(visitor.result)
+            assert len(counts) == 1, f"{bundle.name}: {query}"
+
+    def test_all_indexes_agree_on_sums(self, pipeline):
+        bundle, flood, clustered, octree, _ = pipeline
+        agg_dim = bundle.dims[0]
+        for query in bundle.test[:8]:
+            sums = set()
+            for index in (flood, clustered, octree):
+                visitor = SumVisitor(agg_dim)
+                index.query(query, visitor)
+                sums.add(visitor.result)
+            assert len(sums) == 1, f"{bundle.name}: {query}"
+
+    def test_learned_layout_uses_dataset_dims(self, pipeline):
+        bundle, _, _, _, opt = pipeline
+        assert set(opt.layout.order) == set(bundle.dims)
+
+    def test_flood_stats_are_consistent(self, pipeline):
+        bundle, flood, _, _, _ = pipeline
+        for query in bundle.test[:8]:
+            visitor = CollectVisitor()
+            stats = flood.query(query, visitor)
+            assert stats.points_matched == visitor.result.size
+            assert stats.points_scanned >= stats.points_matched
+            assert stats.exact_points <= stats.points_scanned
+            assert stats.total_time >= stats.scan_time

@@ -1,0 +1,173 @@
+"""Tests for workload generation, mixes, and selectivity calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query.predicate import Query
+from repro.workloads.mixes import WORKLOAD_MIXES, build_mix
+from repro.workloads.query_gen import (
+    WorkloadSpec,
+    calibrated_range,
+    generate_workload,
+    most_selective_dim,
+    selectivity_ranked_dims,
+    split_train_test,
+)
+from repro.workloads.random_shift import random_workload
+
+from tests.helpers import make_table
+
+
+class TestCalibratedRange:
+    def test_hits_target_selectivity(self):
+        values = np.sort(np.random.default_rng(0).integers(0, 10**6, size=50_000))
+        rng = np.random.default_rng(1)
+        for target in (0.001, 0.01, 0.1):
+            sels = []
+            for _ in range(30):
+                low, high = calibrated_range(values, target, rng)
+                sels.append(((values >= low) & (values <= high)).mean())
+            assert np.mean(sels) == pytest.approx(target, rel=0.5)
+
+    def test_clamps_tiny_selectivity(self):
+        values = np.arange(100)
+        low, high = calibrated_range(values, 1e-9, np.random.default_rng(2))
+        assert low <= high
+
+    def test_empty_column_raises(self):
+        with pytest.raises(QueryError):
+            calibrated_range(np.array([]), 0.1, np.random.default_rng(3))
+
+    def test_skewed_data_still_calibrated(self):
+        values = np.sort(np.random.default_rng(4).zipf(1.5, size=30_000))
+        rng = np.random.default_rng(5)
+        sels = []
+        for _ in range(30):
+            low, high = calibrated_range(values, 0.01, rng)
+            sels.append(((values >= low) & (values <= high)).mean())
+        # Heavy duplicate runs (zipf's value 1 alone is ~45% of the mass)
+        # legitimately overshoot; calibration degrades gracefully rather
+        # than exploding to full scans.
+        assert np.mean(sels) < 0.5
+
+
+class TestGenerateWorkload:
+    def test_overall_selectivity_near_target(self):
+        table = make_table(n=20_000, seed=6)
+        specs = [WorkloadSpec(range_dims=("x", "y"), selectivity=0.01)]
+        queries = generate_workload(table, specs, 30, seed=7)
+        sels = [q.selectivity(table) for q in queries]
+        # Independence approximation: mean within a small factor of target.
+        assert 0.001 < np.mean(sels) < 0.1
+
+    def test_equality_dims_always_match_something(self):
+        table = make_table(n=5000, seed=8)
+        specs = [WorkloadSpec(equality_dims=("z",))]
+        for query in generate_workload(table, specs, 20, seed=9):
+            assert query.selectivity(table) > 0
+
+    def test_weights_respected(self):
+        table = make_table(n=2000, seed=10)
+        specs = [
+            WorkloadSpec(range_dims=("x",), weight=99.0),
+            WorkloadSpec(range_dims=("y",), weight=0.001),
+        ]
+        queries = generate_workload(table, specs, 50, seed=11)
+        x_only = sum(1 for q in queries if q.filters("x"))
+        assert x_only >= 45
+
+    def test_empty_specs_raise(self):
+        with pytest.raises(QueryError):
+            generate_workload(make_table(), [], 10)
+
+
+class TestSplitAndRanking:
+    def test_split_train_test(self):
+        queries = [Query({"x": (i, i + 1)}) for i in range(10)]
+        train, test = split_train_test(queries, 0.7, seed=12)
+        assert len(train) == 7 and len(test) == 3
+        assert set(map(hash, train)).isdisjoint(set(map(hash, test)))
+
+    def test_most_selective_dim(self):
+        table = make_table(n=5000, seed=13)
+        queries = [Query({"x": (0, 2), "y": (0, 900)}) for _ in range(5)]
+        assert most_selective_dim(table, queries) == "x"
+
+    def test_most_selective_requires_queries(self):
+        with pytest.raises(QueryError):
+            most_selective_dim(make_table(), [])
+
+    def test_ranked_dims_order(self):
+        table = make_table(n=5000, seed=14)
+        queries = [Query({"x": (0, 2), "y": (0, 500)}) for _ in range(5)]
+        ranked = selectivity_ranked_dims(table, queries)
+        assert ranked[0] == "x"
+        assert set(ranked) == set(table.dims)
+
+
+class TestMixes:
+    @pytest.mark.parametrize("mix", WORKLOAD_MIXES)
+    def test_all_mixes_generate(self, mix):
+        table = make_table(n=3000, dims=("a", "b", "c", "d"), seed=15)
+        queries = build_mix(table, mix, num_queries=30, seed=16)
+        assert len(queries) == 30
+        for query in queries:
+            assert all(dim in table for dim in query.dims)
+
+    def test_fd_uses_subset(self):
+        table = make_table(n=2000, dims=("a", "b", "c", "d"), seed=17)
+        for query in build_mix(table, "FD", num_queries=10, seed=18):
+            assert len(query) <= 2
+
+    def test_md_uses_all_dims(self):
+        table = make_table(n=2000, dims=("a", "b", "c"), seed=19)
+        for query in build_mix(table, "MD", num_queries=10, seed=20):
+            assert len(query) == 3
+
+    def test_o1_is_point_lookups(self):
+        table = make_table(n=2000, seed=21)
+        for query in build_mix(table, "O1", num_queries=10, seed=22):
+            assert len(query) == 1
+            (low, high), = [query.bounds(d) for d in query.dims]
+            assert low == high
+
+    def test_o2_uses_two_keys(self):
+        table = make_table(n=2000, seed=23)
+        for query in build_mix(table, "O2", num_queries=10, seed=24):
+            assert len(query) == 2
+
+    def test_oo_is_a_mix(self):
+        table = make_table(n=2000, seed=25)
+        queries = build_mix(table, "OO", num_queries=20, seed=26)
+        point = sum(1 for q in queries if all(a == b for a, b in q.ranges.values()))
+        assert 0 < point < 20
+
+    def test_st_single_type(self):
+        table = make_table(n=2000, seed=27)
+        queries = build_mix(table, "ST", num_queries=10, seed=28)
+        dim_sets = {tuple(sorted(q.dims)) for q in queries}
+        assert len(dim_sets) == 1
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(QueryError):
+            build_mix(make_table(), "XX")
+
+
+class TestRandomWorkload:
+    def test_generates_requested_count(self):
+        table = make_table(n=3000, seed=29)
+        queries = random_workload(table, num_queries=40, seed=30)
+        assert len(queries) == 40
+
+    def test_different_seeds_differ(self):
+        table = make_table(n=3000, seed=31)
+        a = random_workload(table, num_queries=10, seed=1)
+        b = random_workload(table, num_queries=10, seed=2)
+        assert a != b
+
+    def test_selectivities_in_target_ballpark(self):
+        table = make_table(n=30_000, seed=32)
+        queries = random_workload(table, num_queries=40, seed=33)
+        mean_sel = np.mean([q.selectivity(table) for q in queries])
+        assert 1e-5 < mean_sel < 0.3
