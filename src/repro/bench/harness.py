@@ -79,6 +79,20 @@ def run_workload(index, queries, visitor_factory=CountVisitor) -> WorkloadResult
     return result
 
 
+def run_workload_batched(
+    index, queries, visitor_factory=CountVisitor, workers: int = 1
+) -> WorkloadResult:
+    """Execute a workload through the throughput-mode batch engine.
+
+    Only Flood supports batch execution; results and per-query statistics
+    are identical to :func:`run_workload`, just faster in aggregate.
+    """
+    from repro.core.engine import BatchQueryEngine
+
+    engine = BatchQueryEngine(index, workers=workers)
+    return engine.run(queries, visitor_factory).workload_result(index.name)
+
+
 def build_tuned_baselines(
     table,
     train_queries,

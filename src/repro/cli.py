@@ -13,6 +13,10 @@ Commands
 ``calibrate``
     Force (re)calibration of the machine's cost model and print where it
     was cached.
+``throughput``
+    Serve a generated workload through the batch query engine (throughput
+    mode) and report queries/second, optionally against the seed's
+    per-cell reference loop.
 """
 
 from __future__ import annotations
@@ -67,6 +71,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list dataset generators")
     sub.add_parser("calibrate", help="(re)calibrate the cost model")
+
+    throughput = sub.add_parser(
+        "throughput", help="batch-engine throughput on a generated workload"
+    )
+    throughput.add_argument("--dataset", default="tpch", help="dataset name")
+    throughput.add_argument("--rows", type=int, default=100_000, help="row count")
+    throughput.add_argument(
+        "--queries", type=int, default=200, help="workload size (test queries)"
+    )
+    throughput.add_argument(
+        "--workers", type=int, default=1, help="engine worker threads"
+    )
+    throughput.add_argument(
+        "--repeats", type=int, default=3, help="timed passes over the workload"
+    )
+    throughput.add_argument(
+        "--grid-scale",
+        type=float,
+        default=1.0,
+        help="scale the learned grid's column counts (restores paper-scale "
+        "cells-per-query at bench-scale row counts; see Fig. 14)",
+    )
+    throughput.add_argument(
+        "--compare-legacy",
+        action="store_true",
+        help="also time the seed's per-cell loop and verify identical results",
+    )
+    throughput.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -100,6 +132,62 @@ def _cmd_bench(args) -> int:
     for name in names:
         driver = getattr(experiments, BENCH_DRIVERS[name])
         driver()
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    import time
+
+    from repro.bench.harness import build_flood
+    from repro.core.engine import BatchQueryEngine
+    from repro.datasets import load
+    from repro.storage.visitor import CountVisitor
+
+    if args.queries < 1:
+        print("throughput needs --queries >= 1", file=sys.stderr)
+        return 2
+    print(f"Loading {args.dataset} at {args.rows} rows...")
+    bundle = load(
+        args.dataset, n=args.rows, num_queries=max(args.queries, 50), seed=args.seed
+    )
+    queries = (bundle.test + bundle.train)[: args.queries]
+    flood, opt = build_flood(bundle.table, bundle.train, seed=args.seed)
+    layout = opt.layout
+    if args.grid_scale != 1.0:
+        from repro.core.index import FloodIndex
+
+        layout = layout.scaled(args.grid_scale)
+        flood = FloodIndex(layout).build(bundle.table)
+    print(f"Layout: {layout.describe()} ({layout.num_cells} cells)")
+    engine = BatchQueryEngine(flood, workers=args.workers)
+    engine.run(queries[: min(20, len(queries))])  # warmup
+    best = None
+    for _ in range(max(args.repeats, 1)):
+        batch = engine.run(queries)
+        if best is None or batch.wall_seconds < best.wall_seconds:
+            best = batch
+    print(
+        f"  engine ({args.workers} worker{'s' if args.workers != 1 else ''}): "
+        f"{best.queries_per_second:10.1f} queries/s "
+        f"({best.wall_seconds / len(queries) * 1e3:.3f} ms/query)"
+    )
+    if args.compare_legacy:
+        legacy_counts = []
+        start = time.perf_counter()
+        for query in queries:
+            visitor = CountVisitor()
+            flood.query_percell(query, visitor)
+            legacy_counts.append(visitor.result)
+        legacy_seconds = time.perf_counter() - start
+        print(
+            f"  per-cell loop:  {len(queries) / legacy_seconds:10.1f} queries/s "
+            f"({legacy_seconds / len(queries) * 1e3:.3f} ms/query)"
+        )
+        print(f"  speedup: {legacy_seconds / best.wall_seconds:.2f}x")
+        if legacy_counts != best.results:
+            print("  MISMATCH: engine and per-cell results differ!")
+            return 1
+        print(f"  results identical across {len(queries)} queries")
     return 0
 
 
@@ -139,6 +227,7 @@ def main(argv=None) -> int:
         "bench": _cmd_bench,
         "datasets": _cmd_datasets,
         "calibrate": _cmd_calibrate,
+        "throughput": _cmd_throughput,
     }[args.command]
     return handler(args)
 

@@ -6,6 +6,8 @@
   holds equal mass (Section 5.1).
 - :mod:`repro.core.index` -- the Flood index: projection, per-cell PLM
   refinement, and scan (Sections 3.2 and 5.2).
+- :mod:`repro.core.engine` -- throughput-mode batch execution of query
+  workloads (vectorized plans, shared enumeration cache, worker pool).
 - :mod:`repro.core.cost` -- the cost model Time = wp*Nc + wr*Nc + ws*Ns with
   learned weights (Section 4.1).
 - :mod:`repro.core.calibration` -- weight-model training from random
@@ -22,8 +24,9 @@ Extensions the paper sketches (Sections 6 and 8) are implemented too:
 from repro.core.calibration import calibrate, generate_training_examples
 from repro.core.cost import AnalyticCostModel, CostModel, LearnedCostModel, QueryFeatures
 from repro.core.delta import DeltaBufferedFlood
+from repro.core.engine import BatchQueryEngine, BatchResult
 from repro.core.flatten import Flattener
-from repro.core.index import FloodIndex
+from repro.core.index import FloodIndex, QueryPlan
 from repro.core.knn import KNNSearcher, knn
 from repro.core.layout import GridLayout
 from repro.core.monitor import AdaptiveFlood, WorkloadMonitor
@@ -41,9 +44,12 @@ __all__ = [
     "CostModel",
     "LearnedCostModel",
     "QueryFeatures",
+    "BatchQueryEngine",
+    "BatchResult",
     "Flattener",
     "FloodIndex",
     "GridLayout",
+    "QueryPlan",
     "find_optimal_layout",
     "heuristic_layout",
 ]

@@ -30,14 +30,102 @@ from repro.baselines.base import BaseIndex, timed
 from repro.core.flatten import Flattener
 from repro.core.layout import GridLayout
 from repro.errors import BuildError, SchemaError
-from repro.ml.plm import PiecewiseLinearModel
+from repro.ml.plm import PiecewiseLinearModel, lockstep_searchsorted
 from repro.query.predicate import Query
 from repro.query.stats import QueryStats
-from repro.storage.scan import scan_filtered
+from repro.storage.scan import scan_filtered, scan_runs
 from repro.storage.table import Table
 from repro.storage.visitor import Visitor
 
 _REFINEMENTS = ("plm", "binary", "none")
+
+#: Below this many planned cells, per-cell scalar refinement beats the
+#: lock-step vectorized path (whose ~log(cell width) numpy passes cost more
+#: than they save on tiny lane counts).
+_LOCKSTEP_MIN_CELLS = 32
+
+
+class QueryPlan:
+    """Vectorized projection result: intersecting cells + residual checks.
+
+    Produced by :meth:`FloodIndex.plan`; arrays are aligned and restricted to
+    non-empty cells in ascending cell-id (= storage) order. ``codes`` packs
+    each cell's per-dimension boundary flags into an integer so cells can be
+    partitioned by residual-check set without building Python tuples per
+    cell; :meth:`checks_for` decodes a code back into dimension names.
+    """
+
+    __slots__ = (
+        "cells",
+        "starts",
+        "stops",
+        "codes",
+        "base_checks",
+        "grid_dims",
+        "cells_enumerated",
+        "refine",
+        "sort_low",
+        "sort_high",
+        "_checks_cache",
+    )
+
+    def __init__(
+        self,
+        cells: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        codes: np.ndarray,
+        base_checks: tuple[str, ...],
+        grid_dims: tuple[str, ...],
+        cells_enumerated: int,
+        refine: bool,
+        sort_low: int,
+        sort_high: int,
+    ):
+        self.cells = cells
+        self.starts = starts
+        self.stops = stops
+        self.codes = codes
+        self.base_checks = base_checks
+        self.grid_dims = grid_dims
+        self.cells_enumerated = cells_enumerated
+        self.refine = refine
+        self.sort_low = sort_low
+        self.sort_high = sort_high
+        self._checks_cache: dict[int, tuple[str, ...]] = {0: base_checks}
+
+    def checks_for(self, code: int) -> tuple[str, ...]:
+        """Residual check dims for a packed boundary code (bit K-1-k = dim k)."""
+        checks = self._checks_cache.get(code)
+        if checks is None:
+            num = len(self.grid_dims)
+            checks = self.base_checks + tuple(
+                self.grid_dims[k]
+                for k in range(num)
+                if (code >> (num - 1 - k)) & 1
+            )
+            self._checks_cache[code] = checks
+        return checks
+
+    def coalesced_runs(self) -> list[tuple[int, int, int]]:
+        """Tasks merged into maximal storage-contiguous runs.
+
+        Consecutive tasks whose physical ranges touch (``stops[i] ==
+        starts[i+1]``, which holds for adjacent cell ids and across empty
+        cells) and that share a residual-check code are scanned as one
+        range. Returns ``(start, stop, code)`` triples in storage order.
+        """
+        starts, stops, codes = self.starts, self.stops, self.codes
+        m = starts.size
+        if m == 0:
+            return []
+        breaks = (starts[1:] != stops[:-1]) | (codes[1:] != codes[:-1])
+        first = np.concatenate(([0], np.nonzero(breaks)[0] + 1))
+        last = np.concatenate((first[1:] - 1, [m - 1]))
+        return [
+            (int(starts[f]), int(stops[l]), int(codes[f]))
+            for f, l in zip(first, last)
+        ]
 
 
 class FloodIndex(BaseIndex):
@@ -115,15 +203,49 @@ class FloodIndex(BaseIndex):
                     self._cell_models[cell] = PiecewiseLinearModel(
                         self._sort_values[start:stop], delta=self.delta
                     )
+            self._flatten_cell_models()
+
+    def _flatten_cell_models(self) -> None:
+        """Concatenate every cell PLM's segments into global arrays.
+
+        The batched refinement path (:meth:`refine_plan`) runs the same
+        model+repair algorithm as :meth:`PiecewiseLinearModel._search`, but
+        lock-step across all of a query's cells; that needs each cell's
+        segment keys/intercepts/slopes addressable by slices of shared
+        arrays. Positions are stored *absolute* (cell start added) so
+        predictions index straight into ``self._sort_values``.
+        """
+        offsets = [0]
+        keys, pos, slope, maxerr, ends = [], [], [], [], []
+        for cell, model in enumerate(self._cell_models):
+            if model is not None:
+                base = int(self._cell_starts[cell])
+                keys.append(model._seg_keys_arr)
+                pos.append(model._seg_pos_arr + base)
+                slope.append(model._seg_slope_arr)
+                maxerr.append(model._seg_maxerr_arr)
+                ends.append(model._seg_end_arr + base)
+            offsets.append(offsets[-1] + (model.num_segments if model else 0))
+        self._plm_cell_offsets = np.asarray(offsets, dtype=np.int64)
+        empty_f = np.empty(0, dtype=np.float64)
+        self._plm_keys = np.concatenate(keys) if keys else empty_f
+        self._plm_pos = np.concatenate(pos) if pos else empty_f
+        self._plm_slope = np.concatenate(slope) if slope else empty_f
+        self._plm_maxerr = np.concatenate(maxerr) if maxerr else empty_f
+        self._plm_ends = (
+            np.concatenate(ends) if ends else np.empty(0, dtype=np.int64)
+        )
 
     # ------------------------------------------------------------------ query
     def _project(self, query: Query):
         """Per-grid-dim inclusive column ranges plus boundary metadata.
 
-        Returns (ranges, boundary_info) where ranges[i] = (first, last) and
-        boundary_info[i] = (dim, first, last, filtered).
+        Returns the 2-tuple ``(info, always_check)``: ``info[k] = (dim,
+        first, last, check_first, check_last)`` for grid dimension ``k``
+        (boundary flags say whether that end column needs per-point checks),
+        and ``always_check`` lists dims whose *every* column needs checks
+        (conditioned dims under conditional flattening).
         """
-        ranges = []
         info = []
         always_check = []
         exactable = getattr(self._flattener, "exactable", None)
@@ -145,39 +267,230 @@ class FloodIndex(BaseIndex):
                     check_last = high < dom_hi
                     info.append((dim, first, last, check_first, check_last))
             else:
-                first, last = 0, cols - 1
-                info.append((dim, first, last, False, False))
-            ranges.append(range(first, last + 1))
-        return ranges, info, always_check
+                info.append((dim, 0, cols - 1, False, False))
+        return info, always_check
 
-    def query(self, query: Query, visitor: Visitor) -> QueryStats:
+    def _base_checks(self, query: Query, always_check, refine) -> tuple[str, ...]:
+        """Dims needing per-point checks in *every* visited cell: non-indexed
+        filtered dims, conditioned dims, and the sort dim when unrefined."""
+        layout = self.layout
+        base = tuple(
+            d for d in query.dims if d not in layout.order and d in self.table
+        ) + tuple(always_check)
+        if query.filters(layout.sort_dim) and not refine:
+            base += (layout.sort_dim,)
+        return base
+
+    def plan(self, query: Query, enum_cache: dict | None = None) -> QueryPlan:
+        """Vectorized projection: enumerate intersecting cells in bulk.
+
+        Cell ids come from mixed-radix numpy broadcasting over the per-dim
+        column ranges (ascending id order = the old ``product()`` order),
+        ``cell_starts`` is gathered in one shot, and per-cell residual-check
+        sets are packed into integer codes (one bit per grid dim, set on
+        boundary columns that need per-point checks).
+
+        ``enum_cache`` (used by the batch engine) memoizes the enumeration
+        arrays keyed by the projected column ranges + boundary flags:
+        queries that project identically share one enumeration. Cached
+        arrays are never mutated downstream (refinement reassigns fresh
+        arrays), so sharing is safe.
+        """
+        if self._table is None:
+            raise BuildError(f"{self.name} index used before build()")
+        layout = self.layout
+        info, always_check = self._project(query)
+        sort_filtered = query.filters(layout.sort_dim)
+        refine = sort_filtered and self.refinement != "none"
+        sort_low, sort_high = query.bounds(layout.sort_dim)
+        base_checks = self._base_checks(query, always_check, refine)
+        key = (tuple(info), base_checks) if enum_cache is not None else None
+        cached = enum_cache.get(key) if key is not None else None
+        if cached is None:
+            strides = layout.strides
+            cells = np.zeros(1, dtype=np.int64)
+            codes = np.zeros(1, dtype=np.int64)
+            for k, (dim, first, last, check_first, check_last) in enumerate(info):
+                offsets = np.arange(first, last + 1, dtype=np.int64) * strides[k]
+                flags = np.zeros(last - first + 1, dtype=np.int64)
+                if check_first:
+                    flags[0] = 1
+                if check_last:
+                    flags[-1] = 1
+                cells = (cells[:, None] + offsets[None, :]).reshape(-1)
+                codes = ((codes[:, None] << 1) | flags[None, :]).reshape(-1)
+            starts = self._cell_starts[cells]
+            stops = self._cell_starts[cells + 1]
+            keep = stops > starts
+            cached = (cells[keep], starts[keep], stops[keep], codes[keep], cells.size)
+            if key is not None:
+                enum_cache[key] = cached
+        cells, starts, stops, codes, enumerated = cached
+        return QueryPlan(
+            cells=cells,
+            starts=starts,
+            stops=stops,
+            codes=codes,
+            base_checks=base_checks,
+            grid_dims=layout.grid_dims,
+            cells_enumerated=enumerated,
+            refine=refine,
+            sort_low=sort_low,
+            sort_high=sort_high,
+        )
+
+    def refine_plan(self, plan: QueryPlan) -> None:
+        """Narrow every planned cell range on the sort dimension, in place.
+
+        All cells share the query's two probes, so refinement runs lock-step
+        across the whole cell batch: one vectorized pass per probe instead
+        of two Python searches per cell.
+        """
+        m = plan.starts.size
+        if not plan.refine or m == 0:
+            return
+        low, high = plan.sort_low, plan.sort_high
+        if m < _LOCKSTEP_MIN_CELLS:
+            # Small plans: two scalar searches per cell are cheaper than the
+            # fixed cost of the vectorized passes.
+            new_starts = np.empty(m, dtype=np.int64)
+            new_stops = np.empty(m, dtype=np.int64)
+            cells, starts, stops = plan.cells, plan.starts, plan.stops
+            refine_one = self._refine
+            for i in range(m):
+                new_starts[i], new_stops[i] = refine_one(
+                    int(cells[i]), int(starts[i]), int(stops[i]), low, high
+                )
+        elif self.refinement == "plm":
+            new_starts = self._plm_search_cells(plan, float(low), "left")
+            new_stops = self._plm_search_cells(plan, float(high), "right")
+        else:  # 'binary' (Section 3.2.2's simple index)
+            new_starts = lockstep_searchsorted(
+                self._sort_values, plan.starts, plan.stops, low, "left"
+            )
+            new_stops = lockstep_searchsorted(
+                self._sort_values, plan.starts, plan.stops, high, "right"
+            )
+        keep = new_stops > new_starts
+        plan.cells = plan.cells[keep]
+        plan.starts = new_starts[keep]
+        plan.stops = new_stops[keep]
+        plan.codes = plan.codes[keep]
+
+    def _plm_search_cells(
+        self, plan: QueryPlan, probe: float, side: str
+    ) -> np.ndarray:
+        """Absolute refined positions of ``probe`` in every planned cell.
+
+        The batched twin of ``PiecewiseLinearModel._search``: locate each
+        cell's covering segment (lock-step binary search over the flattened
+        segment keys), predict, verify the error-bounded bracket, repair
+        failures to the segment's full range, then finish with a lock-step
+        binary search over the brackets in the global sort-value array.
+        """
+        cells, starts, stops = plan.cells, plan.starts, plan.stops
+        sort_values = self._sort_values
+        n_total = sort_values.size
+        seg_lo = self._plm_cell_offsets[cells]
+        seg_hi = self._plm_cell_offsets[cells + 1]
+        # Rightmost segment with key <= probe, per cell (upper bound - 1).
+        upper = lockstep_searchsorted(
+            self._plm_keys, seg_lo, seg_hi, probe, "right"
+        )
+        idx = upper - 1
+        routed = idx >= seg_lo  # probe below a cell's first key -> position 0
+        idx = np.maximum(idx, seg_lo)
+        seg_start = self._plm_pos[idx].astype(np.int64)
+        seg_end = self._plm_ends[idx]
+        pred = self._plm_pos[idx] + self._plm_slope[idx] * (
+            probe - self._plm_keys[idx]
+        )
+        lo = np.maximum(pred.astype(np.int64) - 1, seg_start)
+        hi = np.minimum(
+            (pred + self._plm_maxerr[idx]).astype(np.int64) + 2, seg_end
+        )
+        lo = np.minimum(lo, hi)
+        # Bracket verification (cell-relative boundaries become absolute).
+        below = sort_values[np.maximum(lo - 1, 0)]
+        above = sort_values[np.minimum(hi, n_total - 1)]
+        if side == "left":
+            ok = ((lo == starts) | (below < probe)) & (
+                (hi >= stops) | (above >= probe)
+            )
+        else:
+            ok = ((lo == starts) | (below <= probe)) & (
+                (hi >= stops) | (above > probe)
+            )
+        lo = np.where(ok, lo, seg_start)
+        hi = np.where(ok, hi, np.minimum(seg_end, stops))
+        out = lockstep_searchsorted(sort_values, lo, hi, probe, side)
+        return np.where(routed, out, starts)
+
+    def execute_plan(
+        self, plan: QueryPlan, query: Query, visitor: Visitor, stats: QueryStats
+    ) -> None:
+        """Scan a (refined) plan: coalesced runs, grouped by check set."""
+        table = self.table
+        runs = plan.coalesced_runs()
+        if not runs:
+            return
+        by_code: dict[int, list[tuple[int, int]]] = {}
+        for start, stop, code in runs:
+            by_code.setdefault(code, []).append((start, stop))
+        for code, spans in by_code.items():
+            checks = plan.checks_for(code)
+            bounds = [(d, *query.bounds(d)) for d in checks]
+            scanned, matched = scan_runs(table, bounds, spans, visitor)
+            stats.points_scanned += scanned
+            stats.points_matched += matched
+            if not bounds:
+                stats.exact_points += scanned
+
+    def query(
+        self, query: Query, visitor: Visitor, enum_cache: dict | None = None
+    ) -> QueryStats:
+        stats = QueryStats()
+        # ---- projection (timed as a whole; per-cell timers would dominate
+        # the very overhead they measure).
+        index_start = timed()
+        plan = self.plan(query, enum_cache=enum_cache)
+        stats.cells_visited = plan.cells_enumerated
+        stats.index_time = timed() - index_start
+        # ---- refinement: narrow each cell's physical range on the sort dim.
+        if plan.refine and plan.starts.size:
+            refine_start = timed()
+            self.refine_plan(plan)
+            stats.refine_time = timed() - refine_start
+        # ---- scan.
+        scan_start = timed()
+        self.execute_plan(plan, query, visitor, stats)
+        stats.scan_time = timed() - scan_start
+        stats.total_time = stats.index_time + stats.refine_time + stats.scan_time
+        return stats
+
+    def query_percell(self, query: Query, visitor: Visitor) -> QueryStats:
+        """The seed's per-cell reference path (one ``product()`` combo at a
+        time, one scan call per cell).
+
+        Kept verbatim as the baseline for ``benchmarks/bench_throughput.py``
+        and for result-identity tests against the vectorized engine; produces
+        the same stats counters as :meth:`query`.
+        """
         stats = QueryStats()
         layout = self.layout
         table = self.table
-
-        # ---- projection: enumerate intersecting cells and their residual
-        # check dimensions (timed as a whole; per-cell timers would dominate
-        # the very overhead they measure).
         index_start = timed()
-        ranges, info, always_check = self._project(query)
+        info, always_check = self._project(query)
+        ranges = [range(first, last + 1) for _, first, last, _, _ in info]
         strides = layout.strides
         sort_dim = layout.sort_dim
         sort_filtered = query.filters(sort_dim)
         refine = sort_filtered and self.refinement != "none"
         sort_low, sort_high = query.bounds(sort_dim)
-        # Dims filtered by the query but not guaranteed by the grid for at
-        # least some cells: non-indexed dims always; boundary columns of
-        # filtered grid dims per cell; sort dim when not refined.
-        base_checks = tuple(
-            d for d in query.dims if d not in layout.order and d in table
-        ) + tuple(always_check)
-        if sort_filtered and not refine:
-            base_checks += (sort_dim,)
+        base_checks = self._base_checks(query, always_check, refine)
         # Per-dim boundary flags indexed by column (True = needs checking).
         boundary_flags = []
-        for (dim, first, last, check_first, check_last), cols in zip(
-            info, ranges
-        ):
+        for dim, first, last, check_first, check_last in info:
             flags = {}
             if check_first:
                 flags[first] = True
@@ -201,7 +514,6 @@ class FloodIndex(BaseIndex):
                 tasks.append((cell, start, stop, checks))
         stats.index_time = timed() - index_start
 
-        # ---- refinement: narrow each cell's physical range on the sort dim.
         if refine and tasks:
             refine_start = timed()
             refined = []
@@ -212,8 +524,6 @@ class FloodIndex(BaseIndex):
             tasks = refined
             stats.refine_time = timed() - refine_start
 
-        # ---- scan. Residual bounds are resolved once per distinct check
-        # set, not once per cell.
         scan_start = timed()
         bounds_cache: dict[tuple, list] = {}
         for _, start, stop, checks in tasks:

@@ -10,6 +10,7 @@ column.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,8 +61,13 @@ class GridLayout:
 
     @property
     def num_cells(self) -> int:
-        """Total number of grid cells."""
-        return int(np.prod(self.columns)) if self.columns else 1
+        """Total number of grid cells.
+
+        Uses :func:`math.prod` (arbitrary precision), not ``np.prod``: the
+        latter wraps silently at int64 for large column products (e.g.
+        ``(2**20,) * 4`` -> 0).
+        """
+        return math.prod(self.columns) if self.columns else 1
 
     def columns_for(self, dim: str) -> int:
         """Column count for a grid dimension."""

@@ -12,6 +12,7 @@ is what makes learning fast enough to re-run on workload shifts
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -98,7 +99,8 @@ class _SampleEvaluator:
         """Estimated QueryFeatures for every sample query under a layout."""
         grid_dims = order[:-1]
         sort_dim = order[-1]
-        total_cells = int(np.prod(columns)) if columns else 1
+        # math.prod, not np.prod: int64 silently wraps for large products.
+        total_cells = math.prod(columns) if columns else 1
         out = []
         for query, cdf_bounds in zip(self.queries, self._query_cdf_bounds):
             nc = 1
@@ -110,7 +112,15 @@ class _SampleEvaluator:
                     last = min(int(hi_cdf * c), c - 1)
                     nc *= last - first + 1
                     point_cdf = self._sample_cdf[dim]
-                    mask &= (point_cdf >= first / c) & (point_cdf < (last + 1) / c)
+                    mask &= point_cdf >= first / c
+                    if last == c - 1:
+                        # The real index clips column assignments into the top
+                        # column, so a sample point with model CDF == 1.0 still
+                        # lands in column c-1; a strict upper comparison would
+                        # drop it and underestimate Ns.
+                        mask &= point_cdf <= (last + 1) / c
+                    else:
+                        mask &= point_cdf < (last + 1) / c
                 else:
                     nc *= c
             sort_filtered = query.filters(sort_dim)
@@ -192,7 +202,9 @@ def _descend(
                     continue
                 trial = list(best_columns)
                 trial[j] = candidate_cols
-                if int(np.prod(trial)) > max_cells:
+                # math.prod, not np.prod: the int64 wrap could let an enormous
+                # trial layout slip under the cell cap.
+                if math.prod(trial) > max_cells:
                     continue
                 cost = cost_model.predict_batch(
                     evaluator.features(order, tuple(trial))
@@ -237,6 +249,8 @@ def heuristic_layout(
     dims = list(table.dims if dims is None else dims)
     if len(dims) == 0:
         raise BuildError("no dimensions to lay out")
+    if table.num_rows == 0:
+        raise BuildError("cannot derive a layout from an empty table")
     rng = np.random.default_rng(seed)
     rows = np.sort(
         rng.choice(table.num_rows, size=min(sample_size, table.num_rows), replace=False)

@@ -31,6 +31,33 @@ import numpy as np
 from repro.ml.btree import StaticBTree
 
 
+def lockstep_searchsorted(values, lo, hi, probes, side) -> np.ndarray:
+    """Insertion point of ``probes`` in ``values[lo_i:hi_i)`` per lane.
+
+    Lock-step binary search: every lane halves its own bracket each
+    iteration, so a batch of m brackets costs O(log max_width) vectorized
+    passes instead of m Python-level searches. ``probes`` may be a scalar
+    (shared by all lanes) or an array aligned with ``lo``/``hi``;
+    ``values`` must be non-decreasing within each lane's bracket.
+    """
+    lo = np.asarray(lo, dtype=np.int64).copy()
+    hi = np.asarray(hi, dtype=np.int64).copy()
+    n = values.size
+    active = lo < hi
+    while np.any(active):
+        mid = (lo + hi) >> 1
+        # Inactive lanes may hold lo == hi == n; clip their (unused) load.
+        mid_values = values[np.minimum(mid, n - 1)]
+        if side == "left":
+            go_right = mid_values < probes
+        else:
+            go_right = mid_values <= probes
+        lo = np.where(active & go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+        active = lo < hi
+    return lo
+
+
 class PiecewiseLinearModel:
     """A delta-bounded lower-bound PLM over a sorted array.
 
@@ -70,6 +97,7 @@ class PiecewiseLinearModel:
             self._seg_slope = [0.0]
             self._seg_maxerr = [0.0]
             self._seg_end = [0]
+            self._finalize_arrays()
             return
         # Distinct values and the position of their first occurrence.
         distinct, first_pos = np.unique(values, return_index=True)
@@ -138,6 +166,15 @@ class PiecewiseLinearModel:
         self._seg_slope = seg_slope
         self._seg_maxerr = seg_maxerr
         self._seg_end = seg_end
+        self._finalize_arrays()
+
+    def _finalize_arrays(self) -> None:
+        """Array mirrors of the segment lists for the vectorized batch path."""
+        self._seg_keys_arr = np.asarray(self._seg_keys, dtype=np.float64)
+        self._seg_pos_arr = np.asarray(self._seg_pos, dtype=np.float64)
+        self._seg_slope_arr = np.asarray(self._seg_slope, dtype=np.float64)
+        self._seg_maxerr_arr = np.asarray(self._seg_maxerr, dtype=np.float64)
+        self._seg_end_arr = np.asarray(self._seg_end, dtype=np.int64)
 
     # ---------------------------------------------------------------- predict
     @property
@@ -202,3 +239,57 @@ class PiecewiseLinearModel:
     def lookups(self, low: float, high: float) -> tuple[int, int]:
         """Refined physical range [start, stop) for values in [low, high]."""
         return self.search_left(low), self.search_right(high)
+
+    # --------------------------------------------------------------- batched
+    def search_many(self, probes, side: str = "left") -> np.ndarray:
+        """Exact ``np.searchsorted(values, probes, side)`` for a probe batch.
+
+        The batched twin of :meth:`search_left` / :meth:`search_right`: one
+        vectorized pass locates every probe's segment, predicts, verifies the
+        error-bounded bracket, and finishes with a lock-step binary search
+        over the (tight) brackets — so a cell's whole probe batch costs a
+        handful of numpy ops instead of two Python calls per probe.
+        """
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        probes = np.atleast_1d(np.asarray(probes, dtype=np.float64))
+        out = np.zeros(probes.shape, dtype=np.int64)
+        n = self.n
+        if n == 0 or probes.size == 0:
+            return out
+        values = self._values
+        keys = self._seg_keys_arr
+        idx = np.searchsorted(keys, probes, side="right") - 1
+        routed = idx >= 0  # probes below the first key resolve to 0
+        if not np.any(routed):
+            return out
+        probes = probes[routed]
+        idx = idx[routed]
+        seg_start = self._seg_pos_arr[idx].astype(np.int64)
+        seg_end = self._seg_end_arr[idx]
+        pred = self._seg_pos_arr[idx] + self._seg_slope_arr[idx] * (
+            probes - keys[idx]
+        )
+        lo = np.maximum(pred.astype(np.int64) - 1, seg_start)
+        hi = np.minimum(
+            (pred + self._seg_maxerr_arr[idx]).astype(np.int64) + 2, seg_end
+        )
+        lo = np.minimum(lo, hi)
+        # Bracket verification, exactly as in the scalar path; failures fall
+        # back to the segment's full position range (a guaranteed bracket).
+        below = values[np.maximum(lo - 1, 0)]
+        above = values[np.minimum(hi, n - 1)]
+        if side == "left":
+            ok = ((lo == 0) | (below < probes)) & ((hi >= n) | (above >= probes))
+        else:
+            ok = ((lo == 0) | (below <= probes)) & ((hi >= n) | (above > probes))
+        lo = np.where(ok, lo, seg_start)
+        hi = np.where(ok, hi, np.minimum(seg_end, n))
+        # Brackets are a few positions wide (2*delta-ish), so the lock-step
+        # search runs O(log delta) passes.
+        out[routed] = lockstep_searchsorted(values, lo, hi, probes, side)
+        return out
+
+    def lookups_many(self, lows, highs) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`lookups`: refined [start, stop) per (low, high) pair."""
+        return self.search_many(lows, "left"), self.search_many(highs, "right")

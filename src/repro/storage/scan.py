@@ -100,3 +100,69 @@ def scan_filtered(
     if matched:
         visitor.visit(table, start, stop, mask)
     return stop - start, matched
+
+
+#: scan_runs switches to one gathered decode when there are at least this
+#: many runs and they average fewer than _GATHER_MAX_RUN rows each.
+_GATHER_MIN_RUNS = 8
+_GATHER_MAX_RUN = 256
+
+
+def scan_runs(
+    table: Table,
+    bounds: list[tuple[str, int, int]],
+    runs: list[tuple[int, int]],
+    visitor: Visitor,
+) -> tuple[int, int]:
+    """Scan a batch of physical runs sharing one residual filter.
+
+    The batched counterpart of :func:`scan_filtered`, used by the vectorized
+    Flood query path after coalescing storage-adjacent cells. An empty
+    ``bounds`` means every run is exact (``mask=None`` to the visitor,
+    unlocking the cumulative-aggregate fast path). For many short runs —
+    the typical shape after per-cell sort-dimension refinement — all runs
+    are decoded with one gather per filter dimension and masked in a single
+    vectorized pass, instead of one slice decode per run per dimension.
+
+    Returns aggregate ``(points_scanned, points_matched)`` over all runs.
+    """
+    scanned = 0
+    matched = 0
+    if not bounds:
+        for start, stop in runs:
+            visitor.visit(table, start, stop, None)
+            scanned += stop - start
+        return scanned, scanned
+    if len(runs) >= _GATHER_MIN_RUNS:
+        starts = np.array([start for start, _ in runs], dtype=np.int64)
+        stops = np.array([stop for _, stop in runs], dtype=np.int64)
+        lengths = stops - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return 0, 0
+        # reduceat misreads zero-length segments, so empty runs (possible
+        # from external callers) take the per-run path.
+        if total <= len(runs) * _GATHER_MAX_RUN and int(lengths.min()) > 0:
+            ends = np.cumsum(lengths)
+            offsets = ends - lengths
+            # Row ids of every run, concatenated: per-position run base plus
+            # the position's offset within its run.
+            indices = np.repeat(starts - offsets, lengths)
+            indices += np.arange(total, dtype=np.int64)
+            mask = None
+            for dim, low, high in bounds:
+                values = table.take(dim, indices)
+                dim_mask = (values >= low) & (values <= high)
+                mask = dim_mask if mask is None else (mask & dim_mask)
+            counts = np.add.reduceat(mask.astype(np.int64), offsets)
+            for i, (start, stop) in enumerate(runs):
+                if counts[i]:
+                    visitor.visit(
+                        table, start, stop, mask[offsets[i] : ends[i]]
+                    )
+            return total, int(counts.sum())
+    for start, stop in runs:
+        run_scanned, run_matched = scan_filtered(table, bounds, start, stop, visitor)
+        scanned += run_scanned
+        matched += run_matched
+    return scanned, matched

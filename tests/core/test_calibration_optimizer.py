@@ -132,6 +132,61 @@ class TestHeuristicLayout:
         with pytest.raises(BuildError):
             heuristic_layout(make_table(), [], dims=[])
 
+    def test_empty_table_raises_build_error(self):
+        # Regression: an empty table used to surface as a raw numpy error
+        # from rng.choice(0, ...).
+        import numpy as np
+
+        from repro.storage.table import Table
+
+        empty = Table({"x": np.empty(0, dtype=np.int64)})
+        with pytest.raises(BuildError):
+            heuristic_layout(empty, _workload(make_table(), n=2))
+
+
+class TestSampleEvaluatorEdges:
+    def test_top_column_keeps_cdf_one_points(self):
+        # Regression: sample points with model CDF == 1.0 (e.g. the maximum
+        # under exact-quantile flattening) were dropped by the strict upper
+        # comparison even when the query's column range reached the top
+        # column, underestimating Ns versus the real index.
+        from repro.core.optimizer import _SampleEvaluator
+
+        table = make_table(n=400, dims=DIMS, seed=21)
+        lo, hi = table.min_max("x")
+        queries = [Query({"x": (lo, hi)})]
+        evaluator = _SampleEvaluator(
+            table, np.arange(table.num_rows), queries, list(DIMS), "quantile"
+        )
+        features = evaluator.features(DIMS, (4, 4))[0]
+        # The query covers x's whole domain, nothing else is filtered: the
+        # estimate must count every sample point.
+        assert features.ns == pytest.approx(table.num_rows)
+
+    def test_interior_columns_still_exclusive(self):
+        from repro.core.optimizer import _SampleEvaluator
+
+        table = make_table(n=400, dims=DIMS, seed=22)
+        lo, hi = table.min_max("x")
+        queries = [Query({"x": (lo, (lo + hi) // 2)})]
+        evaluator = _SampleEvaluator(
+            table, np.arange(table.num_rows), queries, list(DIMS), "quantile"
+        )
+        features = evaluator.features(DIMS, (4, 4))[0]
+        assert features.ns < table.num_rows
+
+    def test_features_total_cells_no_overflow(self):
+        # Regression: np.prod wrapped total_cells to 0 for huge candidates.
+        from repro.core.optimizer import _SampleEvaluator
+
+        table = make_table(n=100, dims=DIMS, seed=23)
+        evaluator = _SampleEvaluator(
+            table, np.arange(table.num_rows), [_workload(table, n=1)[0]],
+            list(DIMS), "none",
+        )
+        features = evaluator.features(DIMS, (2**20, 2**62))[0]
+        assert features.total_cells == 2**82
+
 
 class TestFindOptimalLayout:
     def test_produces_valid_layout(self):

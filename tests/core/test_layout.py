@@ -58,3 +58,14 @@ class TestGridLayout:
         layout = GridLayout(("a", "b"), (2,))
         with pytest.raises(AttributeError):
             layout.order = ("x",)
+
+    def test_num_cells_no_int64_overflow(self):
+        # Regression: np.prod wraps at int64 ((2**20)**4 -> 0), silently
+        # zeroing the cell count for large column products.
+        layout = GridLayout(("a", "b", "c", "d", "s"), (2**20,) * 4)
+        assert layout.num_cells == 2**80
+
+    def test_num_cells_exact_above_float_precision(self):
+        # Products above 2**53 must not round through float either.
+        layout = GridLayout(("a", "b", "c", "s"), (2**31, 2**31, 3))
+        assert layout.num_cells == 3 * 2**62

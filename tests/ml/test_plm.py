@@ -92,3 +92,78 @@ class TestPLMSearch:
         assert plm.search_left(20) == 1000
         assert plm.search_right(20) == 2000
         assert plm.search_left(15) == plm.search_right(15) == 1000
+
+
+class TestPLMSearchMany:
+    """The batched search path must agree with np.searchsorted exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sorted_arrays,
+        st.integers(1, 60),
+        st.lists(st.integers(-(10**6) - 5, 10**6 + 5), min_size=1, max_size=40),
+    )
+    def test_matches_searchsorted_property(self, values, delta, probes):
+        plm = PiecewiseLinearModel(values, delta=float(delta))
+        probes = np.asarray(probes, dtype=np.int64)
+        for side in ("left", "right"):
+            got = plm.search_many(probes, side)
+            assert np.array_equal(got, np.searchsorted(values, probes, side=side))
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            np.repeat(np.array([10, 20, 30], dtype=np.int64), 1000),  # duplicates
+            np.full(800, 42, dtype=np.int64),  # single distinct value
+            np.array([7], dtype=np.int64),  # one element
+            np.array([], dtype=np.int64),  # empty cell
+            np.arange(0, 5000, 3, dtype=np.int64),  # regular stride
+        ],
+        ids=["duplicates", "all-equal", "singleton", "empty", "stride"],
+    )
+    def test_adversarial_inputs(self, values):
+        plm = PiecewiseLinearModel(values, delta=3.0)
+        probes = np.array(
+            [-(10**9), -1, 0, 7, 10, 15, 20, 29, 30, 42, 4998, 5001, 10**9]
+        )
+        for side in ("left", "right"):
+            got = plm.search_many(probes, side)
+            assert np.array_equal(got, np.searchsorted(values, probes, side=side))
+
+    def test_probes_outside_domain(self):
+        rng = np.random.default_rng(7)
+        values = np.sort(rng.lognormal(8, 2, size=4000).astype(np.int64))
+        probes = np.array([values.min() - 10, values.max() + 10], dtype=np.int64)
+        assert np.array_equal(plm_search_both(values, probes, "left"),
+                              np.searchsorted(values, probes, side="left"))
+        assert np.array_equal(plm_search_both(values, probes, "right"),
+                              np.searchsorted(values, probes, side="right"))
+
+    def test_agrees_with_scalar_search(self):
+        rng = np.random.default_rng(8)
+        values = np.sort(rng.integers(0, 500, size=3000))
+        plm = PiecewiseLinearModel(values, delta=10.0)
+        probes = rng.integers(-50, 550, size=300)
+        for side in ("left", "right"):
+            batched = plm.search_many(probes, side)
+            scalar = np.array([plm._search(float(p), side) for p in probes])
+            assert np.array_equal(batched, scalar)
+
+    def test_lookups_many_matches_lookups(self):
+        rng = np.random.default_rng(9)
+        values = np.sort(rng.integers(0, 200, size=1500))
+        plm = PiecewiseLinearModel(values, delta=8.0)
+        lows = rng.integers(-20, 220, size=50)
+        highs = lows + rng.integers(0, 50, size=50)
+        starts, stops = plm.lookups_many(lows, highs)
+        for i in range(50):
+            assert (starts[i], stops[i]) == plm.lookups(int(lows[i]), int(highs[i]))
+
+    def test_rejects_bad_side(self):
+        plm = PiecewiseLinearModel(np.arange(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            plm.search_many(np.array([1]), side="middle")
+
+
+def plm_search_both(values, probes, side):
+    return PiecewiseLinearModel(values, delta=5.0).search_many(probes, side)

@@ -36,6 +36,13 @@ class TestParser:
         for driver_name in BENCH_DRIVERS.values():
             assert hasattr(experiments, driver_name), driver_name
 
+    def test_throughput_defaults(self):
+        args = build_parser().parse_args(["throughput"])
+        assert args.dataset == "tpch"
+        assert args.workers == 1
+        assert args.grid_scale == 1.0
+        assert not args.compare_legacy
+
 
 class TestCommands:
     def test_datasets_lists_all(self, capsys):
@@ -49,3 +56,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Learned layout" in out
         assert "Flood" in out and "Full Scan" in out
+
+    def test_throughput_runs_small(self, capsys):
+        assert (
+            main(
+                [
+                    "throughput", "--rows", "2000", "--queries", "20",
+                    "--repeats", "1", "--grid-scale", "2", "--workers", "2",
+                    "--compare-legacy", "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "queries/s" in out
+        assert "results identical" in out

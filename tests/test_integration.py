@@ -75,3 +75,20 @@ class TestEndToEnd:
             assert stats.points_scanned >= stats.points_matched
             assert stats.exact_points <= stats.points_scanned
             assert stats.total_time >= stats.scan_time
+
+    def test_batch_engine_matches_legacy_path(self, pipeline):
+        # The vectorized batch engine must reproduce the seed per-cell
+        # loop's aggregates and counters on every dataset's own workload.
+        from repro.core.engine import BatchQueryEngine
+        from repro.storage.visitor import CountVisitor
+
+        bundle, flood, _, _, _ = pipeline
+        queries = bundle.test[:12]
+        batch = BatchQueryEngine(flood, workers=2).run(queries)
+        for query, got_count, got_stats in zip(queries, batch.results, batch.stats):
+            visitor = CountVisitor()
+            legacy = flood.query_percell(query, visitor)
+            assert visitor.result == got_count, f"{bundle.name}: {query}"
+            assert legacy.points_matched == got_stats.points_matched
+            assert legacy.points_scanned == got_stats.points_scanned
+            assert legacy.cells_visited == got_stats.cells_visited
