@@ -1,0 +1,158 @@
+"""Sharding: single-query fan-out and serving concurrency vs the PR-1 engine.
+
+Two sweeps over the same Fig.7-style TPC-H configuration used by
+``bench_throughput.py``:
+
+1. **Shard count** — one *large* query (most of the table, with residual
+   checks so the scan does real masking work) executed on a plain
+   ``FloodIndex`` and on ``ShardedFloodIndex`` at increasing shard counts.
+   On a multi-core runner the single query must get *faster* with more
+   than one shard; on any runner the results must be identical to the
+   seed's per-cell loop.
+2. **Concurrency** — the generated query mix through ``BatchQueryEngine``
+   over the unsharded vs the sharded index at increasing worker counts,
+   showing the two parallelism axes (across queries / within a query)
+   compose without corrupting results.
+
+The speedup assertion is gated on core count: a single-core runner cannot
+exhibit intra-query parallelism, so there only identity is enforced.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.harness import build_flood
+from repro.core.cost import AnalyticCostModel
+from repro.core.engine import BatchQueryEngine
+from repro.core.index import FloodIndex
+from repro.core.shard import ShardedFloodIndex
+from repro.datasets import load
+from repro.query.predicate import Query
+from repro.storage.visitor import CountVisitor
+
+ROWS = 200_000
+GRID_SCALE = 4.0
+#: Shard counts swept by the single-query benchmark (1 = the baseline).
+SHARD_COUNTS = (1, 2, 4, 8)
+#: Required single-large-query speedup of the best sharded configuration
+#: over the unsharded index — only asserted with >= 2 physical cores.
+#: Set REPRO_REQUIRE_SHARD_SPEEDUP=0 to demote the assert to a report on
+#: runners too noisy for timing guarantees (identity is still enforced).
+MIN_SHARDED_SPEEDUP = 1.1
+REQUIRE_SPEEDUP = os.environ.get("REPRO_REQUIRE_SHARD_SPEEDUP", "1") != "0"
+CORES = os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def sharding_setup():
+    bundle = load("tpch", n=ROWS, num_queries=80, seed=7)
+    _, opt = build_flood(
+        bundle.table, bundle.train, cost_model=AnalyticCostModel(),
+        max_cells=8192, seed=7,
+    )
+    layout = opt.layout.scaled(GRID_SCALE)
+    flood = FloodIndex(layout).build(bundle.table)
+    return flood, bundle
+
+
+def _large_query(flood) -> Query:
+    """A query covering most of the table with genuine residual checks.
+
+    Bounds sit strictly inside each dimension's domain so boundary columns
+    keep their per-point checks — the masking work that sharding splits.
+    """
+    table = flood.table
+    ranges = {}
+    for dim in flood.layout.order[:2]:
+        lo, hi = table.min_max(dim)
+        span = hi - lo
+        ranges[dim] = (lo + span // 20, hi - span // 20)
+    return Query(ranges)
+
+
+def _best_seconds(run, repeats=5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_single_query_shard_sweep(sharding_setup):
+    flood, _ = sharding_setup
+    query = _large_query(flood)
+    reference = CountVisitor()
+    flood.query_percell(query, reference)
+
+    timings = {}
+    baseline_visitor = CountVisitor()
+    flood.query(query, baseline_visitor)  # warmup
+    timings[1] = _best_seconds(
+        lambda: flood.query(query, CountVisitor())
+    )
+    for shards in SHARD_COUNTS[1:]:
+        sharded = ShardedFloodIndex.wrap(flood, num_shards=shards)
+        visitor = CountVisitor()
+        stats = sharded.query(query, visitor)  # warmup + identity
+        assert visitor.result == reference.result
+        assert stats.points_matched == reference.result
+        timings[shards] = _best_seconds(
+            lambda: sharded.query(query, CountVisitor())
+        )
+
+    print(f"\nsingle large query ({reference.result} rows matched), {CORES} cores:")
+    for shards, seconds in timings.items():
+        label = "unsharded" if shards == 1 else f"{shards} shards"
+        print(f"  {label:>10s}: {seconds * 1e3:8.3f} ms "
+              f"({timings[1] / seconds:5.2f}x)")
+    if CORES >= 2:
+        best_sharded = min(seconds for s, seconds in timings.items() if s > 1)
+        speedup = timings[1] / best_sharded
+        message = (
+            f"sharding only {speedup:.2f}x on {CORES} cores "
+            f"(need >= {MIN_SHARDED_SPEEDUP}x)"
+        )
+        if REQUIRE_SPEEDUP:
+            assert speedup >= MIN_SHARDED_SPEEDUP, message
+        elif speedup < MIN_SHARDED_SPEEDUP:
+            print(f"  WARNING (not asserted): {message}")
+
+
+def test_concurrency_sweep_identity(sharding_setup):
+    flood, bundle = sharding_setup
+    queries = (bundle.test + bundle.train)[:60]
+    sharded = ShardedFloodIndex.wrap(flood)
+    reference = BatchQueryEngine(flood, workers=1).run(queries)
+    print(f"\nworkload of {len(queries)} queries, {CORES} cores:")
+    for workers in (1, 2, 4):
+        for index, label in ((flood, "unsharded"), (sharded, "sharded")):
+            engine = BatchQueryEngine(index, workers=workers)
+            batch = min(
+                (engine.run(queries) for _ in range(3)),
+                key=lambda b: b.wall_seconds,
+            )
+            assert batch.results == reference.results, (workers, label)
+            print(f"  {workers} worker(s), {label:>9s}: "
+                  f"{batch.queries_per_second:9.1f} q/s")
+
+
+def test_sharded_percell_identity(sharding_setup):
+    """Sharded scans match the seed loop on the generated mix, forced parallel."""
+    flood, bundle = sharding_setup
+    sharded = ShardedFloodIndex.wrap(flood, num_shards=4, min_parallel_points=0)
+    for query in bundle.test[:25]:
+        fast, slow = CountVisitor(), CountVisitor()
+        s_fast = sharded.query(query, fast)
+        s_slow = flood.query_percell(query, slow)
+        assert fast.result == slow.result
+        assert s_fast.points_scanned == s_slow.points_scanned
+        assert s_fast.points_matched == s_slow.points_matched
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

@@ -26,6 +26,7 @@ from repro.core.cost import AnalyticCostModel, LearnedCostModel
 from repro.core.flatten import Flattener
 from repro.core.index import FloodIndex
 from repro.core.layout import GridLayout
+from repro.core.shard import ShardedFloodIndex
 from repro.core.optimizer import find_optimal_layout, heuristic_layout
 from repro.errors import BuildError, QueryError, ReproError, SchemaError
 from repro.query.predicate import Query
@@ -48,6 +49,7 @@ __all__ = [
     "Flattener",
     "FloodIndex",
     "GridLayout",
+    "ShardedFloodIndex",
     "find_optimal_layout",
     "heuristic_layout",
     "BuildError",

@@ -17,6 +17,10 @@ Commands
     Serve a generated workload through the batch query engine (throughput
     mode) and report queries/second, optionally against the seed's
     per-cell reference loop.
+``serve``
+    Build an index over a generated dataset and serve it to concurrent
+    clients over TCP (JSON lines), with micro-batching and optional
+    table sharding; pair with :mod:`repro.serve.client`.
 """
 
 from __future__ import annotations
@@ -99,6 +103,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time the seed's per-cell loop and verify identical results",
     )
     throughput.add_argument("--seed", type=int, default=7)
+
+    serve = sub.add_parser(
+        "serve", help="serve an index to concurrent clients over TCP"
+    )
+    serve.add_argument("--dataset", default="tpch", help="dataset name")
+    serve.add_argument("--rows", type=int, default=100_000, help="row count")
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="listen port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="engine worker threads"
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="table shards for intra-query parallelism (0 = one per core, "
+        "1 = unsharded)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="micro-batch size bound"
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch latency bound (ms the first request may wait)",
+    )
+    serve.add_argument(
+        "--grid-scale",
+        type=float,
+        default=1.0,
+        help="scale the learned grid's column counts (see `throughput`)",
+    )
+    serve.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -191,6 +231,71 @@ def _cmd_throughput(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.bench.harness import build_flood
+    from repro.core.engine import BatchQueryEngine
+    from repro.core.shard import ShardedFloodIndex
+    from repro.datasets import load
+    from repro.serve.server import FloodServer
+
+    if args.shards < 0:
+        print("serve needs --shards >= 0 (0 = one per core)", file=sys.stderr)
+        return 2
+    print(f"Loading {args.dataset} at {args.rows} rows...")
+    bundle = load(args.dataset, n=args.rows, num_queries=50, seed=args.seed)
+    flood, opt = build_flood(bundle.table, bundle.train, seed=args.seed)
+    layout = opt.layout
+    if args.grid_scale != 1.0:
+        from repro.core.index import FloodIndex
+
+        layout = layout.scaled(args.grid_scale)
+        flood = FloodIndex(layout).build(bundle.table)
+    if args.shards != 1:
+        flood = ShardedFloodIndex.wrap(
+            flood, num_shards=args.shards if args.shards else None
+        )
+        print(f"Sharded into {flood.effective_shards} storage shards")
+    print(f"Layout: {layout.describe()} ({layout.num_cells} cells)")
+    # One long-lived pool shared across every micro-batch (the engine
+    # would otherwise spin up and tear down a pool per batch).
+    pool = None
+    if args.workers > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ThreadPoolExecutor(
+            max_workers=args.workers, thread_name_prefix="repro-serve"
+        )
+    engine = BatchQueryEngine(flood, workers=args.workers, executor=pool)
+    server = FloodServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+    )
+
+    async def main() -> None:
+        host, port = await server.start()
+        # The smoke tests (and scripted clients) parse this exact line.
+        print(f"repro-serve listening on {host}:{port}", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await server.stop()
+        print("repro-serve stopped")
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nrepro-serve interrupted")
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     from repro.bench.experiments import BENCH_ROWS
     from repro.datasets import DATASET_NAMES
@@ -228,6 +333,7 @@ def main(argv=None) -> int:
         "datasets": _cmd_datasets,
         "calibrate": _cmd_calibrate,
         "throughput": _cmd_throughput,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -8,6 +8,9 @@
   refinement, and scan (Sections 3.2 and 5.2).
 - :mod:`repro.core.engine` -- throughput-mode batch execution of query
   workloads (vectorized plans, shared enumeration cache, worker pool).
+- :mod:`repro.core.shard` -- intra-query parallelism: the clustered table
+  split into storage-contiguous shards so one query's scan fans out
+  across cores.
 - :mod:`repro.core.cost` -- the cost model Time = wp*Nc + wr*Nc + ws*Ns with
   learned weights (Section 4.1).
 - :mod:`repro.core.calibration` -- weight-model training from random
@@ -31,8 +34,10 @@ from repro.core.knn import KNNSearcher, knn
 from repro.core.layout import GridLayout
 from repro.core.monitor import AdaptiveFlood, WorkloadMonitor
 from repro.core.optimizer import find_optimal_layout, heuristic_layout
+from repro.core.shard import ShardedFloodIndex
 
 __all__ = [
+    "ShardedFloodIndex",
     "DeltaBufferedFlood",
     "KNNSearcher",
     "knn",

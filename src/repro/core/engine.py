@@ -7,7 +7,9 @@ column ranges reuse one vectorized cell enumeration), per-query state is
 kept in reusable buffers, and an optional worker pool parallelizes across
 queries — the numpy kernels (plan gather, lock-step refinement, gathered
 scans) release the GIL for their heavy lifting, so threads scale on
-multicore without sharding the table.
+multicore without sharding the table. For parallelism *within* one large
+query, pair the engine with :class:`~repro.core.shard.ShardedFloodIndex`;
+for serving concurrent clients, put :mod:`repro.serve` in front of it.
 
 Every query still gets its own :class:`QueryStats` and visitor, and results
 are bit-identical to running :meth:`FloodIndex.query` (or the seed's
@@ -49,7 +51,13 @@ class BatchResult:
 
     @property
     def queries_per_second(self) -> float:
-        if self.wall_seconds <= 0.0:
+        """Aggregate throughput over the batch's wall time.
+
+        Guarded against degenerate timing: an empty batch, or one so fast
+        (or so coarsely clocked) that the measured wall time is zero or
+        negative, reports ``0.0`` rather than raising or returning ``inf``.
+        """
+        if self.num_queries == 0 or self.wall_seconds <= 0.0:
             return 0.0
         return self.num_queries / self.wall_seconds
 
@@ -75,15 +83,25 @@ class BatchQueryEngine:
     Parameters
     ----------
     index:
-        A built Flood index (any ``flatten`` / ``refinement`` variant).
+        A built Flood index (any ``flatten`` / ``refinement`` variant),
+        including :class:`~repro.core.shard.ShardedFloodIndex` — engine
+        workers then parallelize across queries while each query's scan
+        fans out across the shard pool (the pools are distinct and both
+        bounded, so the combination cannot deadlock or oversubscribe
+        unboundedly).
     workers:
         Worker threads for query-level parallelism. 1 (default) runs the
         batch on the calling thread; the enumeration cache is shared either
         way (a benign race may duplicate a cache fill under threads, never
         corrupt it, since entries are immutable once stored).
+    executor:
+        Optional externally-owned :class:`ThreadPoolExecutor` to dispatch
+        worker jobs on (the serving layer shares one pool across batches).
+        When given, ``workers`` only controls job chunking and the engine
+        never shuts the pool down.
     """
 
-    def __init__(self, index: FloodIndex, workers: int = 1):
+    def __init__(self, index: FloodIndex, workers: int = 1, executor=None):
         if not isinstance(index, FloodIndex):
             raise QueryError(
                 f"BatchQueryEngine requires a FloodIndex, got {type(index).__name__}"
@@ -91,6 +109,7 @@ class BatchQueryEngine:
         index.table  # raises BuildError when not built
         self.index = index
         self.workers = max(1, int(workers))
+        self.executor = executor
         self._enum_cache: dict = {}
 
     def clear_cache(self) -> None:
@@ -98,10 +117,33 @@ class BatchQueryEngine:
         self._enum_cache.clear()
 
     # ------------------------------------------------------------------- run
-    def run(self, queries, visitor_factory=CountVisitor) -> BatchResult:
-        """Execute ``queries``; one visitor + one QueryStats per query."""
+    def run(self, queries, visitor_factory=CountVisitor, visitors=None) -> BatchResult:
+        """Execute ``queries``; one visitor + one QueryStats per query.
+
+        Parameters
+        ----------
+        queries:
+            Iterable of :class:`~repro.query.predicate.Query`.
+        visitor_factory:
+            Zero-argument callable producing a fresh visitor per query
+            (default ``CountVisitor``); ignored when ``visitors`` is given.
+        visitors:
+            Optional pre-built visitor list aligned with ``queries`` — the
+            serving batcher passes one, since requests in a micro-batch may
+            ask for different aggregates.
+
+        Returns
+        -------
+        :class:`BatchResult` with per-query stats and visitors in input
+        order plus the batch's wall time.
+        """
         queries = list(queries)
-        visitors = [visitor_factory() for _ in queries]
+        if visitors is None:
+            visitors = [visitor_factory() for _ in queries]
+        elif len(visitors) != len(queries):
+            raise QueryError(
+                f"{len(queries)} queries but {len(visitors)} visitors"
+            )
         stats: list[QueryStats | None] = [None] * len(queries)
         wall_start = timed()
         if self.workers == 1 or len(queries) <= 1:
@@ -117,8 +159,11 @@ class BatchQueryEngine:
                 for i in range(first, min(first + block, len(queries))):
                     stats[i] = self._execute(queries[i], visitors[i])
 
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                list(pool.map(job, blocks))
+            if self.executor is not None:
+                list(self.executor.map(job, blocks))
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    list(pool.map(job, blocks))
         return BatchResult(
             stats=stats, visitors=visitors, wall_seconds=timed() - wall_start
         )

@@ -150,6 +150,25 @@ class FloodIndex(BaseIndex):
 
     name = "Flood"
 
+    #: Attributes holding all state :meth:`_build` produces. Lives next to
+    #: the build code so additions stay in sync; anything sharing a built
+    #: index without rebuilding (``ShardedFloodIndex.wrap``) copies exactly
+    #: these. PLM entries are absent under other refinements, hence the
+    #: hasattr guard at the copy site.
+    _BUILT_STATE_ATTRS = (
+        "_table",
+        "_sort_values",
+        "_cell_starts",
+        "_cell_models",
+        "_flattener",
+        "_plm_cell_offsets",
+        "_plm_keys",
+        "_plm_pos",
+        "_plm_slope",
+        "_plm_maxerr",
+        "_plm_ends",
+    )
+
     def __init__(
         self,
         layout: GridLayout,
@@ -235,6 +254,18 @@ class FloodIndex(BaseIndex):
         self._plm_ends = (
             np.concatenate(ends) if ends else np.empty(0, dtype=np.int64)
         )
+
+    @property
+    def cell_starts(self) -> np.ndarray:
+        """Physical start row of every cell (length ``num_cells + 1``).
+
+        ``cell_starts[c]`` is the first row of cell ``c`` in the clustered
+        table and ``cell_starts[-1] == num_rows``; shard boundaries are
+        chosen along this array so each shard owns whole cells.
+        """
+        if self._table is None:
+            raise BuildError(f"{self.name} index used before build()")
+        return self._cell_starts
 
     # ------------------------------------------------------------------ query
     def _project(self, query: Query):
@@ -427,11 +458,34 @@ class FloodIndex(BaseIndex):
         return np.where(routed, out, starts)
 
     def execute_plan(
-        self, plan: QueryPlan, query: Query, visitor: Visitor, stats: QueryStats
+        self,
+        plan: QueryPlan,
+        query: Query,
+        visitor: Visitor,
+        stats: QueryStats,
+        runs: list[tuple[int, int, int]] | None = None,
     ) -> None:
-        """Scan a (refined) plan: coalesced runs, grouped by check set."""
+        """Scan a (refined) plan: coalesced runs, grouped by check set.
+
+        Parameters
+        ----------
+        plan:
+            A (refined) :class:`QueryPlan` for ``query``.
+        query:
+            The query, consulted for residual-check bounds.
+        visitor:
+            Aggregation visitor fed every matching range.
+        stats:
+            Mutated in place: ``points_scanned`` / ``points_matched`` /
+            ``exact_points`` accumulate over all runs.
+        runs:
+            Optional pre-computed ``(start, stop, code)`` runs; defaults to
+            ``plan.coalesced_runs()``. The sharded index passes each shard's
+            run subset through here so per-shard scans reuse this kernel.
+        """
         table = self.table
-        runs = plan.coalesced_runs()
+        if runs is None:
+            runs = plan.coalesced_runs()
         if not runs:
             return
         by_code: dict[int, list[tuple[int, int]]] = {}
@@ -449,6 +503,29 @@ class FloodIndex(BaseIndex):
     def query(
         self, query: Query, visitor: Visitor, enum_cache: dict | None = None
     ) -> QueryStats:
+        """Execute one range query through the vectorized pipeline.
+
+        Runs the paper's three stages — projection (:meth:`plan`),
+        sort-dimension refinement (:meth:`refine_plan`), and the coalesced
+        scan (:meth:`execute_plan`) — timing each into the returned stats.
+
+        Parameters
+        ----------
+        query:
+            Conjunction of inclusive ranges; dimensions it does not filter
+            are unbounded.
+        visitor:
+            Aggregation visitor fed every matching range (``mask=None``
+            marks exact ranges, enabling the cumulative-aggregate path).
+        enum_cache:
+            Optional cell-enumeration memo shared across queries (see
+            :meth:`plan`); the batch engine passes its own.
+
+        Returns
+        -------
+        :class:`~repro.query.stats.QueryStats` with the paper's counters
+        (cells visited, points scanned/matched, per-stage times).
+        """
         stats = QueryStats()
         # ---- projection (timed as a whole; per-cell timers would dominate
         # the very overhead they measure).
@@ -475,6 +552,19 @@ class FloodIndex(BaseIndex):
         Kept verbatim as the baseline for ``benchmarks/bench_throughput.py``
         and for result-identity tests against the vectorized engine; produces
         the same stats counters as :meth:`query`.
+
+        Parameters
+        ----------
+        query:
+            Conjunction of inclusive ranges (same semantics as
+            :meth:`query`).
+        visitor:
+            Aggregation visitor fed every matching range.
+
+        Returns
+        -------
+        :class:`~repro.query.stats.QueryStats`; counter-identical to
+        :meth:`query` on the same query (timings differ, of course).
         """
         stats = QueryStats()
         layout = self.layout

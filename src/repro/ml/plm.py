@@ -249,6 +249,20 @@ class PiecewiseLinearModel:
         error-bounded bracket, and finishes with a lock-step binary search
         over the (tight) brackets — so a cell's whole probe batch costs a
         handful of numpy ops instead of two Python calls per probe.
+
+        Parameters
+        ----------
+        probes:
+            Scalar or 1-D array of probe values (cast to float64, like the
+            scalar path).
+        side:
+            ``'left'`` or ``'right'``, with numpy's ``searchsorted``
+            semantics.
+
+        Returns
+        -------
+        int64 array of insertion points, aligned with ``probes``; exact
+        (model mispredictions are repaired before the final search).
         """
         if side not in ("left", "right"):
             raise ValueError(f"side must be 'left' or 'right', got {side!r}")

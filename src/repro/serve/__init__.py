@@ -1,0 +1,29 @@
+"""Async serving front-end over the batch query engine.
+
+The library becomes a system here: concurrent clients talk to a small
+asyncio server whose request queue coalesces simultaneously-arriving
+queries into micro-batches, amortizing the engine's per-batch costs
+(enumeration-cache hits, worker-pool dispatch) without hurting latency —
+each batch is bounded both in size and in how long the first request may
+wait.
+
+- :mod:`repro.serve.batcher` -- the size- and latency-bounded
+  :class:`MicroBatcher` turning single awaited requests into engine
+  batches.
+- :mod:`repro.serve.server` -- :class:`FloodServer`, a JSON-lines TCP
+  front-end dispatching through the batcher (``repro serve``).
+- :mod:`repro.serve.client` -- :class:`FloodClient` (blocking) and
+  :class:`AsyncFloodClient` for talking to the server.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import AsyncFloodClient, FloodClient
+from repro.serve.server import FloodServer, visitor_factory_for
+
+__all__ = [
+    "MicroBatcher",
+    "FloodServer",
+    "FloodClient",
+    "AsyncFloodClient",
+    "visitor_factory_for",
+]

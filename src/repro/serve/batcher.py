@@ -1,0 +1,230 @@
+"""Micro-batching: coalesce concurrent requests into engine batches.
+
+Serving workloads arrive one query at a time, but the engine is fastest
+when fed batches (shared enumeration cache, one worker-pool dispatch).
+The :class:`MicroBatcher` bridges the two: awaiting clients put requests
+on an asyncio queue; a collector task gathers them into micro-batches
+bounded by **size** (``max_batch`` requests dispatch immediately) and
+**latency** (the first request in a batch never waits longer than
+``max_delay`` seconds), then runs the batch on an executor thread so the
+event loop stays responsive. Each request gets back its own visitor
+result and :class:`~repro.query.stats.QueryStats`, exactly as if it had
+run alone.
+
+Cancellation is per-request: a client abandoning its future (timeout,
+disconnect) removes only that request — the rest of the micro-batch is
+unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.core.engine import BatchQueryEngine
+from repro.errors import QueryError
+from repro.query.predicate import Query
+from repro.storage.visitor import CountVisitor
+
+#: Queue sentinel telling the collector task to exit.
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Request:
+    """One awaited query: predicate, aggregate, and the future to resolve."""
+
+    query: Query
+    visitor_factory: object
+    future: asyncio.Future
+
+
+@dataclass
+class BatcherStats:
+    """Counters a serving process exposes for observability.
+
+    Running aggregates only — a long-lived server must not accumulate
+    per-batch history.
+    """
+
+    batches_dispatched: int = 0
+    queries_served: int = 0
+    queries_cancelled: int = 0
+    largest_batch: int = 0
+    batched_queries_total: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average dispatched batch size (0.0 before the first dispatch)."""
+        if self.batches_dispatched == 0:
+            return 0.0
+        return self.batched_queries_total / self.batches_dispatched
+
+
+class MicroBatcher:
+    """Size- and latency-bounded request coalescing over a batch engine.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.core.engine.BatchQueryEngine` over a built index
+        (sharded or not).
+    max_batch:
+        Dispatch as soon as this many requests have been gathered.
+    max_delay:
+        Seconds the *first* request of a batch may wait for company; a
+        lone request is dispatched after at most this long.
+    executor:
+        Optional executor for the blocking engine call; ``None`` uses the
+        event loop's default thread pool.
+    """
+
+    def __init__(
+        self,
+        engine: BatchQueryEngine,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        executor=None,
+    ):
+        if max_batch < 1:
+            raise QueryError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise QueryError(f"max_delay must be >= 0, got {max_delay}")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.executor = executor
+        self.stats = BatcherStats()
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._dispatches: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Create the queue and the collector task (idempotent)."""
+        if self._task is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._task = asyncio.get_running_loop().create_task(self._collect())
+
+    async def stop(self) -> None:
+        """Drain-stop: finish gathered work, fail still-queued requests."""
+        if self._task is None:
+            return
+        await self._queue.put(_SHUTDOWN)
+        await self._task
+        self._task = None
+        # Anything enqueued after the sentinel cannot be served anymore.
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not _SHUTDOWN and not item.future.done():
+                item.future.set_exception(QueryError("batcher stopped"))
+        self._queue = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the collector task is active."""
+        return self._task is not None
+
+    # --------------------------------------------------------------- submit
+    async def submit(self, query: Query, visitor_factory=CountVisitor):
+        """Enqueue one query; await its ``(result, stats)`` pair.
+
+        Parameters
+        ----------
+        query:
+            The range predicate to execute.
+        visitor_factory:
+            Zero-argument callable building this request's aggregation
+            visitor (requests in one micro-batch may use different
+            aggregates).
+
+        Returns
+        -------
+        ``(result, stats)`` — the visitor's aggregate and the query's
+        :class:`~repro.query.stats.QueryStats`.
+        """
+        if self._task is None:
+            raise QueryError("MicroBatcher.submit before start()")
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Request(query, visitor_factory, future))
+        return await future
+
+    # -------------------------------------------------------------- collect
+    async def _collect(self) -> None:
+        """Gather requests into bounded micro-batches and dispatch them.
+
+        Dispatch is fired as its own task (the engine runs off-loop
+        anyway), so gathering the next batch overlaps the previous batch's
+        execution — without this, every gather window would idle the
+        engine and a request arriving mid-execution would wait for the
+        whole running batch before its own clock even started.
+        """
+        loop = asyncio.get_running_loop()
+        queue = self._queue
+        stopping = False
+        while not stopping:
+            item = await queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch = [item]
+            deadline = loop.time() + self.max_delay
+            while len(batch) < self.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break  # latency bound: the first request has waited enough
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is _SHUTDOWN:
+                    stopping = True
+                    break
+                batch.append(item)
+            task = loop.create_task(self._dispatch(batch))
+            self._dispatches.add(task)
+            task.add_done_callback(self._dispatches.discard)
+        # Drain-stop: every dispatched batch finishes before stop() returns.
+        if self._dispatches:
+            await asyncio.gather(*self._dispatches, return_exceptions=True)
+
+    async def _dispatch(self, batch: list[_Request]) -> None:
+        """Run one micro-batch on the engine (in a thread) and resolve futures."""
+        live: list[_Request] = []
+        visitors = []
+        for request in batch:
+            if request.future.done():
+                self.stats.queries_cancelled += 1
+                continue
+            try:
+                visitor = request.visitor_factory()
+            except Exception as exc:
+                # A raising factory fails its own request only — never the
+                # batchmates, and never the collector task.
+                request.future.set_exception(exc)
+                continue
+            live.append(request)
+            visitors.append(visitor)
+        if not live:
+            return
+        queries = [r.query for r in live]
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self.executor,
+                lambda: self.engine.run(queries, visitors=visitors),
+            )
+        except Exception as exc:  # resolve every waiter, never hang a client
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        self.stats.batches_dispatched += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, len(live))
+        self.stats.batched_queries_total += len(live)
+        for request, visitor, stats in zip(live, result.visitors, result.stats):
+            if not request.future.done():  # cancelled while the batch ran
+                request.future.set_result((visitor.result, stats))
+                self.stats.queries_served += 1
+            else:
+                self.stats.queries_cancelled += 1

@@ -1,0 +1,165 @@
+"""Clients for the JSON-lines serving front-end.
+
+:class:`FloodClient` is a small blocking client (plain sockets, no
+dependencies) for scripts, the CLI demo, and the smoke tests;
+:class:`AsyncFloodClient` is its asyncio twin for load generators that
+want many in-flight requests per connection (which is exactly what makes
+the server's micro-batcher earn its keep).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.errors import QueryError
+
+
+class ServerError(QueryError):
+    """The server replied ``ok: false``; the message is the server's."""
+
+
+def _request_payload(ranges, agg, dim, request_id) -> dict:
+    payload = {"id": request_id, "ranges": dict(ranges), "agg": agg}
+    if dim is not None:
+        payload["dim"] = dim
+    return payload
+
+
+def _check_reply(reply: dict) -> dict:
+    if not reply.get("ok"):
+        raise ServerError(reply.get("error", "unknown server error"))
+    return reply
+
+
+class FloodClient:
+    """Blocking JSON-lines client; one request in flight at a time.
+
+    Usable as a context manager::
+
+        with FloodClient(host, port) as client:
+            count, stats = client.query({"x": (0, 100)})
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def __enter__(self) -> "FloodClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _roundtrip(self, payload: dict) -> dict:
+        self._file.write((json.dumps(payload) + "\n").encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise QueryError("server closed the connection")
+        return _check_reply(json.loads(line))
+
+    def query(self, ranges, agg: str = "count", dim: str | None = None):
+        """Execute one range query; returns ``(result, stats_dict)``.
+
+        Parameters
+        ----------
+        ranges:
+            Mapping of dimension name to inclusive ``(low, high)`` bounds.
+        agg:
+            Aggregate: ``count`` (default) / ``sum`` / ``avg`` / ``min`` /
+            ``max``.
+        dim:
+            Aggregated dimension (required for everything but ``count``).
+        """
+        self._next_id += 1
+        reply = self._roundtrip(_request_payload(ranges, agg, dim, self._next_id))
+        return reply["result"], reply["stats"]
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+
+    def server_stats(self) -> dict:
+        """The server's serving counters (connections, batch sizes, ...)."""
+        return self._roundtrip({"op": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (acked, then the server closes)."""
+        self._roundtrip({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+class AsyncFloodClient:
+    """Asyncio client; supports many concurrent :meth:`query` calls.
+
+    Replies are matched to requests by ``id``, so callers may fire
+    requests concurrently over the single connection — the natural way to
+    exercise the server's micro-batching from one process.
+    """
+
+    def __init__(self):
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: asyncio.Task | None = None
+
+    async def connect(self, host: str, port: int) -> "AsyncFloodClient":
+        """Open the connection and start the reply-dispatch task."""
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._dispatch_replies()
+        )
+        return self
+
+    async def _dispatch_replies(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                reply = json.loads(line)
+                future = self._pending.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(QueryError("connection closed"))
+            self._pending.clear()
+
+    async def query(self, ranges, agg: str = "count", dim: str | None = None):
+        """Execute one query; see :meth:`FloodClient.query`."""
+        if self._writer is None:
+            raise QueryError("AsyncFloodClient.query before connect()")
+        self._next_id += 1
+        request_id = self._next_id
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        payload = _request_payload(ranges, agg, dim, request_id)
+        self._writer.write((json.dumps(payload) + "\n").encode())
+        await self._writer.drain()
+        reply = _check_reply(await future)
+        return reply["result"], reply["stats"]
+
+    async def close(self) -> None:
+        """Close the connection and stop the dispatch task."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+        if self._reader_task is not None:
+            await self._reader_task
+            self._reader_task = None

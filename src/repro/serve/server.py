@@ -1,0 +1,264 @@
+"""The JSON-lines TCP server: concurrent clients over one engine.
+
+A deliberately thin front-end (in the spirit of serving layers over
+embedded engines): newline-delimited JSON over TCP, no framing library,
+no external dependencies. Every connection is an asyncio task; every
+query request flows through the shared :class:`MicroBatcher`, so queries
+arriving concurrently — from one pipelining client or many — are served
+as engine micro-batches.
+
+Wire protocol (one JSON object per line, in either direction):
+
+- Query: ``{"id": 1, "ranges": {"x": [0, 100]}, "agg": "count"}`` —
+  ``agg`` is one of ``count`` / ``sum`` / ``avg`` / ``min`` / ``max``
+  (all but ``count`` need ``"dim"``), default ``count``.
+  Reply: ``{"id": 1, "ok": true, "result": 42, "stats": {...}}`` with the
+  paper's per-query counters under ``stats``.
+- Ops: ``{"op": "ping"}`` (liveness), ``{"op": "stats"}`` (server +
+  batcher counters), ``{"op": "shutdown"}`` (graceful stop; used by the
+  smoke tests and the demo client).
+- Errors: ``{"id": ..., "ok": false, "error": "..."}``; malformed JSON
+  gets an error reply and the connection stays open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+
+from repro.core.engine import BatchQueryEngine
+from repro.errors import QueryError, ReproError
+from repro.query.predicate import Query
+from repro.serve.batcher import MicroBatcher
+from repro.storage.visitor import (
+    AvgVisitor,
+    CountVisitor,
+    MaxVisitor,
+    MinVisitor,
+    SumVisitor,
+)
+
+#: Aggregate name -> (visitor class, needs a dimension argument).
+_AGGREGATES = {
+    "count": (CountVisitor, False),
+    "sum": (SumVisitor, True),
+    "avg": (AvgVisitor, True),
+    "min": (MinVisitor, True),
+    "max": (MaxVisitor, True),
+}
+
+
+def visitor_factory_for(agg: str, dim: str | None = None):
+    """A zero-argument visitor factory for an aggregate spec.
+
+    Parameters
+    ----------
+    agg:
+        Aggregate name: ``count`` / ``sum`` / ``avg`` / ``min`` / ``max``.
+    dim:
+        Aggregated dimension; required for everything but ``count``.
+    """
+    try:
+        cls, needs_dim = _AGGREGATES[agg]
+    except KeyError:
+        raise QueryError(
+            f"unknown aggregate {agg!r}; use one of {sorted(_AGGREGATES)}"
+        ) from None
+    if needs_dim:
+        if not dim:
+            raise QueryError(f"aggregate {agg!r} needs a 'dim'")
+        return lambda: cls(dim)
+    return cls
+
+
+class FloodServer:
+    """Serve a built index to concurrent TCP clients via micro-batches.
+
+    Parameters
+    ----------
+    engine:
+        The batch engine to dispatch through (its index may be sharded,
+        giving each query intra-query parallelism on top of batching).
+    host / port:
+        Listen address; ``port=0`` picks a free port (see
+        :attr:`address` after :meth:`start`).
+    max_batch / max_delay:
+        Micro-batch bounds, passed to :class:`MicroBatcher`.
+    """
+
+    def __init__(
+        self,
+        engine: BatchQueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+    ):
+        self.engine = engine
+        self.host = host
+        self.port = int(port)
+        self.batcher = MicroBatcher(engine, max_batch=max_batch, max_delay=max_delay)
+        self.connections_served = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> tuple[str, int]:
+        """Bind the socket and start the batcher; returns ``(host, port)``."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, close the listener and connections, drain the batcher."""
+        if self._server is not None:
+            self._server.close()
+            # Close established connections too: their handlers sit in
+            # readline(), and (on 3.12.1+) wait_closed() waits for every
+            # handler — an idle client must not block shutdown forever.
+            for writer in list(self._writers):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a client sends ``{"op": "shutdown"}`` (or
+        :meth:`stop` is called), then shut down cleanly."""
+        await self._shutdown.wait()
+        if self._server is not None:
+            await self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (final port known after start)."""
+        return self.host, self.port
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(self, reader, writer) -> None:
+        """One task per connection, one sub-task per in-flight query.
+
+        The read loop never awaits a query's completion — each query is
+        served in its own task and replies go out as they finish (matched
+        by ``id``), so a pipelining client's concurrent requests actually
+        reach the micro-batcher together. Ops (ping / stats / shutdown)
+        are answered inline; a client disconnect cancels that connection's
+        in-flight requests (the batcher drops their futures mid-batch).
+        """
+        self.connections_served += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        in_flight: set[asyncio.Task] = set()
+
+        async def send(data: bytes) -> None:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+
+        async def serve_query(message: dict) -> None:
+            await send(await self._handle_query(message))
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break  # client closed
+                inline_reply, closing, message = self._parse_line(line)
+                if inline_reply is not None:
+                    if closing:
+                        # Shutdown: flush this connection's in-flight
+                        # queries first (drain, don't drop), ack, and only
+                        # then trip the event so the client never hangs.
+                        await asyncio.gather(*in_flight, return_exceptions=True)
+                        await send(inline_reply)
+                        self._shutdown.set()
+                        break
+                    await send(inline_reply)
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    serve_query(message)
+                )
+                in_flight.add(task)
+                task.add_done_callback(in_flight.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-reply; nothing to clean up
+        finally:
+            self._writers.discard(writer)
+            for task in in_flight:
+                task.cancel()
+            await asyncio.gather(*in_flight, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _parse_line(self, line: bytes):
+        """One request line -> ``(inline_reply, close?, query_message)``.
+
+        Ops and malformed requests produce an immediate ``inline_reply``;
+        well-formed query requests return ``(None, False, message)`` for
+        the caller to serve concurrently.
+        """
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return _encode({"ok": False, "error": f"bad JSON: {exc}"}), False, None
+        if not isinstance(message, dict):
+            return (
+                _encode({"ok": False, "error": "request must be a JSON object"}),
+                False,
+                None,
+            )
+        op = message.get("op")
+        if op == "ping":
+            return _encode({"ok": True, "pong": True}), False, None
+        if op == "stats":
+            return _encode({"ok": True, **self._stats_payload()}), False, None
+        if op == "shutdown":
+            # serve_until_shutdown (or whoever awaits the event) performs
+            # the actual stop once the connection handler trips it.
+            return _encode({"ok": True, "stopping": True}), True, None
+        return None, False, message
+
+    async def _handle_query(self, message: dict) -> bytes:
+        request_id = message.get("id")
+        try:
+            ranges = message.get("ranges")
+            if not isinstance(ranges, dict) or not ranges:
+                raise QueryError("query needs a non-empty 'ranges' object")
+            query = Query({dim: tuple(bounds) for dim, bounds in ranges.items()})
+            agg_dim = message.get("dim")
+            if agg_dim is not None and agg_dim not in self.engine.index.table:
+                # Validate at the edge: an unknown aggregate dimension must
+                # fail THIS request, not blow up inside the engine and take
+                # the whole micro-batch's futures down with it.
+                raise QueryError(f"unknown aggregate dimension {agg_dim!r}")
+            factory = visitor_factory_for(message.get("agg", "count"), agg_dim)
+            result, stats = await self.batcher.submit(query, factory)
+        except (ReproError, TypeError, ValueError) as exc:
+            return _encode({"id": request_id, "ok": False, "error": str(exc)})
+        return _encode(
+            {"id": request_id, "ok": True, "result": result, "stats": asdict(stats)}
+        )
+
+    def _stats_payload(self) -> dict:
+        batcher = self.batcher.stats
+        return {
+            "connections_served": self.connections_served,
+            "batches_dispatched": batcher.batches_dispatched,
+            "queries_served": batcher.queries_served,
+            "queries_cancelled": batcher.queries_cancelled,
+            "largest_batch": batcher.largest_batch,
+            "mean_batch_size": batcher.mean_batch_size,
+        }
+
+
+def _encode(payload: dict) -> bytes:
+    return (json.dumps(payload) + "\n").encode()

@@ -102,6 +102,48 @@ def scan_filtered(
     return stop - start, matched
 
 
+def split_runs(
+    runs: list[tuple[int, int, int]], boundaries
+) -> list[list[tuple[int, int, int]]]:
+    """Partition coalesced ``(start, stop, code)`` runs at shard boundaries.
+
+    Parameters
+    ----------
+    runs:
+        Storage-ordered, non-overlapping ``(start, stop, code)`` triples
+        (the shape produced by ``QueryPlan.coalesced_runs``).
+    boundaries:
+        Ascending row offsets ``[b_0=0, b_1, ..., b_K=num_rows]`` delimiting
+        K storage-contiguous shards; shard ``k`` owns rows
+        ``[b_k, b_{k+1})``.
+
+    Returns
+    -------
+    One run list per shard, in shard order. A run crossing a boundary is
+    split at it (the residual-check code is duplicated on both sides), so
+    concatenating the per-shard lists scans exactly the input rows. Shards
+    that intersect no run get an empty list.
+    """
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    num_shards = boundaries.size - 1
+    per_shard: list[list[tuple[int, int, int]]] = [[] for _ in range(num_shards)]
+    if num_shards <= 0:
+        return per_shard
+    for start, stop, code in runs:
+        # First shard whose [b_k, b_{k+1}) intersects [start, stop).
+        k = int(np.searchsorted(boundaries, start, side="right")) - 1
+        k = max(0, min(k, num_shards - 1))
+        while start < stop:
+            if k < num_shards - 1:
+                piece_stop = min(stop, int(boundaries[k + 1]))
+            else:
+                piece_stop = stop  # last shard absorbs any overhang
+            per_shard[k].append((start, piece_stop, code))
+            start = piece_stop
+            k += 1
+    return per_shard
+
+
 #: scan_runs switches to one gathered decode when there are at least this
 #: many runs and they average fewer than _GATHER_MAX_RUN rows each.
 _GATHER_MIN_RUNS = 8
@@ -117,14 +159,30 @@ def scan_runs(
     """Scan a batch of physical runs sharing one residual filter.
 
     The batched counterpart of :func:`scan_filtered`, used by the vectorized
-    Flood query path after coalescing storage-adjacent cells. An empty
-    ``bounds`` means every run is exact (``mask=None`` to the visitor,
-    unlocking the cumulative-aggregate fast path). For many short runs —
-    the typical shape after per-cell sort-dimension refinement — all runs
-    are decoded with one gather per filter dimension and masked in a single
-    vectorized pass, instead of one slice decode per run per dimension.
+    Flood query path after coalescing storage-adjacent cells. For many
+    short runs — the typical shape after per-cell sort-dimension
+    refinement — all runs are decoded with one gather per filter dimension
+    and masked in a single vectorized pass, instead of one slice decode
+    per run per dimension.
 
-    Returns aggregate ``(points_scanned, points_matched)`` over all runs.
+    Parameters
+    ----------
+    table:
+        The clustered table to scan.
+    bounds:
+        ``(dim, low, high)`` residual filters, already restricted to dims
+        present in the table. An empty list means every run is *exact*
+        (``mask=None`` to the visitor, unlocking the cumulative-aggregate
+        fast path).
+    runs:
+        ``(start, stop)`` physical ranges in storage order; zero-length
+        runs are tolerated.
+    visitor:
+        Aggregation visitor fed each run that has at least one match.
+
+    Returns
+    -------
+    Aggregate ``(points_scanned, points_matched)`` over all runs.
     """
     scanned = 0
     matched = 0

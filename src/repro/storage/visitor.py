@@ -146,6 +146,34 @@ class MaxVisitor(Visitor):
         return self._max
 
 
+class RecordingVisitor(Visitor):
+    """Captures ``visit`` calls verbatim for later replay.
+
+    The sharded scan path feeds each shard's worker a recording visitor so
+    the expensive part of the scan (column decode + residual masking) runs
+    in parallel, then replays the recorded ``(start, stop, mask)`` triples
+    into the caller's real visitor in storage order — any visitor works
+    unchanged, and the visit sequence the caller observes is deterministic
+    regardless of worker scheduling.
+    """
+
+    def __init__(self):
+        self.visits: list[tuple[int, int, np.ndarray | None]] = []
+
+    def visit(self, table, start, stop, mask):
+        self.visits.append((start, stop, mask))
+
+    def replay(self, table, visitor: Visitor) -> None:
+        """Re-issue every recorded visit against ``visitor``, in order."""
+        for start, stop, mask in self.visits:
+            visitor.visit(table, start, stop, mask)
+
+    @property
+    def result(self) -> list:
+        """The recorded ``(start, stop, mask)`` triples."""
+        return self.visits
+
+
 class CollectVisitor(Visitor):
     """Collects the physical row ids of matching rows.
 

@@ -234,3 +234,67 @@ class TestBatchResultDefaults:
         assert result.num_queries == 0
         assert result.queries_per_second == 0.0
         assert result.results == []
+
+    def test_zero_elapsed_time_guard(self):
+        """Regression: a clock too coarse for a tiny batch must not yield
+        inf (or raise) — throughput degrades to 0.0, never nonsense."""
+        from repro.query.stats import QueryStats
+
+        fast = BatchResult(
+            stats=[QueryStats()], visitors=[CountVisitor()], wall_seconds=0.0
+        )
+        assert fast.num_queries == 1
+        assert fast.queries_per_second == 0.0
+        negative = BatchResult(
+            stats=[QueryStats()], visitors=[CountVisitor()], wall_seconds=-1e-9
+        )
+        assert negative.queries_per_second == 0.0
+        empty_and_instant = BatchResult(wall_seconds=0.0)
+        assert empty_and_instant.queries_per_second == 0.0
+
+    def test_normal_batch_reports_finite_throughput(self):
+        from repro.query.stats import QueryStats
+
+        result = BatchResult(
+            stats=[QueryStats()] * 4, visitors=[CountVisitor()] * 4,
+            wall_seconds=0.5,
+        )
+        assert result.queries_per_second == pytest.approx(8.0)
+
+
+class TestEngineExtensions:
+    def test_explicit_visitors_list(self):
+        """The batcher's path: mixed per-query visitors in one batch."""
+        table = make_table(n=900, dims=DIMS, seed=30)
+        index = _flood(table)
+        queries = _workload(table, n=4, seed=31)
+        visitors = [CountVisitor(), SumVisitor("y"), CountVisitor(), SumVisitor("z")]
+        batch = BatchQueryEngine(index).run(queries, visitors=visitors)
+        assert batch.visitors is visitors
+        for query, visitor in zip(queries, visitors):
+            twin = type(visitor)(visitor.dim) if hasattr(visitor, "dim") else type(visitor)()
+            index.query_percell(query, twin)
+            assert visitor.result == twin.result
+
+    def test_visitors_length_mismatch_rejected(self):
+        table = make_table(n=300, dims=DIMS, seed=32)
+        index = _flood(table)
+        queries = _workload(table, n=3, seed=33)
+        with pytest.raises(QueryError):
+            BatchQueryEngine(index).run(queries, visitors=[CountVisitor()])
+
+    def test_external_executor_reused_not_shut_down(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        table = make_table(n=1000, dims=DIMS, seed=34)
+        index = _flood(table)
+        queries = _workload(table, n=12, seed=35)
+        pool = ThreadPoolExecutor(max_workers=2)
+        try:
+            engine = BatchQueryEngine(index, workers=2, executor=pool)
+            first = engine.run(queries)
+            second = engine.run(queries)  # pool must still be usable
+            reference = BatchQueryEngine(index).run(queries)
+            assert first.results == second.results == reference.results
+        finally:
+            pool.shutdown()

@@ -1,0 +1,279 @@
+"""Edge-case tests for the serving micro-batcher.
+
+Covered per the serving layer's contract: an idle (empty-queue) batcher
+starts and stops cleanly, a lone query is flushed by the latency
+deadline, a full batch dispatches immediately at the size boundary, and
+a client cancelling mid-batch neither hangs nor disturbs its batchmates.
+No pytest-asyncio in the toolchain, so each test drives its own loop
+with ``asyncio.run``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BatchQueryEngine
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+from repro.errors import QueryError
+from repro.query.predicate import Query
+from repro.serve.batcher import MicroBatcher
+from repro.storage.visitor import CountVisitor, SumVisitor
+
+from tests.helpers import make_table, random_query
+
+DIMS = ("x", "y", "z")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    table = make_table(n=2000, dims=DIMS, seed=1)
+    index = FloodIndex(GridLayout(DIMS, (5, 4))).build(table)
+    return BatchQueryEngine(index)
+
+
+def _queries(engine, n, seed=2):
+    rng = np.random.default_rng(seed)
+    return [random_query(engine.index.table, rng) for _ in range(n)]
+
+
+def _expected_count(engine, query) -> int:
+    visitor = CountVisitor()
+    engine.index.query_percell(query, visitor)
+    return visitor.result
+
+
+class TestLifecycle:
+    def test_empty_queue_start_stop(self, engine):
+        """An idle batcher (no requests ever) stops cleanly, not hanging."""
+
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.001)
+            await batcher.start()
+            assert batcher.running
+            await asyncio.sleep(0.01)  # collector idles on an empty queue
+            await asyncio.wait_for(batcher.stop(), timeout=2)
+            assert not batcher.running
+            assert batcher.stats.batches_dispatched == 0
+
+        asyncio.run(scenario())
+
+    def test_start_is_idempotent(self, engine):
+        async def scenario():
+            batcher = MicroBatcher(engine)
+            await batcher.start()
+            task = batcher._task
+            await batcher.start()
+            assert batcher._task is task
+            await batcher.stop()
+            await batcher.stop()  # stop is too
+
+        asyncio.run(scenario())
+
+    def test_submit_before_start_raises(self, engine):
+        async def scenario():
+            batcher = MicroBatcher(engine)
+            with pytest.raises(QueryError):
+                await batcher.submit(Query({"x": (0, 10)}))
+
+        asyncio.run(scenario())
+
+    def test_invalid_bounds_rejected(self, engine):
+        with pytest.raises(QueryError):
+            MicroBatcher(engine, max_batch=0)
+        with pytest.raises(QueryError):
+            MicroBatcher(engine, max_delay=-1)
+
+
+class TestBatching:
+    def test_single_query_flushed_by_deadline(self, engine):
+        """A lone request doesn't wait for company forever."""
+
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=64, max_delay=0.01)
+            await batcher.start()
+            query = _queries(engine, 1)[0]
+            result, stats = await asyncio.wait_for(
+                batcher.submit(query), timeout=5
+            )
+            await batcher.stop()
+            assert result == _expected_count(engine, query)
+            assert stats.points_matched == result
+            assert batcher.stats.batches_dispatched == 1
+            assert batcher.stats.largest_batch == 1
+
+        asyncio.run(scenario())
+
+    def test_batch_size_boundary_dispatches_immediately(self, engine):
+        """Exactly max_batch concurrent requests form one full batch."""
+
+        async def scenario():
+            # Generous delay: if the size bound didn't trigger, the test
+            # would still pass but dispatch would take ~1s and show up as
+            # multiple batches; the assertions below pin one full batch.
+            batcher = MicroBatcher(engine, max_batch=6, max_delay=1.0)
+            await batcher.start()
+            queries = _queries(engine, 6, seed=3)
+            results = await asyncio.wait_for(
+                asyncio.gather(*[batcher.submit(q) for q in queries]), timeout=5
+            )
+            await batcher.stop()
+            assert [r for r, _ in results] == [
+                _expected_count(engine, q) for q in queries
+            ]
+            assert batcher.stats.batches_dispatched == 1
+            assert batcher.stats.largest_batch == 6
+
+        asyncio.run(scenario())
+
+    def test_overflow_splits_into_bounded_batches(self, engine):
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.05)
+            await batcher.start()
+            queries = _queries(engine, 10, seed=4)
+            results = await asyncio.gather(
+                *[batcher.submit(q) for q in queries]
+            )
+            await batcher.stop()
+            assert [r for r, _ in results] == [
+                _expected_count(engine, q) for q in queries
+            ]
+            assert batcher.stats.queries_served == 10
+            assert batcher.stats.largest_batch <= 4
+            assert batcher.stats.batches_dispatched >= 3
+
+        asyncio.run(scenario())
+
+    def test_latency_deadline_flushes_partial_batch(self, engine):
+        """Requests stop accumulating once the first has waited max_delay."""
+
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=1000, max_delay=0.02)
+            await batcher.start()
+            queries = _queries(engine, 3, seed=5)
+            started = asyncio.get_running_loop().time()
+            results = await asyncio.wait_for(
+                asyncio.gather(*[batcher.submit(q) for q in queries]), timeout=5
+            )
+            elapsed = asyncio.get_running_loop().time() - started
+            await batcher.stop()
+            assert [r for r, _ in results] == [
+                _expected_count(engine, q) for q in queries
+            ]
+            # Far below the size bound, so only the deadline can have
+            # flushed; allow generous slack for slow CI.
+            assert elapsed < 2.0
+            assert batcher.stats.batches_dispatched >= 1
+
+        asyncio.run(scenario())
+
+    def test_mixed_aggregates_in_one_batch(self, engine):
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=8, max_delay=0.05)
+            await batcher.start()
+            query = _queries(engine, 1, seed=6)[0]
+            (count, _), (total, _) = await asyncio.gather(
+                batcher.submit(query, CountVisitor),
+                batcher.submit(query, lambda: SumVisitor("y")),
+            )
+            await batcher.stop()
+            expected_sum = SumVisitor("y")
+            engine.index.query_percell(query, expected_sum)
+            assert count == _expected_count(engine, query)
+            assert total == expected_sum.result
+
+        asyncio.run(scenario())
+
+
+class TestFactoryFailure:
+    def test_raising_factory_fails_only_its_request(self, engine):
+        """Regression: a broken visitor factory must not kill the collector
+        (which would hang every later submit) nor fail its batchmates."""
+
+        def broken_factory():
+            raise RuntimeError("bad factory")
+
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=8, max_delay=0.05)
+            await batcher.start()
+            good_query, later_query = _queries(engine, 2, seed=10)
+            good, bad = await asyncio.gather(
+                batcher.submit(good_query),
+                batcher.submit(good_query, broken_factory),
+                return_exceptions=True,
+            )
+            assert isinstance(bad, RuntimeError)
+            result, _ = good
+            assert result == _expected_count(engine, good_query)
+            # The collector must still be alive for new work.
+            result, _ = await asyncio.wait_for(
+                batcher.submit(later_query), timeout=5
+            )
+            assert result == _expected_count(engine, later_query)
+            await batcher.stop()
+
+        asyncio.run(scenario())
+
+
+class TestCancellation:
+    def test_client_cancellation_mid_batch(self, engine):
+        """A cancelled request disappears; its batchmates are unaffected."""
+
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=8, max_delay=0.05)
+            await batcher.start()
+            queries = _queries(engine, 4, seed=7)
+            tasks = [
+                asyncio.get_running_loop().create_task(batcher.submit(q))
+                for q in queries
+            ]
+            await asyncio.sleep(0)  # let submits enqueue
+            tasks[1].cancel()
+            results = await asyncio.wait_for(
+                asyncio.gather(*tasks, return_exceptions=True), timeout=5
+            )
+            await batcher.stop()
+            assert isinstance(results[1], asyncio.CancelledError)
+            for i in (0, 2, 3):
+                result, _ = results[i]
+                assert result == _expected_count(engine, queries[i])
+            assert batcher.stats.queries_cancelled >= 1
+            assert batcher.stats.queries_served == 3
+
+        asyncio.run(scenario())
+
+    def test_all_cancelled_batch_dispatches_nothing(self, engine):
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=8, max_delay=0.05)
+            await batcher.start()
+            queries = _queries(engine, 3, seed=8)
+            tasks = [
+                asyncio.get_running_loop().create_task(batcher.submit(q))
+                for q in queries
+            ]
+            await asyncio.sleep(0)
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            await asyncio.sleep(0.1)  # collector hits the deadline
+            await batcher.stop()
+            assert batcher.stats.batches_dispatched == 0
+            assert batcher.stats.queries_served == 0
+
+        asyncio.run(scenario())
+
+    def test_queued_requests_fail_cleanly_after_stop(self, engine):
+        """Requests enqueued but never collected get an error, not a hang."""
+
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.01)
+            await batcher.start()
+            query = _queries(engine, 1, seed=9)[0]
+            result, _ = await batcher.submit(query)
+            await batcher.stop()
+            with pytest.raises(QueryError):
+                await batcher.submit(query)
+            assert result == _expected_count(engine, query)
+
+        asyncio.run(scenario())

@@ -1,0 +1,280 @@
+"""Tests for the TCP serving front-end and its clients.
+
+Includes the acceptance checks: served results identical to the seed's
+per-cell loop, and the ``repro serve`` CLI smoke test (start the server
+as a subprocess, issue 3 queries, clean shutdown).
+"""
+
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BatchQueryEngine
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+from repro.core.shard import ShardedFloodIndex
+from repro.errors import QueryError
+from repro.query.predicate import Query
+from repro.serve.client import AsyncFloodClient, FloodClient, ServerError
+from repro.serve.server import FloodServer, visitor_factory_for
+from repro.storage.visitor import CountVisitor, SumVisitor
+
+from tests.helpers import make_table, random_query
+
+DIMS = ("x", "y", "z")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture(scope="module")
+def index():
+    table = make_table(n=2500, dims=DIMS, seed=1)
+    return FloodIndex(GridLayout(DIMS, (5, 4))).build(table)
+
+
+def _run_with_server(index, scenario, **server_kwargs):
+    """Start a server, run ``await scenario(server, host, port)``, stop it."""
+
+    async def main():
+        server = FloodServer(BatchQueryEngine(index), **server_kwargs)
+        host, port = await server.start()
+        try:
+            return await asyncio.wait_for(scenario(server, host, port), timeout=30)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def _in_thread(fn):
+    """Run blocking client code off the event-loop thread."""
+    return asyncio.get_running_loop().run_in_executor(None, fn)
+
+
+class TestVisitorFactory:
+    def test_count_needs_no_dim(self):
+        assert isinstance(visitor_factory_for("count")(), CountVisitor)
+
+    def test_dim_aggregates(self):
+        visitor = visitor_factory_for("sum", "y")()
+        assert isinstance(visitor, SumVisitor) and visitor.dim == "y"
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            visitor_factory_for("median", "y")
+
+    def test_missing_dim(self):
+        with pytest.raises(QueryError):
+            visitor_factory_for("sum")
+
+
+class TestServerRoundtrip:
+    def test_results_identical_to_percell(self, index):
+        rng = np.random.default_rng(2)
+        queries = [random_query(index.table, rng) for _ in range(10)]
+
+        async def scenario(server, host, port):
+            def client_part():
+                results = []
+                with FloodClient(host, port) as client:
+                    assert client.ping()
+                    for query in queries:
+                        ranges = {d: list(b) for d, b in query.ranges.items()}
+                        results.append(client.query(ranges))
+                return results
+
+            return await _in_thread(client_part)
+
+        results = _run_with_server(index, scenario)
+        for query, (got, stats) in zip(queries, results):
+            visitor = CountVisitor()
+            expected = index.query_percell(query, visitor)
+            assert got == visitor.result
+            assert stats["points_matched"] == expected.points_matched
+            assert stats["points_scanned"] == expected.points_scanned
+
+    def test_aggregates_and_server_stats(self, index):
+        async def scenario(server, host, port):
+            def client_part():
+                with FloodClient(host, port) as client:
+                    total, _ = client.query({"x": [0, 600]}, agg="sum", dim="y")
+                    average, _ = client.query({"x": [0, 600]}, agg="avg", dim="y")
+                    stats = client.server_stats()
+                return total, average, stats
+
+            return await _in_thread(client_part)
+
+        total, average, stats = _run_with_server(index, scenario)
+        expected = SumVisitor("y")
+        index.query_percell(Query({"x": (0, 600)}), expected)
+        assert total == expected.result
+        assert stats["queries_served"] == 2
+        assert stats["connections_served"] == 1
+        assert average == pytest.approx(
+            total / _count(index, Query({"x": (0, 600)}))
+        )
+
+    def test_error_replies_keep_connection_open(self, index):
+        async def scenario(server, host, port):
+            def client_part():
+                with FloodClient(host, port) as client:
+                    for bad in (
+                        {"ranges": {}},                    # empty ranges
+                        {"ranges": {"x": [5, 1]}},         # inverted
+                        {"ranges": {"x": [0, 5]}, "agg": "median"},
+                    ):
+                        with pytest.raises(ServerError):
+                            client._roundtrip({"id": 1, **bad})
+                    count, _ = client.query({"x": [0, 100]})  # still alive
+                return count
+
+            return await _in_thread(client_part)
+
+        count = _run_with_server(index, scenario)
+        assert count == _count(index, Query({"x": (0, 100)}))
+
+    def test_malformed_json_gets_error_reply(self, index):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        reply = _run_with_server(index, scenario)
+        assert reply["ok"] is False and "bad JSON" in reply["error"]
+
+    def test_bad_aggregate_dim_does_not_poison_batch(self, index):
+        """Regression: an unknown aggregate dim fails only its own request,
+        never the batchmates sharing its micro-batch."""
+
+        async def scenario(server, host, port):
+            client = await AsyncFloodClient().connect(host, port)
+            good = client.query({"x": [0, 400]})
+            bad = client.query({"x": [0, 400]}, agg="sum", dim="not_a_column")
+            results = await asyncio.gather(good, bad, return_exceptions=True)
+            await client.close()
+            return results
+
+        good_result, bad_result = _run_with_server(
+            index, scenario, max_batch=8, max_delay=0.05
+        )
+        assert isinstance(bad_result, ServerError)
+        assert "not_a_column" in str(bad_result)
+        count, _ = good_result
+        assert count == _count(index, Query({"x": (0, 400)}))
+
+    def test_concurrent_async_clients_microbatch(self, index):
+        rng = np.random.default_rng(3)
+        queries = [random_query(index.table, rng) for _ in range(16)]
+
+        async def scenario(server, host, port):
+            client = await AsyncFloodClient().connect(host, port)
+            results = await asyncio.gather(
+                *[
+                    client.query({d: list(b) for d, b in q.ranges.items()})
+                    for q in queries
+                ]
+            )
+            await client.close()
+            return results, server.batcher.stats.largest_batch
+
+        results, largest = _run_with_server(
+            index, scenario, max_batch=8, max_delay=0.02
+        )
+        for query, (got, _) in zip(queries, results):
+            assert got == _count(index, query)
+        assert largest > 1  # concurrency actually coalesced
+
+    def test_sharded_index_behind_server(self):
+        table = make_table(n=3000, dims=DIMS, seed=4, skew=True)
+        plain = FloodIndex(GridLayout(DIMS, (6, 5))).build(table)
+        sharded = ShardedFloodIndex.wrap(plain, num_shards=3, min_parallel_points=0)
+        rng = np.random.default_rng(5)
+        queries = [random_query(table, rng) for _ in range(8)]
+
+        async def scenario(server, host, port):
+            client = await AsyncFloodClient().connect(host, port)
+            results = await asyncio.gather(
+                *[
+                    client.query({d: list(b) for d, b in q.ranges.items()})
+                    for q in queries
+                ]
+            )
+            await client.close()
+            return results
+
+        results = _run_with_server(sharded, scenario)
+        for query, (got, _) in zip(queries, results):
+            assert got == _count(plain, query)
+
+    def test_shutdown_op_stops_server(self, index):
+        async def scenario(server, host, port):
+            await _in_thread(lambda: _shutdown_via_client(host, port))
+            await asyncio.wait_for(server.serve_until_shutdown(), timeout=5)
+            return True
+
+        assert _run_with_server(index, scenario)
+
+
+def _shutdown_via_client(host, port):
+    with FloodClient(host, port) as client:
+        client.shutdown()
+
+
+def _count(index, query) -> int:
+    visitor = CountVisitor()
+    index.query_percell(query, visitor)
+    return visitor.result
+
+
+class TestServeCLI:
+    def test_serve_smoke(self):
+        """`repro serve` end-to-end: start, 3 queries, clean shutdown."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--rows", "20000", "--max-delay-ms", "1", "--shards", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            address = None
+            for _ in range(200):
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                match = re.search(r"listening on ([\d.]+):(\d+)", line)
+                if match:
+                    address = (match.group(1), int(match.group(2)))
+                    break
+            assert address, "server never announced its address"
+            with FloodClient(*address, timeout=60) as client:
+                assert client.ping()
+                counts = [
+                    client.query({"quantity": (1, 10 + 10 * i)})[0]
+                    for i in range(3)
+                ]
+                assert all(isinstance(c, int) for c in counts)
+                assert counts == sorted(counts)  # widening ranges: monotone
+                client.shutdown()
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
