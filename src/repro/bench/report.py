@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import json
 import os
+
+from repro.jsonutil import sanitize_json
 
 
 def format_table(headers, rows, title: str = "") -> str:
@@ -49,4 +52,22 @@ def write_result(name: str, text: str, results_dir: str | None = None) -> str:
     with open(path, "w") as handle:
         handle.write(text + "\n")
     print(f"\n=== {name} ===\n{text}\n")
+    return path
+
+
+def write_json_result(name: str, payload, results_dir: str | None = None) -> str:
+    """Persist a machine-readable result file under ``results/``.
+
+    Non-finite floats become ``null`` (``repro.jsonutil.sanitize_json``;
+    bench metrics legitimately produce them — ``QueryStats.scan_overhead``
+    is ``inf`` when a query scans without matching) and encoding runs
+    with ``allow_nan=False``, so the emitted file is strict JSON no
+    matter what the metrics contained.
+    """
+    results_dir = results_dir or os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(sanitize_json(payload), handle, indent=2, allow_nan=False)
+        handle.write("\n")
     return path

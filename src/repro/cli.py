@@ -19,8 +19,10 @@ Commands
     per-cell reference loop.
 ``serve``
     Build an index over a generated dataset and serve it to concurrent
-    clients over TCP (JSON lines), with micro-batching and optional
-    table sharding; pair with :mod:`repro.serve.client`.
+    clients over TCP (JSON lines), with micro-batching, optional table
+    sharding, result caching (``--cache-entries`` / ``--cache-ttl``), and
+    admission control (``--max-queue-depth``); pair with
+    :mod:`repro.serve.client`.
 """
 
 from __future__ import annotations
@@ -133,6 +135,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batch latency bound (ms the first request may wait)",
     )
     serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=0,
+        help="result-cache capacity: repeated (query, aggregate) requests "
+        "are answered without re-scanning (0 disables caching)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=0.0,
+        help="result-cache entry lifetime in seconds (0 = never expire; "
+        "only meaningful with --cache-entries > 0)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=0,
+        help="admission bound on in-flight requests; excess requests get "
+        'the structured {"error": "overloaded", "retry": true} reply '
+        "(0 = unbounded)",
+    )
+    serve.add_argument(
         "--grid-scale",
         type=float,
         default=1.0,
@@ -243,6 +267,15 @@ def _cmd_serve(args) -> int:
     if args.shards < 0:
         print("serve needs --shards >= 0 (0 = one per core)", file=sys.stderr)
         return 2
+    if args.cache_entries < 0:
+        print("serve needs --cache-entries >= 0 (0 disables)", file=sys.stderr)
+        return 2
+    if args.cache_ttl < 0:
+        print("serve needs --cache-ttl >= 0 (0 = never expire)", file=sys.stderr)
+        return 2
+    if args.max_queue_depth < 0:
+        print("serve needs --max-queue-depth >= 0 (0 = unbounded)", file=sys.stderr)
+        return 2
     print(f"Loading {args.dataset} at {args.rows} rows...")
     bundle = load(args.dataset, n=args.rows, num_queries=50, seed=args.seed)
     flood, opt = build_flood(bundle.table, bundle.train, seed=args.seed)
@@ -274,7 +307,15 @@ def _cmd_serve(args) -> int:
         port=args.port,
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1e3,
+        max_queue_depth=args.max_queue_depth,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
     )
+    if args.cache_entries:
+        ttl = f", ttl {args.cache_ttl:g}s" if args.cache_ttl else ", no expiry"
+        print(f"Result cache: {args.cache_entries} entries{ttl}")
+    if args.max_queue_depth:
+        print(f"Admission control: max {args.max_queue_depth} requests in flight")
 
     async def main() -> None:
         host, port = await server.start()

@@ -19,7 +19,7 @@ per-cell loop) query by query.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.baselines.base import timed
 from repro.core.index import FloodIndex
@@ -115,6 +115,21 @@ class BatchQueryEngine:
     def clear_cache(self) -> None:
         """Drop the shared enumeration cache (e.g. after a workload shift)."""
         self._enum_cache.clear()
+
+    @staticmethod
+    def replay_stats(stats: QueryStats) -> QueryStats:
+        """Cache-bypass hook: per-query stats for a result served *without*
+        running the engine.
+
+        The serving layer's :class:`~repro.serve.cache.ResultCache` stores
+        the :class:`QueryStats` of the execution that populated an entry;
+        every request answered from cache gets its own fresh copy through
+        this hook, preserving the engine's contract that each query owns a
+        private mutable stats object while keeping the counters identical
+        to the uncached execution (the work the answer *represents*, even
+        though a hit re-performs none of it).
+        """
+        return replace(stats)
 
     # ------------------------------------------------------------------- run
     def run(self, queries, visitor_factory=CountVisitor, visitors=None) -> BatchResult:

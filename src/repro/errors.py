@@ -21,5 +21,13 @@ class QueryError(ReproError):
     """A query is malformed (e.g. inverted range, wrong arity)."""
 
 
+class OverloadedError(QueryError):
+    """Admission control shed the request; the caller may retry later.
+
+    The serving layer maps this to the structured wire reply
+    ``{"ok": false, "error": "overloaded", "retry": true}``.
+    """
+
+
 class NotFittedError(ReproError):
     """A model was used before being fitted."""

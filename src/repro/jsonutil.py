@@ -1,0 +1,28 @@
+"""Strict-JSON helpers shared by the wire protocol and bench reporting.
+
+RFC 8259 JSON has neither ``Infinity`` nor ``NaN``, but Python's ``json``
+emits and accepts them by default. Everything this package persists or
+puts on a socket goes through :func:`sanitize_json` + ``allow_nan=False``
+so the output parses in *any* JSON implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def sanitize_json(value):
+    """Map non-finite floats to None, recursively.
+
+    Legitimate metrics produce them (``QueryStats.scan_overhead`` is
+    ``inf`` when a query scans without matching; MIN/MAX/AVG over zero
+    rows have no value) — ``null`` is their only faithful strict-JSON
+    form.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: sanitize_json(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_json(item) for item in value]
+    return value

@@ -9,21 +9,35 @@ wait.
 
 - :mod:`repro.serve.batcher` -- the size- and latency-bounded
   :class:`MicroBatcher` turning single awaited requests into engine
-  batches.
+  batches, with result caching and admission control in front of the
+  queue.
+- :mod:`repro.serve.cache` -- :class:`ResultCache`, the bounded LRU+TTL
+  cache answering repeated ``(query, aggregate)`` requests without
+  re-scanning.
 - :mod:`repro.serve.server` -- :class:`FloodServer`, a JSON-lines TCP
   front-end dispatching through the batcher (``repro serve``).
 - :mod:`repro.serve.client` -- :class:`FloodClient` (blocking) and
-  :class:`AsyncFloodClient` for talking to the server.
+  :class:`AsyncFloodClient` for talking to the server, both with
+  exponential-backoff retry of shed (``overloaded``) requests.
 """
 
 from repro.serve.batcher import MicroBatcher
-from repro.serve.client import AsyncFloodClient, FloodClient
+from repro.serve.cache import ResultCache
+from repro.serve.client import (
+    AsyncFloodClient,
+    FloodClient,
+    RetryableError,
+    ServerError,
+)
 from repro.serve.server import FloodServer, visitor_factory_for
 
 __all__ = [
     "MicroBatcher",
+    "ResultCache",
     "FloodServer",
     "FloodClient",
     "AsyncFloodClient",
+    "ServerError",
+    "RetryableError",
     "visitor_factory_for",
 ]

@@ -14,6 +14,17 @@ run alone.
 Cancellation is per-request: a client abandoning its future (timeout,
 disconnect) removes only that request — the rest of the micro-batch is
 unaffected.
+
+Two resilience tiers sit in front of the queue:
+
+- **Result caching** — given a :class:`~repro.serve.cache.ResultCache`,
+  :meth:`MicroBatcher.submit` answers a repeated ``(query, aggregate)``
+  from cache *before enqueueing* (skipping both the scan and the
+  micro-batch gather delay) and populates the cache as batches complete.
+- **Admission control** — ``max_queue_depth`` bounds the requests
+  admitted but not yet resolved; a saturated batcher rejects
+  :meth:`submit` with :class:`~repro.errors.OverloadedError` instead of
+  letting the queue (and every client's latency) grow without bound.
 """
 
 from __future__ import annotations
@@ -22,8 +33,9 @@ import asyncio
 from dataclasses import dataclass
 
 from repro.core.engine import BatchQueryEngine
-from repro.errors import QueryError
+from repro.errors import OverloadedError, QueryError
 from repro.query.predicate import Query
+from repro.serve.cache import ResultCache
 from repro.storage.visitor import CountVisitor
 
 #: Queue sentinel telling the collector task to exit.
@@ -37,6 +49,7 @@ class _Request:
     query: Query
     visitor_factory: object
     future: asyncio.Future
+    cache_key: object = None
 
 
 @dataclass
@@ -52,6 +65,14 @@ class BatcherStats:
     queries_cancelled: int = 0
     largest_batch: int = 0
     batched_queries_total: int = 0
+    #: Requests shed by admission control (``max_queue_depth`` saturated).
+    queries_rejected: int = 0
+    #: Batches whose engine dispatch raised (every member query failed).
+    batches_failed: int = 0
+    #: Queries resolved with an error (engine failure or a raising
+    #: visitor factory) — without these, an all-erroring server would
+    #: report healthy-looking counters (nothing served, nothing failed).
+    queries_failed: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -77,6 +98,17 @@ class MicroBatcher:
     executor:
         Optional executor for the blocking engine call; ``None`` uses the
         event loop's default thread pool.
+    max_queue_depth:
+        Admission bound: the maximum number of requests admitted but not
+        yet resolved (queued *or* executing). ``0`` (default) means
+        unbounded — today's behavior. When saturated, :meth:`submit`
+        raises :class:`~repro.errors.OverloadedError` immediately instead
+        of enqueueing.
+    cache:
+        Optional :class:`~repro.serve.cache.ResultCache`; requests
+        submitted with a ``cache_key`` are answered from it when possible
+        and populate it on completion. ``None`` (default) disables
+        caching entirely.
     """
 
     def __init__(
@@ -85,19 +117,33 @@ class MicroBatcher:
         max_batch: int = 64,
         max_delay: float = 0.002,
         executor=None,
+        max_queue_depth: int = 0,
+        cache: ResultCache | None = None,
     ):
         if max_batch < 1:
             raise QueryError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay < 0:
             raise QueryError(f"max_delay must be >= 0, got {max_delay}")
+        if max_queue_depth < 0:
+            raise QueryError(
+                f"max_queue_depth must be >= 0 (0 = unbounded), got {max_queue_depth}"
+            )
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
         self.executor = executor
+        self.max_queue_depth = int(max_queue_depth)
+        self.cache = cache
         self.stats = BatcherStats()
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
         self._dispatches: set[asyncio.Task] = set()
+        #: Requests admitted (enqueued) whose futures are not yet done;
+        #: the quantity admission control bounds. The raw queue size would
+        #: under-count: the collector drains the queue eagerly into
+        #: concurrent dispatch tasks, so a slow engine shows up here, not
+        #: in ``Queue.qsize()``.
+        self._in_flight = 0
 
     # ------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -127,7 +173,12 @@ class MicroBatcher:
         return self._task is not None
 
     # --------------------------------------------------------------- submit
-    async def submit(self, query: Query, visitor_factory=CountVisitor):
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted but not yet resolved (what admission bounds)."""
+        return self._in_flight
+
+    async def submit(self, query: Query, visitor_factory=CountVisitor, cache_key=None):
         """Enqueue one query; await its ``(result, stats)`` pair.
 
         Parameters
@@ -138,17 +189,49 @@ class MicroBatcher:
             Zero-argument callable building this request's aggregation
             visitor (requests in one micro-batch may use different
             aggregates).
+        cache_key:
+            Optional identity for result caching (see
+            :meth:`~repro.serve.cache.ResultCache.make_key`). Only
+            requests carrying a key participate in the cache; ``None``
+            (default) always executes. Ignored when the batcher has no
+            cache.
 
         Returns
         -------
         ``(result, stats)`` — the visitor's aggregate and the query's
-        :class:`~repro.query.stats.QueryStats`.
+        :class:`~repro.query.stats.QueryStats`. A cache hit returns the
+        memoized result with a fresh copy of the populating execution's
+        stats (the engine's cache-bypass hook).
+
+        Raises
+        ------
+        OverloadedError
+            When ``max_queue_depth`` is saturated; the request was never
+            enqueued and the caller may retry after backing off.
         """
         if self._task is None:
             raise QueryError("MicroBatcher.submit before start()")
+        if self.cache is not None and cache_key is not None:
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                result, stats = hit
+                return result, BatchQueryEngine.replay_stats(stats)
+        if self.max_queue_depth and self._in_flight >= self.max_queue_depth:
+            self.stats.queries_rejected += 1
+            raise OverloadedError(
+                f"overloaded: {self._in_flight} requests in flight "
+                f"(max_queue_depth={self.max_queue_depth})"
+            )
         future = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Request(query, visitor_factory, future))
+        self._in_flight += 1
+        future.add_done_callback(self._release_admission)
+        await self._queue.put(_Request(query, visitor_factory, future, cache_key))
         return await future
+
+    def _release_admission(self, _future) -> None:
+        """Free one admission slot; runs however the request resolves
+        (served, failed, cancelled, or drain-failed at stop)."""
+        self._in_flight -= 1
 
     # -------------------------------------------------------------- collect
     async def _collect(self) -> None:
@@ -202,6 +285,7 @@ class MicroBatcher:
                 # A raising factory fails its own request only — never the
                 # batchmates, and never the collector task.
                 request.future.set_exception(exc)
+                self.stats.queries_failed += 1
                 continue
             live.append(request)
             visitors.append(visitor)
@@ -215,6 +299,8 @@ class MicroBatcher:
                 lambda: self.engine.run(queries, visitors=visitors),
             )
         except Exception as exc:  # resolve every waiter, never hang a client
+            self.stats.batches_failed += 1
+            self.stats.queries_failed += len(live)
             for request in live:
                 if not request.future.done():
                     request.future.set_exception(exc)
@@ -223,6 +309,15 @@ class MicroBatcher:
         self.stats.largest_batch = max(self.stats.largest_batch, len(live))
         self.stats.batched_queries_total += len(live)
         for request, visitor, stats in zip(live, result.visitors, result.stats):
+            if self.cache is not None and request.cache_key is not None:
+                # Populate even for a request cancelled mid-batch: the
+                # work is done, and the next identical request reuses it.
+                # Stored stats are a private copy so no caller can mutate
+                # a cache entry through the stats it was handed.
+                self.cache.put(
+                    request.cache_key,
+                    (visitor.result, BatchQueryEngine.replay_stats(stats)),
+                )
             if not request.future.done():  # cancelled while the batch ran
                 request.future.set_result((visitor.result, stats))
                 self.stats.queries_served += 1

@@ -1,0 +1,155 @@
+"""Bounded LRU+TTL result cache for the serving layer.
+
+Serving heavy traffic means the same hot queries arrive over and over;
+re-scanning the table for each repeat wastes the engine on work whose
+answer has not changed. :class:`ResultCache` memoizes completed requests
+keyed by ``(canonical query ranges, aggregate, dim)`` — exactly the
+inputs that determine a reply — so the :class:`~repro.serve.batcher.
+MicroBatcher` can answer a repeat without even enqueueing it (a hit
+skips the micro-batch gather delay entirely, not just the scan).
+
+Two bounds keep a long-lived server honest:
+
+- **capacity** (``max_entries``): least-recently-*used* eviction, so a
+  shifting hot set displaces stale entries first;
+- **freshness** (``ttl`` seconds): entries expire so a future mutable
+  table (delta inserts) has a staleness ceiling; ``ttl=0`` disables
+  expiry for the immutable tables served today.
+
+The cache is loop-confined — it is only touched from the serving event
+loop (submit-time consult, dispatch-completion populate), so it needs no
+locking. Values must be treated as immutable by callers; the batcher
+stores ``(visitor result, QueryStats)`` pairs and hands out *copies* of
+the stats via the engine's cache-bypass hook
+(:meth:`~repro.core.engine.BatchQueryEngine.replay_stats`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.query.predicate import Query
+
+
+@dataclass
+class CacheStats:
+    """Counters a serving process exposes through the ``stats`` op."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls (hits + misses; expirations count as misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ResultCache:
+    """An LRU + TTL map from request identity to completed results.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity bound; the least recently used entry is evicted first.
+    ttl:
+        Seconds an entry stays servable; ``0`` (default) means entries
+        never expire. Expired entries are dropped lazily on lookup.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, max_entries: int, ttl: float = 0.0, clock=time.monotonic):
+        if max_entries < 1:
+            raise QueryError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl < 0:
+            raise QueryError(f"ttl must be >= 0, got {ttl}")
+        self.max_entries = int(max_entries)
+        self.ttl = float(ttl)
+        self._clock = clock
+        #: key -> (expires_at | None, value); insertion order is LRU order.
+        self._entries: OrderedDict = OrderedDict()
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------------- keys
+    @staticmethod
+    def make_key(query: Query, agg: str = "count", dim: str | None = None):
+        """The canonical identity of a request: sorted ranges + aggregate.
+
+        Two requests with the same predicate (regardless of the order the
+        dimensions were written in), the same aggregate, and the same
+        aggregated dimension produce the same key — and therefore must
+        produce the same reply over an immutable table.
+        """
+        return (tuple(sorted(query.ranges.items())), agg, dim)
+
+    # --------------------------------------------------------------- access
+    def get(self, key):
+        """The cached value for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU position. An expired entry counts
+        as both an expiration and a miss, and is removed.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        expires_at, value = entry
+        if expires_at is not None and self._clock() >= expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU tail beyond capacity."""
+        expires_at = self._clock() + self.ttl if self.ttl else None
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (expires_at, value)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are lifetime totals)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        """Membership without touching LRU order or counters (tests/stats)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        expires_at, _ = entry
+        return expires_at is None or self._clock() < expires_at
+
+    # ---------------------------------------------------------------- stats
+    def stats_payload(self) -> dict:
+        """The ``stats``-op block: counters plus current occupancy."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "ttl": self.ttl,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "expirations": self.stats.expirations,
+            "hit_rate": self.stats.hit_rate,
+        }

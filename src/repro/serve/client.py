@@ -5,6 +5,12 @@ dependencies) for scripts, the CLI demo, and the smoke tests;
 :class:`AsyncFloodClient` is its asyncio twin for load generators that
 want many in-flight requests per connection (which is exactly what makes
 the server's micro-batcher earn its keep).
+
+Both clients understand the server's shed-load contract: a reply of
+``{"ok": false, "error": "overloaded", "retry": true}`` raises
+:class:`RetryableError`, and a client constructed with ``retries > 0``
+resends the request itself after exponential backoff — so callers see an
+overloaded-but-recovering server as latency, not errors.
 """
 
 from __future__ import annotations
@@ -12,12 +18,17 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+import time
 
 from repro.errors import QueryError
 
 
 class ServerError(QueryError):
     """The server replied ``ok: false``; the message is the server's."""
+
+
+class RetryableError(ServerError):
+    """The server shed this request (``retry: true``); safe to resend."""
 
 
 def _request_payload(ranges, agg, dim, request_id) -> dict:
@@ -27,10 +38,27 @@ def _request_payload(ranges, agg, dim, request_id) -> dict:
     return payload
 
 
+def _encode_payload(payload: dict) -> bytes:
+    try:
+        # allow_nan=False: non-finite bounds must fail here, loudly, not
+        # reach the wire as the non-JSON ``Infinity`` literal.
+        return (json.dumps(payload, allow_nan=False) + "\n").encode()
+    except ValueError as exc:
+        raise QueryError(f"request is not valid JSON: {exc}") from exc
+
+
 def _check_reply(reply: dict) -> dict:
     if not reply.get("ok"):
-        raise ServerError(reply.get("error", "unknown server error"))
+        message = reply.get("error", "unknown server error")
+        if reply.get("retry"):
+            raise RetryableError(message)
+        raise ServerError(message)
     return reply
+
+
+def _backoff_delay(attempt: int, base: float, cap: float = 1.0) -> float:
+    """Exponential backoff: ``base * 2**attempt``, capped at ``cap`` s."""
+    return min(base * (2**attempt), cap)
 
 
 class FloodClient:
@@ -40,12 +68,34 @@ class FloodClient:
 
         with FloodClient(host, port) as client:
             count, stats = client.query({"x": (0, 100)})
+
+    Parameters
+    ----------
+    host / port:
+        Server address.
+    timeout:
+        Socket timeout in seconds.
+    retries:
+        How many times :meth:`query` resends a request the server shed
+        (``RetryableError``); ``0`` (default) surfaces the error.
+    backoff:
+        Base of the exponential backoff between retries, in seconds
+        (``backoff * 2**attempt``, capped at 1 s).
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self.retries = int(retries)
+        self.backoff = float(backoff)
 
     def __enter__(self) -> "FloodClient":
         return self
@@ -54,7 +104,7 @@ class FloodClient:
         self.close()
 
     def _roundtrip(self, payload: dict) -> dict:
-        self._file.write((json.dumps(payload) + "\n").encode())
+        self._file.write(_encode_payload(payload))
         self._file.flush()
         line = self._file.readline()
         if not line:
@@ -73,10 +123,25 @@ class FloodClient:
             ``max``.
         dim:
             Aggregated dimension (required for everything but ``count``).
+
+        A request the server sheds (``overloaded``) is retried up to
+        ``retries`` times with exponential backoff before the
+        :class:`RetryableError` is surfaced.
         """
-        self._next_id += 1
-        reply = self._roundtrip(_request_payload(ranges, agg, dim, self._next_id))
-        return reply["result"], reply["stats"]
+        attempt = 0
+        while True:
+            self._next_id += 1
+            try:
+                reply = self._roundtrip(
+                    _request_payload(ranges, agg, dim, self._next_id)
+                )
+            except RetryableError:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(_backoff_delay(attempt, self.backoff))
+                attempt += 1
+                continue
+            return reply["result"], reply["stats"]
 
     def ping(self) -> bool:
         """Liveness check."""
@@ -104,14 +169,26 @@ class AsyncFloodClient:
     Replies are matched to requests by ``id``, so callers may fire
     requests concurrently over the single connection — the natural way to
     exercise the server's micro-batching from one process.
+
+    Parameters
+    ----------
+    retries / backoff:
+        Shed-request retry policy, as in :class:`FloodClient` (backoff
+        sleeps are ``await``\\ ed, so concurrent queries keep flowing).
     """
 
-    def __init__(self):
+    def __init__(self, retries: int = 0, backoff: float = 0.05):
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._reader_task: asyncio.Task | None = None
+        #: Why the dispatch loop died; once set, every pending and future
+        #: query fails immediately instead of awaiting a reply that can
+        #: never arrive.
+        self._dead: QueryError | None = None
+        self.retries = int(retries)
+        self.backoff = float(backoff)
 
     async def connect(self, host: str, port: int) -> "AsyncFloodClient":
         """Open the connection and start the reply-dispatch task."""
@@ -122,34 +199,75 @@ class AsyncFloodClient:
         return self
 
     async def _dispatch_replies(self) -> None:
+        """Match reply lines to pending futures until the stream ends.
+
+        Hardened to never die silently: a malformed reply line or a
+        transport error marks the connection dead, fails every pending
+        future, and makes subsequent :meth:`query` calls raise
+        immediately — the failure mode is an exception at the caller,
+        never a future nothing will resolve.
+        """
+        error = QueryError("connection closed")
         try:
             while True:
                 line = await self._reader.readline()
                 if not line:
                     break
-                reply = json.loads(line)
+                try:
+                    reply = json.loads(line)
+                    if not isinstance(reply, dict):
+                        raise ValueError("reply is not a JSON object")
+                except ValueError as exc:
+                    error = QueryError(f"malformed reply from server: {exc}")
+                    break
                 future = self._pending.pop(reply.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(reply)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            error = QueryError(f"connection lost: {exc}")
         finally:
+            self._dead = error
             for future in self._pending.values():
                 if not future.done():
-                    future.set_exception(QueryError("connection closed"))
+                    future.set_exception(error)
             self._pending.clear()
 
-    async def query(self, ranges, agg: str = "count", dim: str | None = None):
-        """Execute one query; see :meth:`FloodClient.query`."""
+    async def _roundtrip(self, payload: dict) -> dict:
         if self._writer is None:
             raise QueryError("AsyncFloodClient.query before connect()")
-        self._next_id += 1
-        request_id = self._next_id
+        if self._dead is not None:
+            raise QueryError(f"connection unusable: {self._dead}")
+        request_id = payload["id"]
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        payload = _request_payload(ranges, agg, dim, request_id)
-        self._writer.write((json.dumps(payload) + "\n").encode())
-        await self._writer.drain()
-        reply = _check_reply(await future)
-        return reply["result"], reply["stats"]
+        try:
+            self._writer.write(_encode_payload(payload))
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise QueryError(f"connection lost: {exc}") from exc
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
+        return _check_reply(await future)
+
+    async def query(self, ranges, agg: str = "count", dim: str | None = None):
+        """Execute one query; see :meth:`FloodClient.query` (including the
+        shed-request retry policy)."""
+        attempt = 0
+        while True:
+            self._next_id += 1
+            try:
+                reply = await self._roundtrip(
+                    _request_payload(ranges, agg, dim, self._next_id)
+                )
+            except RetryableError:
+                if attempt >= self.retries:
+                    raise
+                await asyncio.sleep(_backoff_delay(attempt, self.backoff))
+                attempt += 1
+                continue
+            return reply["result"], reply["stats"]
 
     async def close(self) -> None:
         """Close the connection and stop the dispatch task."""
@@ -157,7 +275,7 @@ class AsyncFloodClient:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
             self._writer = None
         if self._reader_task is not None:

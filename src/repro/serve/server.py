@@ -15,10 +15,21 @@ Wire protocol (one JSON object per line, in either direction):
   Reply: ``{"id": 1, "ok": true, "result": 42, "stats": {...}}`` with the
   paper's per-query counters under ``stats``.
 - Ops: ``{"op": "ping"}`` (liveness), ``{"op": "stats"}`` (server +
-  batcher counters), ``{"op": "shutdown"}`` (graceful stop; used by the
-  smoke tests and the demo client).
+  batcher + cache counters), ``{"op": "shutdown"}`` (graceful stop; used
+  by the smoke tests and the demo client).
 - Errors: ``{"id": ..., "ok": false, "error": "..."}``; malformed JSON
   gets an error reply and the connection stays open.
+- Overload: when admission control sheds a request the reply is the
+  structured ``{"id": ..., "ok": false, "error": "overloaded",
+  "retry": true}`` — ``retry: true`` is the contract telling clients the
+  request is safe to resend after backing off.
+
+Replies are strict RFC 8259 JSON: encoding uses ``allow_nan=False`` and
+any non-finite aggregate (no such value exists today, but the contract is
+enforced, not assumed) is mapped to ``null`` before encoding. Inbound
+``Infinity``/``NaN`` literals — which Python's ``json`` accepts by
+default — are rejected as bad JSON rather than smuggled into query
+bounds.
 """
 
 from __future__ import annotations
@@ -28,9 +39,11 @@ import json
 from dataclasses import asdict
 
 from repro.core.engine import BatchQueryEngine
-from repro.errors import QueryError, ReproError
+from repro.errors import OverloadedError, QueryError, ReproError
+from repro.jsonutil import sanitize_json
 from repro.query.predicate import Query
 from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache
 from repro.storage.visitor import (
     AvgVisitor,
     CountVisitor,
@@ -85,6 +98,15 @@ class FloodServer:
         :attr:`address` after :meth:`start`).
     max_batch / max_delay:
         Micro-batch bounds, passed to :class:`MicroBatcher`.
+    max_queue_depth:
+        Admission bound on requests in flight; ``0`` (default) is
+        unbounded. Saturation produces the structured ``overloaded``
+        reply instead of unbounded queueing.
+    cache_entries / cache_ttl:
+        Result-cache capacity and per-entry lifetime (seconds;
+        ``cache_ttl=0`` means entries never expire). ``cache_entries=0``
+        (default) disables caching — wire behavior is then identical to a
+        cacheless server.
     """
 
     def __init__(
@@ -94,11 +116,25 @@ class FloodServer:
         port: int = 0,
         max_batch: int = 64,
         max_delay: float = 0.002,
+        max_queue_depth: int = 0,
+        cache_entries: int = 0,
+        cache_ttl: float = 0.0,
     ):
+        if cache_entries < 0:
+            raise QueryError(
+                f"cache_entries must be >= 0 (0 disables), got {cache_entries}"
+            )
         self.engine = engine
         self.host = host
         self.port = int(port)
-        self.batcher = MicroBatcher(engine, max_batch=max_batch, max_delay=max_delay)
+        cache = ResultCache(cache_entries, ttl=cache_ttl) if cache_entries else None
+        self.batcher = MicroBatcher(
+            engine,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            max_queue_depth=max_queue_depth,
+            cache=cache,
+        )
         self.connections_served = 0
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
@@ -207,8 +243,11 @@ class FloodServer:
         the caller to serve concurrently.
         """
         try:
-            message = json.loads(line)
-        except json.JSONDecodeError as exc:
+            # Python's json accepts Infinity/NaN literals by default;
+            # those are not JSON, and letting them through would turn
+            # into OverflowErrors deep inside query construction.
+            message = json.loads(line, parse_constant=_reject_constant)
+        except ValueError as exc:  # JSONDecodeError is a ValueError
             return _encode({"ok": False, "error": f"bad JSON: {exc}"}), False, None
         if not isinstance(message, dict):
             return (
@@ -234,31 +273,61 @@ class FloodServer:
             if not isinstance(ranges, dict) or not ranges:
                 raise QueryError("query needs a non-empty 'ranges' object")
             query = Query({dim: tuple(bounds) for dim, bounds in ranges.items()})
+            agg = message.get("agg", "count")
             agg_dim = message.get("dim")
             if agg_dim is not None and agg_dim not in self.engine.index.table:
                 # Validate at the edge: an unknown aggregate dimension must
                 # fail THIS request, not blow up inside the engine and take
                 # the whole micro-batch's futures down with it.
                 raise QueryError(f"unknown aggregate dimension {agg_dim!r}")
-            factory = visitor_factory_for(message.get("agg", "count"), agg_dim)
-            result, stats = await self.batcher.submit(query, factory)
-        except (ReproError, TypeError, ValueError) as exc:
+            factory = visitor_factory_for(agg, agg_dim)
+            cache_key = (
+                ResultCache.make_key(query, agg, agg_dim)
+                if self.batcher.cache is not None
+                else None
+            )
+            result, stats = await self.batcher.submit(query, factory, cache_key)
+        except OverloadedError:
+            # The structured shed-load contract: exactly this error string
+            # plus retry:true, so generic clients can back off and resend.
+            return _encode(
+                {"id": request_id, "ok": False, "error": "overloaded", "retry": True}
+            )
+        except (ReproError, TypeError, ValueError, OverflowError) as exc:
+            # OverflowError: int(float("inf")) from bounds like 1e999 that
+            # parse to non-finite floats without an Infinity literal.
             return _encode({"id": request_id, "ok": False, "error": str(exc)})
+        except Exception as exc:  # last resort: an error reply beats a hang
+            return _encode(
+                {"id": request_id, "ok": False, "error": f"internal error: {exc}"}
+            )
         return _encode(
             {"id": request_id, "ok": True, "result": result, "stats": asdict(stats)}
         )
 
     def _stats_payload(self) -> dict:
         batcher = self.batcher.stats
-        return {
+        payload = {
             "connections_served": self.connections_served,
             "batches_dispatched": batcher.batches_dispatched,
             "queries_served": batcher.queries_served,
             "queries_cancelled": batcher.queries_cancelled,
             "largest_batch": batcher.largest_batch,
             "mean_batch_size": batcher.mean_batch_size,
+            "queries_rejected": batcher.queries_rejected,
+            "batches_failed": batcher.batches_failed,
+            "queries_failed": batcher.queries_failed,
+            "in_flight": self.batcher.in_flight,
+            "max_queue_depth": self.batcher.max_queue_depth,
         }
+        if self.batcher.cache is not None:
+            payload["cache"] = self.batcher.cache.stats_payload()
+        return payload
+
+
+def _reject_constant(name: str):
+    raise ValueError(f"non-finite number {name} is not valid JSON")
 
 
 def _encode(payload: dict) -> bytes:
-    return (json.dumps(payload) + "\n").encode()
+    return (json.dumps(sanitize_json(payload), allow_nan=False) + "\n").encode()

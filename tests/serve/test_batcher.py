@@ -9,6 +9,7 @@ with ``asyncio.run``.
 """
 
 import asyncio
+import time
 
 import numpy as np
 import pytest
@@ -16,14 +17,55 @@ import pytest
 from repro.core.engine import BatchQueryEngine
 from repro.core.index import FloodIndex
 from repro.core.layout import GridLayout
-from repro.errors import QueryError
+from repro.errors import OverloadedError, QueryError
 from repro.query.predicate import Query
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import _SHUTDOWN, MicroBatcher
+from repro.serve.cache import ResultCache
 from repro.storage.visitor import CountVisitor, SumVisitor
 
 from tests.helpers import make_table, random_query
 
 DIMS = ("x", "y", "z")
+
+
+class _WrappedEngine:
+    """Duck-typed engine delegating to a real one; base for test doubles."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.index = engine.index
+        self.runs = 0
+
+    def run(self, queries, visitors=None):
+        self.runs += 1
+        return self.engine.run(queries, visitors=visitors)
+
+
+class _SlowEngine(_WrappedEngine):
+    """Holds every batch in the executor thread for ``delay`` seconds."""
+
+    def __init__(self, engine, delay=0.2):
+        super().__init__(engine)
+        self.delay = delay
+
+    def run(self, queries, visitors=None):
+        self.runs += 1  # counted at entry: tests probe mid-execution
+        time.sleep(self.delay)
+        return self.engine.run(queries, visitors=visitors)
+
+
+class _FlakyEngine(_WrappedEngine):
+    """Raises on the first ``failures`` batches, then recovers."""
+
+    def __init__(self, engine, failures=1):
+        super().__init__(engine)
+        self.failures = failures
+
+    def run(self, queries, visitors=None):
+        self.runs += 1
+        if self.runs <= self.failures:
+            raise RuntimeError("engine exploded")
+        return self.engine.run(queries, visitors=visitors)
 
 
 @pytest.fixture(scope="module")
@@ -275,5 +317,264 @@ class TestCancellation:
             with pytest.raises(QueryError):
                 await batcher.submit(query)
             assert result == _expected_count(engine, query)
+
+        asyncio.run(scenario())
+
+    def test_cancelled_while_batch_runs_counted_exactly_once(self, engine):
+        """Regression: a request cancelled *during* engine execution is
+        tallied as cancelled once — not double-counted against the
+        pre-dispatch cancellation path, and never as served."""
+
+        async def scenario():
+            slow = _SlowEngine(engine, delay=0.15)
+            batcher = MicroBatcher(slow, max_batch=2, max_delay=1.0)
+            await batcher.start()
+            queries = _queries(engine, 2, seed=11)
+            tasks = [
+                asyncio.get_running_loop().create_task(batcher.submit(q))
+                for q in queries
+            ]
+            await asyncio.sleep(0.05)  # size bound hit: the batch is running
+            assert slow.runs == 1
+            tasks[0].cancel()
+            results = await asyncio.wait_for(
+                asyncio.gather(*tasks, return_exceptions=True), timeout=5
+            )
+            await batcher.stop()
+            assert isinstance(results[0], asyncio.CancelledError)
+            result, _ = results[1]
+            assert result == _expected_count(engine, queries[1])
+            assert batcher.stats.queries_cancelled == 1
+            assert batcher.stats.queries_served == 1
+            assert batcher.stats.batched_queries_total == 2
+
+        asyncio.run(scenario())
+
+
+class TestDrainPaths:
+    def test_request_enqueued_behind_shutdown_sentinel_fails_not_leaks(self, engine):
+        """Regression: a submit racing stop() can enqueue its request
+        *after* the shutdown sentinel; the collector never sees it, so
+        stop()'s drain must fail its future — a leak would hang the
+        client forever."""
+
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.01)
+            await batcher.start()
+            query = _queries(engine, 1, seed=12)[0]
+            loop = asyncio.get_running_loop()
+            stop_task = loop.create_task(batcher.stop())
+            await asyncio.sleep(0)  # sentinel enqueued; collector not yet done
+            late = loop.create_task(batcher.submit(query))
+            await asyncio.sleep(0)  # late request lands behind the sentinel
+            await asyncio.wait_for(stop_task, timeout=5)
+            with pytest.raises(QueryError):
+                await asyncio.wait_for(late, timeout=5)
+            assert not batcher.running
+
+        asyncio.run(scenario())
+
+    def test_sentinel_directly_followed_by_request_is_drained(self, engine):
+        """The same leak pinned deterministically: plant a request behind
+        the sentinel in the queue itself, then stop."""
+
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.01)
+            await batcher.start()
+            query = _queries(engine, 1, seed=13)[0]
+            loop = asyncio.get_running_loop()
+            # Freeze the collector's view by enqueueing sentinel + request
+            # back-to-back before it wakes.
+            await batcher._queue.put(_SHUTDOWN)
+            late = loop.create_task(batcher.submit(query))
+            await asyncio.sleep(0)
+            await asyncio.wait_for(batcher.stop(), timeout=5)
+            with pytest.raises(QueryError):
+                await asyncio.wait_for(late, timeout=5)
+            assert batcher.in_flight == 0
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionControl:
+    def test_invalid_depth_rejected(self, engine):
+        with pytest.raises(QueryError):
+            MicroBatcher(engine, max_queue_depth=-1)
+
+    def test_saturated_submit_rejects_immediately(self, engine):
+        async def scenario():
+            slow = _SlowEngine(engine, delay=0.3)
+            batcher = MicroBatcher(
+                slow, max_batch=1, max_delay=0.0, max_queue_depth=2
+            )
+            await batcher.start()
+            queries = _queries(engine, 3, seed=14)
+            loop = asyncio.get_running_loop()
+            admitted = [
+                loop.create_task(batcher.submit(q)) for q in queries[:2]
+            ]
+            await asyncio.sleep(0)  # both admitted (in flight)
+            assert batcher.in_flight == 2
+            started = loop.time()
+            with pytest.raises(OverloadedError):
+                await batcher.submit(queries[2])
+            # Shed-load means *immediate*: no queue wait, no engine wait.
+            assert loop.time() - started < 0.2
+            assert batcher.stats.queries_rejected == 1
+            results = await asyncio.wait_for(asyncio.gather(*admitted), timeout=10)
+            for query, (result, _) in zip(queries[:2], results):
+                assert result == _expected_count(engine, query)
+            # Slots freed: the same query is admitted now.
+            assert batcher.in_flight == 0
+            result, _ = await asyncio.wait_for(
+                batcher.submit(queries[2]), timeout=10
+            )
+            assert result == _expected_count(engine, queries[2])
+            await batcher.stop()
+
+        asyncio.run(scenario())
+
+    def test_zero_depth_is_unbounded(self, engine):
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.01)
+            await batcher.start()
+            queries = _queries(engine, 20, seed=15)
+            results = await asyncio.gather(*[batcher.submit(q) for q in queries])
+            await batcher.stop()
+            assert batcher.stats.queries_rejected == 0
+            assert [r for r, _ in results] == [
+                _expected_count(engine, q) for q in queries
+            ]
+
+        asyncio.run(scenario())
+
+
+class TestFailureCounters:
+    def test_engine_failure_counted_and_batcher_survives(self, engine):
+        """Regression: an engine exception used to increment nothing — the
+        stats op showed a healthy server while every query errored."""
+
+        async def scenario():
+            flaky = _FlakyEngine(engine, failures=1)
+            batcher = MicroBatcher(flaky, max_batch=3, max_delay=0.02)
+            await batcher.start()
+            queries = _queries(engine, 3, seed=16)
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    *[batcher.submit(q) for q in queries], return_exceptions=True
+                ),
+                timeout=5,
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert batcher.stats.batches_failed == 1
+            assert batcher.stats.queries_failed == 3
+            assert batcher.stats.queries_served == 0
+            assert batcher.stats.batches_dispatched == 0
+            # The collector survived; the engine recovered; counters now move.
+            result, _ = await asyncio.wait_for(
+                batcher.submit(queries[0]), timeout=5
+            )
+            assert result == _expected_count(engine, queries[0])
+            assert batcher.stats.queries_served == 1
+            await batcher.stop()
+
+        asyncio.run(scenario())
+
+    def test_raising_factory_counts_as_failed(self, engine):
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.02)
+            await batcher.start()
+            query = _queries(engine, 1, seed=17)[0]
+            with pytest.raises(RuntimeError):
+                await batcher.submit(
+                    query, lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+                )
+            assert batcher.stats.queries_failed == 1
+            assert batcher.stats.batches_failed == 0  # batchmates unaffected
+            await batcher.stop()
+
+        asyncio.run(scenario())
+
+
+class TestResultCacheIntegration:
+    def test_repeat_submit_served_from_cache(self, engine):
+        async def scenario():
+            counting = _WrappedEngine(engine)
+            cache = ResultCache(8)
+            batcher = MicroBatcher(counting, max_batch=4, max_delay=0.0, cache=cache)
+            await batcher.start()
+            query = _queries(engine, 1, seed=18)[0]
+            key = ResultCache.make_key(query)
+            first, first_stats = await batcher.submit(query, CountVisitor, key)
+            runs_after_first = counting.runs
+            second, second_stats = await batcher.submit(query, CountVisitor, key)
+            await batcher.stop()
+            assert first == second == _expected_count(engine, query)
+            assert counting.runs == runs_after_first  # hit: engine untouched
+            assert cache.stats.hits == 1 and cache.stats.misses == 1
+            # Per-query stats semantics: same counters, distinct objects.
+            assert second_stats is not first_stats
+            assert second_stats.points_matched == first_stats.points_matched
+            assert second_stats.points_scanned == first_stats.points_scanned
+
+        asyncio.run(scenario())
+
+    def test_cached_stats_are_isolated_copies(self, engine):
+        """Mutating the stats a hit returned must not corrupt the cache."""
+
+        async def scenario():
+            cache = ResultCache(8)
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.0, cache=cache)
+            await batcher.start()
+            query = _queries(engine, 1, seed=19)[0]
+            key = ResultCache.make_key(query)
+            _, miss_stats = await batcher.submit(query, CountVisitor, key)
+            miss_stats.points_matched = -999  # hostile caller
+            _, hit_stats = await batcher.submit(query, CountVisitor, key)
+            hit_stats.points_scanned = -999
+            _, hit2_stats = await batcher.submit(query, CountVisitor, key)
+            await batcher.stop()
+            assert hit_stats.points_matched != -999
+            assert hit2_stats.points_scanned != -999
+            assert hit2_stats.points_matched == hit_stats.points_matched
+
+        asyncio.run(scenario())
+
+    def test_submit_without_key_bypasses_cache(self, engine):
+        async def scenario():
+            counting = _WrappedEngine(engine)
+            cache = ResultCache(8)
+            batcher = MicroBatcher(counting, max_batch=4, max_delay=0.0, cache=cache)
+            await batcher.start()
+            query = _queries(engine, 1, seed=20)[0]
+            await batcher.submit(query)
+            await batcher.submit(query)
+            await batcher.stop()
+            assert counting.runs == 2
+            assert len(cache) == 0
+            assert cache.stats.lookups == 0
+
+        asyncio.run(scenario())
+
+    def test_distinct_aggregates_do_not_collide(self, engine):
+        async def scenario():
+            cache = ResultCache(8)
+            batcher = MicroBatcher(engine, max_batch=4, max_delay=0.0, cache=cache)
+            await batcher.start()
+            query = _queries(engine, 1, seed=21)[0]
+            count, _ = await batcher.submit(
+                query, CountVisitor, ResultCache.make_key(query)
+            )
+            total, _ = await batcher.submit(
+                query,
+                lambda: SumVisitor("y"),
+                ResultCache.make_key(query, "sum", "y"),
+            )
+            await batcher.stop()
+            expected = SumVisitor("y")
+            engine.index.query_percell(query, expected)
+            assert total == expected.result
+            assert count == _expected_count(engine, query)
+            assert cache.stats.misses == 2 and len(cache) == 2
 
         asyncio.run(scenario())

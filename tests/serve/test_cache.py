@@ -1,0 +1,150 @@
+"""Unit tests for the serving layer's LRU+TTL result cache."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.predicate import Query
+from repro.serve.cache import ResultCache
+
+
+class _FakeClock:
+    """Deterministic monotonic time for TTL tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestMakeKey:
+    def test_range_order_is_canonical(self):
+        a = Query({"x": (0, 10), "y": (5, 9)})
+        b = Query({"y": (5, 9), "x": (0, 10)})
+        assert ResultCache.make_key(a) == ResultCache.make_key(b)
+
+    def test_aggregate_and_dim_distinguish(self):
+        query = Query({"x": (0, 10)})
+        keys = {
+            ResultCache.make_key(query),
+            ResultCache.make_key(query, "sum", "y"),
+            ResultCache.make_key(query, "sum", "z"),
+            ResultCache.make_key(query, "min", "y"),
+        }
+        assert len(keys) == 4
+
+    def test_different_bounds_differ(self):
+        assert ResultCache.make_key(Query({"x": (0, 10)})) != ResultCache.make_key(
+            Query({"x": (0, 11)})
+        )
+
+    def test_key_is_hashable(self):
+        hash(ResultCache.make_key(Query({"x": (0, 10)}), "avg", "y"))
+
+
+class TestBounds:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(QueryError):
+            ResultCache(0)
+        with pytest.raises(QueryError):
+            ResultCache(4, ttl=-1)
+
+    def test_capacity_evicts_lru_first(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes a's recency
+        cache.put("c", 3)  # b is now the LRU entry
+        assert "b" not in cache
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_existing_key_replaces_without_evicting(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.get("a") == 10
+        # The refreshed key is most-recent: inserting evicts "b", not "a".
+        cache.put("c", 3)
+        assert cache.get("a") == 10 and cache.get("b") is None
+
+
+class TestTTL:
+    def test_entries_expire(self):
+        clock = _FakeClock()
+        cache = ResultCache(4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 0
+
+    def test_zero_ttl_never_expires(self):
+        clock = _FakeClock()
+        cache = ResultCache(4, ttl=0.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+    def test_put_refreshes_expiry(self):
+        clock = _FakeClock()
+        cache = ResultCache(4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8)
+        cache.put("a", 2)
+        clock.advance(8)  # 16s after first put, 8s after refresh
+        assert cache.get("a") == 2
+
+    def test_contains_respects_ttl(self):
+        clock = _FakeClock()
+        cache = ResultCache(4, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        assert "a" in cache
+        clock.advance(6)
+        assert "a" not in cache
+        # Membership checks must not move counters.
+        assert cache.stats.lookups == 0
+
+
+class TestCounters:
+    def test_hit_rate(self):
+        cache = ResultCache(4)
+        assert cache.stats.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_stats_payload_shape(self):
+        cache = ResultCache(8, ttl=30.0)
+        cache.put("a", 1)
+        cache.get("a")
+        payload = cache.stats_payload()
+        assert payload["entries"] == 1
+        assert payload["max_entries"] == 8
+        assert payload["ttl"] == 30.0
+        assert payload["hits"] == 1 and payload["misses"] == 0
+        assert payload["hit_rate"] == 1.0
+
+    def test_clear_keeps_lifetime_counters(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1

@@ -1,0 +1,299 @@
+"""Client-side resilience tests against scripted fake servers.
+
+The real server never sends malformed replies or drops connections
+mid-query on purpose — so these tests stand up tiny asyncio servers that
+do, pinning the regression where a dead reply-dispatch task left
+``AsyncFloodClient.query`` awaiting a future nothing would ever resolve.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import QueryError
+from repro.serve.client import (
+    AsyncFloodClient,
+    FloodClient,
+    RetryableError,
+    ServerError,
+)
+
+
+async def _serve_lines(reply_for_line):
+    """A line-oriented fake server; ``reply_for_line(n, line) -> bytes | None``
+    (None closes the connection). Returns ``(server, host, port)``."""
+
+    async def handle(reader, writer):
+        n = 0
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = reply_for_line(n, line)
+                n += 1
+                if reply is None:
+                    break
+                writer.write(reply)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+def _ok_reply(line: bytes, result=42) -> bytes:
+    request = json.loads(line)
+    return (
+        json.dumps(
+            {"id": request.get("id"), "ok": True, "result": result, "stats": {}}
+        )
+        + "\n"
+    ).encode()
+
+
+def _overloaded_reply(line: bytes) -> bytes:
+    request = json.loads(line)
+    return (
+        json.dumps(
+            {
+                "id": request.get("id"),
+                "ok": False,
+                "error": "overloaded",
+                "retry": True,
+            }
+        )
+        + "\n"
+    ).encode()
+
+
+class TestAsyncClientDeadDispatch:
+    def test_malformed_reply_fails_pending_and_subsequent_queries(self):
+        """Regression: a non-JSON reply line used to kill the dispatch task
+        via an unhandled JSONDecodeError, leaving the in-flight future —
+        and every later query() — hanging forever."""
+
+        async def scenario():
+            server, host, port = await _serve_lines(
+                lambda n, line: b"this is not json\n"
+            )
+            client = await AsyncFloodClient().connect(host, port)
+            with pytest.raises(QueryError, match="malformed reply"):
+                await asyncio.wait_for(client.query({"x": [0, 10]}), timeout=5)
+            # Subsequent queries fail immediately — no future is ever
+            # created against the dead connection.
+            with pytest.raises(QueryError, match="unusable"):
+                await asyncio.wait_for(client.query({"x": [0, 10]}), timeout=1)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_non_object_reply_is_malformed(self):
+        """A JSON array reply used to raise AttributeError on .get —
+        same dead-dispatch hang, different line."""
+
+        async def scenario():
+            server, host, port = await _serve_lines(lambda n, line: b"[1, 2]\n")
+            client = await AsyncFloodClient().connect(host, port)
+            with pytest.raises(QueryError, match="malformed reply"):
+                await asyncio.wait_for(client.query({"x": [0, 10]}), timeout=5)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_server_eof_fails_pending_and_subsequent_queries(self):
+        async def scenario():
+            server, host, port = await _serve_lines(lambda n, line: None)
+            client = await AsyncFloodClient().connect(host, port)
+            with pytest.raises(QueryError, match="connection closed"):
+                await asyncio.wait_for(client.query({"x": [0, 10]}), timeout=5)
+            with pytest.raises(QueryError, match="unusable"):
+                await asyncio.wait_for(client.query({"x": [0, 10]}), timeout=1)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_eof_fails_every_concurrent_pending_query(self):
+        """One dead connection must resolve *all* multiplexed in-flight
+        futures, not just the one whose reply was being read."""
+
+        async def scenario():
+            server, host, port = await _serve_lines(
+                lambda n, line: _ok_reply(line) if n == 0 else None
+            )
+            client = await AsyncFloodClient().connect(host, port)
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    *[client.query({"x": [0, 10]}) for _ in range(4)],
+                    return_exceptions=True,
+                ),
+                timeout=5,
+            )
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return results
+
+        results = asyncio.run(scenario())
+        served = [r for r in results if not isinstance(r, Exception)]
+        failed = [r for r in results if isinstance(r, QueryError)]
+        assert len(served) == 1 and served[0][0] == 42
+        assert len(failed) == 3
+
+
+class TestNonFiniteRequestPayloads:
+    def test_blocking_client_rejects_nonfinite_bounds(self):
+        """Non-finite bounds must fail client-side — never reach the wire
+        as the non-JSON ``Infinity`` literal."""
+
+        async def scenario():
+            sent = []
+
+            def record(n, line):
+                sent.append(line)
+                return _ok_reply(line)
+
+            server, host, port = await _serve_lines(record)
+            def client_part():
+                with FloodClient(host, port) as client:
+                    with pytest.raises(QueryError, match="not valid JSON"):
+                        client.query({"x": [0, float("inf")]})
+            await asyncio.get_running_loop().run_in_executor(None, client_part)
+            server.close()
+            await server.wait_closed()
+            return sent
+
+        assert asyncio.run(scenario()) == []  # nothing hit the wire
+
+    def test_async_client_rejects_nonfinite_bounds(self):
+        async def scenario():
+            server, host, port = await _serve_lines(lambda n, line: _ok_reply(line))
+            client = await AsyncFloodClient().connect(host, port)
+            with pytest.raises(QueryError, match="not valid JSON"):
+                await client.query({"x": [0, float("nan")]})
+            # The connection is still healthy for valid requests.
+            result, _ = await asyncio.wait_for(client.query({"x": [0, 10]}), timeout=5)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return result
+
+        assert asyncio.run(scenario()) == 42
+
+
+class TestRetryPolicy:
+    def test_blocking_client_retries_until_admitted(self):
+        async def scenario():
+            server, host, port = await _serve_lines(
+                lambda n, line: _overloaded_reply(line)
+                if n < 2
+                else _ok_reply(line, result=7)
+            )
+
+            def client_part():
+                with FloodClient(host, port, retries=4, backoff=0.01) as client:
+                    return client.query({"x": [0, 10]})
+
+            result = await asyncio.get_running_loop().run_in_executor(
+                None, client_part
+            )
+            server.close()
+            await server.wait_closed()
+            return result
+
+        result, _ = asyncio.run(scenario())
+        assert result == 7
+
+    def test_blocking_client_without_retries_surfaces_retryable(self):
+        async def scenario():
+            server, host, port = await _serve_lines(
+                lambda n, line: _overloaded_reply(line)
+            )
+
+            def client_part():
+                with FloodClient(host, port) as client:
+                    with pytest.raises(RetryableError, match="overloaded"):
+                        client.query({"x": [0, 10]})
+
+            await asyncio.get_running_loop().run_in_executor(None, client_part)
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_blocking_client_exhausted_retries_raise(self):
+        async def scenario():
+            server, host, port = await _serve_lines(
+                lambda n, line: _overloaded_reply(line)
+            )
+
+            def client_part():
+                with FloodClient(host, port, retries=2, backoff=0.005) as client:
+                    with pytest.raises(RetryableError):
+                        client.query({"x": [0, 10]})
+
+            await asyncio.get_running_loop().run_in_executor(None, client_part)
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_async_client_retries_until_admitted(self):
+        async def scenario():
+            server, host, port = await _serve_lines(
+                lambda n, line: _overloaded_reply(line)
+                if n < 3
+                else _ok_reply(line, result=9)
+            )
+            client = await AsyncFloodClient(retries=5, backoff=0.01).connect(
+                host, port
+            )
+            result = await asyncio.wait_for(client.query({"x": [0, 10]}), timeout=5)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return result
+
+        result, _ = asyncio.run(scenario())
+        assert result == 9
+
+    def test_plain_server_error_is_not_retried(self):
+        """Only retry:true replies are retried; a validation error with
+        retries configured must surface on the first attempt."""
+
+        async def scenario():
+            attempts = []
+
+            def reply(n, line):
+                attempts.append(n)
+                request = json.loads(line)
+                return (
+                    json.dumps(
+                        {"id": request.get("id"), "ok": False, "error": "nope"}
+                    )
+                    + "\n"
+                ).encode()
+
+            server, host, port = await _serve_lines(reply)
+            client = await AsyncFloodClient(retries=5, backoff=0.01).connect(
+                host, port
+            )
+            with pytest.raises(ServerError, match="nope"):
+                await client.query({"x": [0, 10]})
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return attempts
+
+        assert asyncio.run(scenario()) == [0]  # exactly one attempt

@@ -11,6 +11,8 @@ import os
 import re
 import subprocess
 import sys
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -20,15 +22,23 @@ from repro.core.index import FloodIndex
 from repro.core.layout import GridLayout
 from repro.core.shard import ShardedFloodIndex
 from repro.errors import QueryError
+from repro.serve.client import (
+    AsyncFloodClient,
+    FloodClient,
+    RetryableError,
+    ServerError,
+)
 from repro.query.predicate import Query
-from repro.serve.client import AsyncFloodClient, FloodClient, ServerError
-from repro.serve.server import FloodServer, visitor_factory_for
+from repro.serve.server import FloodServer, _encode, visitor_factory_for
 from repro.storage.visitor import CountVisitor, SumVisitor
 
 from tests.helpers import make_table, random_query
 
 DIMS = ("x", "y", "z")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+#: Hard ceiling for the `repro serve` subprocess smoke test: a hung server
+#: must fail the test, not stall the CI job until the runner-level kill.
+SMOKE_TIMEOUT = 120
 
 
 @pytest.fixture(scope="module")
@@ -37,11 +47,29 @@ def index():
     return FloodIndex(GridLayout(DIMS, (5, 4))).build(table)
 
 
-def _run_with_server(index, scenario, **server_kwargs):
-    """Start a server, run ``await scenario(server, host, port)``, stop it."""
+class _SlowEngine:
+    """Duck-typed engine holding every batch for ``delay`` seconds, so
+    tests can saturate admission control deterministically."""
+
+    def __init__(self, engine, delay=0.3):
+        self.engine = engine
+        self.index = engine.index
+        self.delay = delay
+
+    def run(self, queries, visitors=None):
+        time.sleep(self.delay)
+        return self.engine.run(queries, visitors=visitors)
+
+
+def _run_with_server(index, scenario, engine=None, **server_kwargs):
+    """Start a server, run ``await scenario(server, host, port)``, stop it.
+
+    ``engine`` overrides the default ``BatchQueryEngine(index)`` (tests
+    wrap it to slow dispatch down).
+    """
 
     async def main():
-        server = FloodServer(BatchQueryEngine(index), **server_kwargs)
+        server = FloodServer(engine or BatchQueryEngine(index), **server_kwargs)
         host, port = await server.start()
         try:
             return await asyncio.wait_for(scenario(server, host, port), timeout=30)
@@ -235,9 +263,271 @@ def _count(index, query) -> int:
     return visitor.result
 
 
+def _loads_strict(line):
+    """Parse a reply refusing Infinity/NaN — what a non-Python client does."""
+
+    def boom(name):
+        raise AssertionError(f"non-RFC JSON constant {name} on the wire")
+
+    return json.loads(line, parse_constant=boom)
+
+
+async def _raw_roundtrip(host, port, payload: bytes) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    reply = _loads_strict(await reader.readline())
+    writer.close()
+    await writer.wait_closed()
+    return reply
+
+
+class TestWireProtocolStrictJSON:
+    def test_encode_maps_nonfinite_to_null(self):
+        reply = _loads_strict(
+            _encode(
+                {
+                    "result": float("inf"),
+                    "stats": {"so": float("nan"), "nested": [float("-inf"), 1.5]},
+                }
+            )
+        )
+        assert reply["result"] is None
+        assert reply["stats"]["so"] is None
+        assert reply["stats"]["nested"] == [None, 1.5]
+
+    def test_infinity_literal_in_request_is_bad_json(self, index):
+        async def scenario(server, host, port):
+            return await _raw_roundtrip(
+                host, port, b'{"id": 1, "ranges": {"x": [0, Infinity]}}\n'
+            )
+
+        reply = _run_with_server(index, scenario)
+        assert reply["ok"] is False and "bad JSON" in reply["error"]
+
+    def test_overflowing_float_bound_gets_error_reply_not_hang(self, index):
+        """1e999 parses to float inf without an Infinity literal; it must
+        fail this request cleanly (the OverflowError used to escape the
+        reply path and silently kill the query task)."""
+
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"id": 7, "ranges": {"x": [0, 1e999]}}\n')
+            await writer.drain()
+            reply = _loads_strict(
+                await asyncio.wait_for(reader.readline(), timeout=5)
+            )
+            # The connection survives for well-formed follow-ups.
+            writer.write(b'{"id": 8, "ranges": {"x": [0, 100]}}\n')
+            await writer.drain()
+            follow_up = _loads_strict(
+                await asyncio.wait_for(reader.readline(), timeout=5)
+            )
+            writer.close()
+            await writer.wait_closed()
+            return reply, follow_up
+
+        reply, follow_up = _run_with_server(index, scenario)
+        assert reply["ok"] is False and reply["id"] == 7
+        assert follow_up["ok"] is True
+        assert follow_up["result"] == _count(index, Query({"x": (0, 100)}))
+
+    def test_empty_match_min_max_avg_round_trip_as_null(self, index):
+        """MIN/MAX/AVG over zero matched rows must reach the client as
+        null, parseable by a strict JSON parser."""
+
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            replies = []
+            for i, agg in enumerate(("min", "max", "avg")):
+                writer.write(
+                    json.dumps(
+                        {
+                            "id": i,
+                            "ranges": {"x": [5000, 6000]},  # matches nothing
+                            "agg": agg,
+                            "dim": "y",
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                replies.append(_loads_strict(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            return replies
+
+        for reply in _run_with_server(index, scenario):
+            assert reply["ok"] is True
+            assert reply["result"] is None
+
+
+class TestResultCacheServing:
+    def test_cached_replies_identical_to_uncached(self, index):
+        rng = np.random.default_rng(11)
+        queries = [random_query(index.table, rng) for _ in range(6)]
+
+        def client_part(host, port):
+            results = []
+            with FloodClient(host, port) as client:
+                for _ in range(3):  # repeats: rounds 2 and 3 hit the cache
+                    for query in queries:
+                        ranges = {d: list(b) for d, b in query.ranges.items()}
+                        results.append(client.query(ranges))
+                stats = client.server_stats()
+            return results, stats
+
+        async def scenario(server, host, port):
+            return await _in_thread(lambda: client_part(host, port))
+
+        results, stats = _run_with_server(index, scenario, cache_entries=32)
+        for i, (got, got_stats) in enumerate(results):
+            query = queries[i % len(queries)]
+            assert got == _count(index, query)
+            expected = CountVisitor()
+            percell = index.query_percell(query, expected)
+            assert got_stats["points_matched"] == percell.points_matched
+            assert got_stats["points_scanned"] == percell.points_scanned
+        assert stats["cache"]["hits"] == 2 * len(queries)
+        assert stats["cache"]["misses"] == len(queries)
+        assert stats["cache"]["entries"] == len(queries)
+        # Hits never re-dispatch: only the first round's queries batched.
+        assert stats["queries_served"] + stats["cache"]["hits"] == 3 * len(queries)
+
+    def test_mixed_aggregates_cached_separately(self, index):
+        def client_part(host, port):
+            with FloodClient(host, port) as client:
+                first = [
+                    client.query({"x": [0, 600]}),
+                    client.query({"x": [0, 600]}, agg="sum", dim="y"),
+                    client.query({"x": [0, 600]}, agg="avg", dim="y"),
+                ]
+                second = [
+                    client.query({"x": [0, 600]}),
+                    client.query({"x": [0, 600]}, agg="sum", dim="y"),
+                    client.query({"x": [0, 600]}, agg="avg", dim="y"),
+                ]
+                stats = client.server_stats()
+            return first, second, stats
+
+        async def scenario(server, host, port):
+            return await _in_thread(lambda: client_part(host, port))
+
+        first, second, stats = _run_with_server(index, scenario, cache_entries=8)
+        assert [r for r, _ in first] == [r for r, _ in second]
+        assert stats["cache"]["hits"] == 3 and stats["cache"]["misses"] == 3
+        expected = SumVisitor("y")
+        index.query_percell(Query({"x": (0, 600)}), expected)
+        assert first[1][0] == expected.result
+
+    def test_cache_disabled_keeps_stats_payload_shape(self, index):
+        async def scenario(server, host, port):
+            def client_part():
+                with FloodClient(host, port) as client:
+                    client.query({"x": [0, 100]})
+                    return client.server_stats()
+
+            return await _in_thread(client_part)
+
+        stats = _run_with_server(index, scenario)  # default: cache_entries=0
+        assert "cache" not in stats
+        assert stats["queries_rejected"] == 0
+        assert stats["batches_failed"] == 0
+        assert stats["queries_failed"] == 0
+
+
+class TestAdmissionControlServing:
+    def test_overloaded_reply_is_structured_and_ping_survives(self, index):
+        async def scenario(server, host, port):
+            client = await AsyncFloodClient().connect(host, port)
+            tasks = [
+                asyncio.get_running_loop().create_task(
+                    client.query({"x": [0, 900]})
+                )
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0.05)  # the admitted two are mid-execution
+            # Raw request while saturated: pin the exact wire contract.
+            raw = await asyncio.wait_for(
+                _raw_roundtrip(
+                    host, port, b'{"id": 99, "ranges": {"x": [0, 900]}}\n'
+                ),
+                timeout=5,
+            )
+            # Liveness while saturated, on its own connection.
+            started = asyncio.get_running_loop().time()
+            pong = await asyncio.wait_for(
+                _in_thread(lambda: _ping_once(host, port)), timeout=5
+            )
+            ping_seconds = asyncio.get_running_loop().time() - started
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            await client.close()
+            return raw, pong, ping_seconds, results
+
+        raw, pong, ping_seconds, results = _run_with_server(
+            index,
+            scenario,
+            engine=_SlowEngine(BatchQueryEngine(index), delay=0.4),
+            max_batch=1,
+            max_delay=0.0,
+            max_queue_depth=2,
+        )
+        assert raw == {"id": 99, "ok": False, "error": "overloaded", "retry": True}
+        assert pong is True
+        assert ping_seconds < 2.0  # answered inline, not behind the queue
+        served = [r for r in results if not isinstance(r, Exception)]
+        shed = [r for r in results if isinstance(r, RetryableError)]
+        assert len(served) == 2 and len(shed) == 6
+        expected = _count(index, Query({"x": (0, 900)}))
+        assert all(result == expected for result, _ in served)
+
+    def test_retrying_clients_eventually_succeed(self, index):
+        async def scenario(server, host, port):
+            client = await AsyncFloodClient(retries=10, backoff=0.05).connect(
+                host, port
+            )
+            results = await asyncio.wait_for(
+                asyncio.gather(*[client.query({"x": [0, 400]}) for _ in range(6)]),
+                timeout=25,
+            )
+            stats_reply = await _in_thread(lambda: _stats_once(host, port))
+            await client.close()
+            return results, stats_reply
+
+        results, stats = _run_with_server(
+            index,
+            scenario,
+            engine=_SlowEngine(BatchQueryEngine(index), delay=0.1),
+            max_batch=1,
+            max_delay=0.0,
+            max_queue_depth=2,
+        )
+        expected = _count(index, Query({"x": (0, 400)}))
+        assert [r for r, _ in results] == [expected] * 6
+        assert stats["queries_rejected"] > 0  # shedding really happened
+        assert stats["queries_served"] == 6
+
+
+def _ping_once(host, port) -> bool:
+    with FloodClient(host, port) as client:
+        return client.ping()
+
+
+def _stats_once(host, port) -> dict:
+    with FloodClient(host, port) as client:
+        return client.server_stats()
+
+
 class TestServeCLI:
     def test_serve_smoke(self):
-        """`repro serve` end-to-end: start, 3 queries, clean shutdown."""
+        """`repro serve` end-to-end: start, 3 queries (served twice — the
+        second pass exercises the result cache), clean shutdown.
+
+        A watchdog enforces a hard wall-clock ceiling: if the subprocess
+        hangs at any stage (startup, serving, shutdown) it is killed,
+        unblocking the ``readline`` below and failing the test — instead
+        of stalling the CI job until the runner-level timeout.
+        """
         env = dict(os.environ)
         env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -246,6 +536,7 @@ class TestServeCLI:
             [
                 sys.executable, "-m", "repro", "serve",
                 "--rows", "20000", "--max-delay-ms", "1", "--shards", "1",
+                "--cache-entries", "32", "--max-queue-depth", "256",
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
@@ -253,6 +544,8 @@ class TestServeCLI:
             env=env,
             cwd=REPO_ROOT,
         )
+        watchdog = threading.Timer(SMOKE_TIMEOUT, proc.kill)
+        watchdog.start()
         try:
             address = None
             for _ in range(200):
@@ -263,18 +556,24 @@ class TestServeCLI:
                 if match:
                     address = (match.group(1), int(match.group(2)))
                     break
-            assert address, "server never announced its address"
+            assert address, (
+                "server never announced its address (or was killed by the "
+                f"{SMOKE_TIMEOUT}s watchdog)"
+            )
             with FloodClient(*address, timeout=60) as client:
                 assert client.ping()
-                counts = [
-                    client.query({"quantity": (1, 10 + 10 * i)})[0]
-                    for i in range(3)
-                ]
+                ranges = [{"quantity": (1, 10 + 10 * i)} for i in range(3)]
+                counts = [client.query(r)[0] for r in ranges]
                 assert all(isinstance(c, int) for c in counts)
                 assert counts == sorted(counts)  # widening ranges: monotone
+                cached = [client.query(r)[0] for r in ranges]
+                assert cached == counts  # cache hits: identical answers
+                stats = client.server_stats()
+                assert stats["cache"]["hits"] >= 3
                 client.shutdown()
             assert proc.wait(timeout=60) == 0
         finally:
+            watchdog.cancel()
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
