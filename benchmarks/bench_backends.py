@@ -1,0 +1,266 @@
+"""Scan backends: serial vs thread vs process on one query's shard scans.
+
+The PR-2/3 parallel paths run shard scans on threads: the numpy kernels
+release the GIL, so decode + masking scale, but any *Python-level*
+visitor work re-serializes on the GIL. The process backend exists for
+exactly that workload — CPU-bound visitors on real cores, with the table
+attached zero-copy through shared memory and only compact partial
+aggregates crossing the pool boundary.
+
+Three measurements over the Fig.7-style TPC-H configuration:
+
+1. **Identity** — serial, thread, and process backends produce results
+   and counters identical to the seed's ``query_percell`` loop, for
+   mergeable (COUNT/SUM) and arbitrary (recording-fallback) visitors.
+2. **Backend × shards × visitor cost sweep** — one large query timed for
+   every backend at increasing shard counts, with a cheap (numpy COUNT)
+   and a CPU-heavy (pure-Python) visitor. Persisted to
+   ``results/BENCH_backends.json`` for the perf trajectory.
+3. **The headline assert** — on ≥2 cores the process backend must beat
+   the thread backend on the CPU-heavy visitor (the GIL makes the thread
+   pool useless there). Demote to a report with
+   ``REPRO_REQUIRE_BACKEND_SPEEDUP=0`` on hopelessly noisy runners;
+   identity stays enforced everywhere. Plus leak-freedom: after backend
+   shutdown no shared-memory segment this process created survives.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import build_flood
+from repro.bench.report import write_json_result
+from repro.core.backends import ProcessBackend
+from repro.core.cost import AnalyticCostModel
+from repro.core.index import FloodIndex
+from repro.core.shard import ShardedFloodIndex
+from repro.datasets import load
+from repro.query.predicate import Query
+from repro.storage.shm import owned_segment_names
+from repro.storage.visitor import CountVisitor, SumVisitor, Visitor
+
+ROWS = 150_000
+GRID_SCALE = 4.0
+SHARD_COUNTS = (2, 4)
+#: Required CPU-heavy-visitor speedup of process over thread — only
+#: asserted with >= 2 physical cores and a fork start method (the
+#: pure-Python visitor class must be importable in workers).
+MIN_PROCESS_SPEEDUP = 1.15
+REQUIRE_SPEEDUP = os.environ.get("REPRO_REQUIRE_BACKEND_SPEEDUP", "1") != "0"
+CORES = os.cpu_count() or 1
+
+
+class PyCountVisitor(Visitor):
+    """A deliberately GIL-bound COUNT: pure-Python per-row accumulation.
+
+    Mergeable, so both thread and process backends ship one integer back
+    per shard — the *accumulation* is what each backend must parallelize,
+    and only processes can (threads serialize on the GIL here).
+    """
+
+    def __init__(self):
+        self.count = 0
+
+    def visit(self, table, start, stop, mask):
+        if mask is None:
+            total = 0
+            for _ in range(stop - start):
+                total += 1
+            self.count += total
+        else:
+            total = 0
+            for hit in mask.tolist():
+                if hit:
+                    total += 1
+            self.count += total
+
+    def fresh(self) -> "PyCountVisitor":
+        return PyCountVisitor()
+
+    def merge(self, other: "PyCountVisitor") -> None:
+        self.count += other.count
+
+    @property
+    def result(self) -> int:
+        return self.count
+
+
+@pytest.fixture(scope="module")
+def backends_setup():
+    bundle = load("tpch", n=ROWS, num_queries=60, seed=7)
+    _, opt = build_flood(
+        bundle.table, bundle.train, cost_model=AnalyticCostModel(),
+        max_cells=8192, seed=7,
+    )
+    layout = opt.layout.scaled(GRID_SCALE)
+    flood = FloodIndex(layout).build(bundle.table)
+    backend = ProcessBackend(flood.table)
+    yield flood, bundle, backend
+    backend.shutdown()
+
+
+def _backend_variants(flood, process_backend, num_shards=4):
+    """(label, index) pairs, the process one sharing the module pool."""
+    kwargs = dict(num_shards=num_shards, min_parallel_points=0)
+    return (
+        ("serial", ShardedFloodIndex.wrap(flood, backend="serial", **kwargs)),
+        ("thread", ShardedFloodIndex.wrap(flood, backend="thread", **kwargs)),
+        ("process", ShardedFloodIndex.wrap(flood, backend=process_backend, **kwargs)),
+    )
+
+
+def _large_query(flood) -> Query:
+    """Most of the table, bounds strictly inside the domain so boundary
+    columns keep their per-point residual checks (real masking work)."""
+    table = flood.table
+    ranges = {}
+    for dim in flood.layout.order[:2]:
+        lo, hi = table.min_max(dim)
+        span = hi - lo
+        ranges[dim] = (lo + span // 20, hi - span // 20)
+    return Query(ranges)
+
+
+def _best_seconds(run, repeats=3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_backend_identity_suite(backends_setup):
+    """Byte-identical query results across serial/thread/process, held to
+    the seed's per-cell loop (the PR acceptance criterion)."""
+    flood, bundle, process_backend = backends_setup
+    queries = bundle.test[:20] + [_large_query(flood)]
+    reference = []
+    for query in queries:
+        count, total = CountVisitor(), SumVisitor(flood.layout.order[0])
+        stats = flood.query_percell(query, count)
+        flood.query_percell(query, total)
+        reference.append((count.result, total.result, stats.points_scanned,
+                          stats.points_matched))
+    for label, index in _backend_variants(flood, process_backend):
+        for query, (ref_count, ref_total, ref_scanned, ref_matched) in zip(
+            queries, reference
+        ):
+            count, total = CountVisitor(), SumVisitor(flood.layout.order[0])
+            stats = index.query(query, count)
+            index.query(query, total)
+            assert count.result == ref_count, label
+            assert total.result == ref_total, label
+            assert stats.points_scanned == ref_scanned, label
+            assert stats.points_matched == ref_matched, label
+
+
+def test_backend_sweep_and_cpu_heavy_speedup(backends_setup):
+    flood, _, process_backend = backends_setup
+    query = _large_query(flood)
+    expected = CountVisitor()
+    flood.query_percell(query, expected)
+
+    visitor_kinds = (
+        ("numpy-count", CountVisitor),
+        ("python-count", PyCountVisitor),
+    )
+    rows = []
+    timings: dict[tuple[str, int, str], float] = {}
+    for shards in SHARD_COUNTS:
+        for label, index in _backend_variants(flood, process_backend, shards):
+            for visitor_name, visitor_cls in visitor_kinds:
+                check = visitor_cls()
+                index.query(query, check)  # warmup + identity
+                assert check.result == expected.result, (label, visitor_name)
+                seconds = _best_seconds(
+                    lambda: index.query(query, visitor_cls())
+                )
+                timings[(label, shards, visitor_name)] = seconds
+                rows.append(
+                    {
+                        "backend": label,
+                        "shards": shards,
+                        "visitor": visitor_name,
+                        "seconds": seconds,
+                    }
+                )
+
+    print(f"\nbackend sweep ({expected.result} rows matched, {CORES} cores):")
+    for row in rows:
+        print(
+            f"  {row['backend']:>7s} x{row['shards']} shards, "
+            f"{row['visitor']:>12s}: {row['seconds'] * 1e3:8.2f} ms"
+        )
+
+    best_thread = min(
+        timings[("thread", s, "python-count")] for s in SHARD_COUNTS
+    )
+    best_process = min(
+        timings[("process", s, "python-count")] for s in SHARD_COUNTS
+    )
+    speedup = best_thread / best_process
+    print(f"  CPU-heavy visitor: process {speedup:.2f}x over thread")
+
+    write_json_result(
+        "BENCH_backends",
+        {
+            "rows": ROWS,
+            "cores": CORES,
+            "start_method": multiprocessing.get_start_method(),
+            "matched": expected.result,
+            "sweep": rows,
+            "cpu_heavy_process_over_thread": speedup,
+        },
+    )
+
+    if CORES >= 2 and multiprocessing.get_start_method() == "fork":
+        message = (
+            f"process backend only {speedup:.2f}x over thread on the "
+            f"CPU-heavy visitor with {CORES} cores "
+            f"(need >= {MIN_PROCESS_SPEEDUP}x)"
+        )
+        if REQUIRE_SPEEDUP:
+            assert speedup >= MIN_PROCESS_SPEEDUP, message
+        elif speedup < MIN_PROCESS_SPEEDUP:
+            print(f"  WARNING (not asserted): {message}")
+    else:
+        print(
+            f"  ({CORES} core(s), start method "
+            f"{multiprocessing.get_start_method()!r}: speedup reported, "
+            "not asserted)"
+        )
+
+
+def test_no_leaked_segments_after_shutdown():
+    """A dedicated backend's full lifecycle leaves no shm segment behind
+    (the module fixture's backend is leak-checked by its own teardown +
+    the registry's atexit sweep)."""
+    rng = np.random.default_rng(9)
+    from repro.core.layout import GridLayout
+    from repro.storage.table import Table
+
+    table = Table({
+        "x": rng.integers(0, 1000, size=30_000),
+        "y": rng.integers(0, 1000, size=30_000),
+    })
+    index = FloodIndex(GridLayout(("x", "y"), (8,))).build(table)
+    before = set(owned_segment_names())
+    backend = ProcessBackend(index.table, workers=2)
+    sharded = ShardedFloodIndex.wrap(
+        index, num_shards=2, min_parallel_points=0, backend=backend
+    )
+    visitor = CountVisitor()
+    sharded.query(Query({"x": (0, 900)}), visitor)
+    assert set(owned_segment_names()) - before  # segments existed in use
+    backend.shutdown()
+    assert set(owned_segment_names()) <= before  # ... and are gone now
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

@@ -24,6 +24,7 @@ import time
 import pytest
 
 from repro.bench.harness import build_flood
+from repro.bench.report import write_json_result
 from repro.core.cost import AnalyticCostModel
 from repro.core.engine import BatchQueryEngine
 from repro.core.index import FloodIndex
@@ -108,6 +109,19 @@ def test_single_query_shard_sweep(sharding_setup):
         label = "unsharded" if shards == 1 else f"{shards} shards"
         print(f"  {label:>10s}: {seconds * 1e3:8.3f} ms "
               f"({timings[1] / seconds:5.2f}x)")
+    # The perf trajectory: persisted for the CI artifact diff.
+    write_json_result(
+        "BENCH_sharding",
+        {
+            "rows": ROWS,
+            "cores": CORES,
+            "matched": reference.result,
+            "seconds_by_shards": {str(s): t for s, t in timings.items()},
+            "best_sharded_speedup": (
+                timings[1] / min(t for s, t in timings.items() if s > 1)
+            ),
+        },
+    )
     if CORES >= 2:
         best_sharded = min(seconds for s, seconds in timings.items() if s > 1)
         speedup = timings[1] / best_sharded

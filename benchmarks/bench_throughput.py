@@ -13,11 +13,13 @@ per-query COUNT(*) results and identical points_matched, and result
 identity again under worker-pool parallelism.
 """
 
+import os
 import time
 
 import pytest
 
 from repro.bench.harness import build_flood
+from repro.bench.report import write_json_result
 from repro.core.cost import AnalyticCostModel
 from repro.core.engine import BatchQueryEngine
 from repro.core.index import FloodIndex
@@ -66,6 +68,20 @@ def test_engine_3x_over_percell_loop(throughput_setup):
     print(
         f"\nengine: {batch.queries_per_second:8.1f} q/s | per-cell loop: "
         f"{len(queries) / legacy_seconds:8.1f} q/s | speedup: {speedup:.2f}x"
+    )
+    # The perf trajectory: one strict-JSON point per run, diffable by
+    # future PRs (uploaded as a CI artifact; see docs/benchmarks.md).
+    write_json_result(
+        "BENCH_throughput",
+        {
+            "rows": ROWS,
+            "queries": len(queries),
+            "cores": os.cpu_count(),
+            "engine_qps": batch.queries_per_second,
+            "engine_wall_seconds": batch.wall_seconds,
+            "percell_qps": len(queries) / legacy_seconds,
+            "speedup_over_percell": speedup,
+        },
     )
     # Result identity: aggregates and the stats counters the paper reports.
     assert batch.results == legacy_counts

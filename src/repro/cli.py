@@ -16,13 +16,15 @@ Commands
 ``throughput``
     Serve a generated workload through the batch query engine (throughput
     mode) and report queries/second, optionally against the seed's
-    per-cell reference loop.
+    per-cell reference loop; ``--backend thread|process`` shards the
+    table and picks where shard scans run.
 ``serve``
     Build an index over a generated dataset and serve it to concurrent
     clients over TCP (JSON lines), with micro-batching, optional table
-    sharding, result caching (``--cache-entries`` / ``--cache-ttl``), and
-    admission control (``--max-queue-depth``); pair with
-    :mod:`repro.serve.client`.
+    sharding (``--shards`` / ``--backend``), result caching
+    (``--cache-entries`` / ``--cache-ttl``), admission control
+    (``--max-queue-depth``), and per-connection fairness
+    (``--max-client-depth``); pair with :mod:`repro.serve.client`.
 """
 
 from __future__ import annotations
@@ -104,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also time the seed's per-cell loop and verify identical results",
     )
+    throughput.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="intra-query scan backend: serial (default, unsharded), or "
+        "shard the table one shard per core and scan on the thread pool "
+        "or on a zero-copy worker-process pool (CPU-bound visitors)",
+    )
     throughput.add_argument("--seed", type=int, default=7)
 
     serve = sub.add_parser(
@@ -124,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="table shards for intra-query parallelism (0 = one per core, "
         "1 = unsharded)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="thread",
+        help="scan backend for the sharded index (ignored with --shards 1): "
+        "thread (default) scans shards on the process-wide thread pool, "
+        "process on a zero-copy worker-process pool, serial inline",
     )
     serve.add_argument(
         "--max-batch", type=int, default=64, help="micro-batch size bound"
@@ -154,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="admission bound on in-flight requests; excess requests get "
         'the structured {"error": "overloaded", "retry": true} reply '
+        "(0 = unbounded)",
+    )
+    serve.add_argument(
+        "--max-client-depth",
+        type=int,
+        default=0,
+        help="per-connection fairness bound: in-flight requests one "
+        "connection may hold before its excess is shed, so a greedy "
+        "pipelined client cannot monopolize --max-queue-depth "
         "(0 = unbounded)",
     )
     serve.add_argument(
@@ -223,36 +250,50 @@ def _cmd_throughput(args) -> int:
         layout = layout.scaled(args.grid_scale)
         flood = FloodIndex(layout).build(bundle.table)
     print(f"Layout: {layout.describe()} ({layout.num_cells} cells)")
-    engine = BatchQueryEngine(flood, workers=args.workers)
-    engine.run(queries[: min(20, len(queries))])  # warmup
-    best = None
-    for _ in range(max(args.repeats, 1)):
-        batch = engine.run(queries)
-        if best is None or batch.wall_seconds < best.wall_seconds:
-            best = batch
-    print(
-        f"  engine ({args.workers} worker{'s' if args.workers != 1 else ''}): "
-        f"{best.queries_per_second:10.1f} queries/s "
-        f"({best.wall_seconds / len(queries) * 1e3:.3f} ms/query)"
-    )
-    if args.compare_legacy:
-        legacy_counts = []
-        start = time.perf_counter()
-        for query in queries:
-            visitor = CountVisitor()
-            flood.query_percell(query, visitor)
-            legacy_counts.append(visitor.result)
-        legacy_seconds = time.perf_counter() - start
+    scan_backend = None
+    if args.backend != "serial":
+        from repro.core.shard import ShardedFloodIndex
+
+        flood = ShardedFloodIndex.wrap(flood, backend=args.backend)
+        scan_backend = flood.scan_backend  # resolve now: fail before timing
         print(
-            f"  per-cell loop:  {len(queries) / legacy_seconds:10.1f} queries/s "
-            f"({legacy_seconds / len(queries) * 1e3:.3f} ms/query)"
+            f"Scan backend: {args.backend} "
+            f"({flood.effective_shards} storage shards)"
         )
-        print(f"  speedup: {legacy_seconds / best.wall_seconds:.2f}x")
-        if legacy_counts != best.results:
-            print("  MISMATCH: engine and per-cell results differ!")
-            return 1
-        print(f"  results identical across {len(queries)} queries")
-    return 0
+    engine = BatchQueryEngine(flood, workers=args.workers)
+    try:
+        engine.run(queries[: min(20, len(queries))])  # warmup
+        best = None
+        for _ in range(max(args.repeats, 1)):
+            batch = engine.run(queries)
+            if best is None or batch.wall_seconds < best.wall_seconds:
+                best = batch
+        print(
+            f"  engine ({args.workers} worker{'s' if args.workers != 1 else ''}): "
+            f"{best.queries_per_second:10.1f} queries/s "
+            f"({best.wall_seconds / len(queries) * 1e3:.3f} ms/query)"
+        )
+        if args.compare_legacy:
+            legacy_counts = []
+            start = time.perf_counter()
+            for query in queries:
+                visitor = CountVisitor()
+                flood.query_percell(query, visitor)
+                legacy_counts.append(visitor.result)
+            legacy_seconds = time.perf_counter() - start
+            print(
+                f"  per-cell loop:  {len(queries) / legacy_seconds:10.1f} queries/s "
+                f"({legacy_seconds / len(queries) * 1e3:.3f} ms/query)"
+            )
+            print(f"  speedup: {legacy_seconds / best.wall_seconds:.2f}x")
+            if legacy_counts != best.results:
+                print("  MISMATCH: engine and per-cell results differ!")
+                return 1
+            print(f"  results identical across {len(queries)} queries")
+        return 0
+    finally:
+        if scan_backend is not None:
+            scan_backend.shutdown()  # process backend: pool + shared memory
 
 
 def _cmd_serve(args) -> int:
@@ -276,6 +317,9 @@ def _cmd_serve(args) -> int:
     if args.max_queue_depth < 0:
         print("serve needs --max-queue-depth >= 0 (0 = unbounded)", file=sys.stderr)
         return 2
+    if args.max_client_depth < 0:
+        print("serve needs --max-client-depth >= 0 (0 = unbounded)", file=sys.stderr)
+        return 2
     print(f"Loading {args.dataset} at {args.rows} rows...")
     bundle = load(args.dataset, n=args.rows, num_queries=50, seed=args.seed)
     flood, opt = build_flood(bundle.table, bundle.train, seed=args.seed)
@@ -285,11 +329,18 @@ def _cmd_serve(args) -> int:
 
         layout = layout.scaled(args.grid_scale)
         flood = FloodIndex(layout).build(bundle.table)
+    scan_backend = None
     if args.shards != 1:
         flood = ShardedFloodIndex.wrap(
-            flood, num_shards=args.shards if args.shards else None
+            flood,
+            num_shards=args.shards if args.shards else None,
+            backend=args.backend,
         )
-        print(f"Sharded into {flood.effective_shards} storage shards")
+        scan_backend = flood.scan_backend  # resolve now: fail before binding
+        print(
+            f"Sharded into {flood.effective_shards} storage shards "
+            f"({args.backend} scan backend)"
+        )
     print(f"Layout: {layout.describe()} ({layout.num_cells} cells)")
     # One long-lived pool shared across every micro-batch (the engine
     # would otherwise spin up and tear down a pool per batch).
@@ -308,6 +359,7 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1e3,
         max_queue_depth=args.max_queue_depth,
+        max_client_depth=args.max_client_depth,
         cache_entries=args.cache_entries,
         cache_ttl=args.cache_ttl,
     )
@@ -316,6 +368,11 @@ def _cmd_serve(args) -> int:
         print(f"Result cache: {args.cache_entries} entries{ttl}")
     if args.max_queue_depth:
         print(f"Admission control: max {args.max_queue_depth} requests in flight")
+    if args.max_client_depth:
+        print(
+            f"Per-connection fairness: max {args.max_client_depth} "
+            "requests in flight per connection"
+        )
 
     async def main() -> None:
         host, port = await server.start()
@@ -334,6 +391,8 @@ def _cmd_serve(args) -> int:
     finally:
         if pool is not None:
             pool.shutdown()
+        if scan_backend is not None:
+            scan_backend.shutdown()  # process backend: pool + shared memory
     return 0
 
 

@@ -11,6 +11,9 @@
 - :mod:`repro.core.shard` -- intra-query parallelism: the clustered table
   split into storage-contiguous shards so one query's scan fans out
   across cores.
+- :mod:`repro.core.backends` -- pluggable scan backends executing those
+  shard scans: serial, thread pool, or a zero-copy process pool for
+  CPU-bound visitors.
 - :mod:`repro.core.cost` -- the cost model Time = wp*Nc + wr*Nc + ws*Ns with
   learned weights (Section 4.1).
 - :mod:`repro.core.calibration` -- weight-model training from random
@@ -24,6 +27,13 @@ Extensions the paper sketches (Sections 6 and 8) are implemented too:
 :mod:`repro.core.monitor` (workload-shift detection + auto-retraining).
 """
 
+from repro.core.backends import (
+    ProcessBackend,
+    ScanBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.core.calibration import calibrate, generate_training_examples
 from repro.core.cost import AnalyticCostModel, CostModel, LearnedCostModel, QueryFeatures
 from repro.core.delta import DeltaBufferedFlood
@@ -38,6 +48,11 @@ from repro.core.shard import ShardedFloodIndex
 
 __all__ = [
     "ShardedFloodIndex",
+    "ScanBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
     "DeltaBufferedFlood",
     "KNNSearcher",
     "knn",

@@ -10,6 +10,15 @@ implements the delta-index variant:
   the (small) buffer, merging visitor results;
 - ``merge()`` folds the buffer into the table and rebuilds the index, and
   is triggered automatically when the buffer exceeds ``merge_threshold``.
+
+Every mutation bumps a monotonically-increasing ``generation`` counter.
+The serving layer's :class:`~repro.serve.cache.ResultCache` keys entries
+on it (:meth:`ResultCache.make_key`'s ``generation`` argument), so a
+result cached before an insert can never be served after it — the key
+simply no longer matches, and the stale entry ages out of the LRU.
+(The server reads ``engine.index.generation``; putting a delta-buffered
+index *behind* the engine end-to-end is a ROADMAP follow-on — today the
+wiring is exercised directly against the cache.)
 """
 
 from __future__ import annotations
@@ -55,6 +64,10 @@ class DeltaBufferedFlood:
         self._buffer: dict[str, list[int]] = {}
         self.merges = 0
         self.last_merge_seconds = 0.0
+        #: Monotonic mutation counter: bumped by every insert/insert_many/
+        #: merge. Result caches key on it so mutations invalidate by
+        #: construction (see :meth:`repro.serve.cache.ResultCache.make_key`).
+        self.generation = 0
 
     # ------------------------------------------------------------------ build
     def build(self, table: Table) -> "DeltaBufferedFlood":
@@ -80,6 +93,7 @@ class DeltaBufferedFlood:
             )
         for dim, value in row.items():
             self._buffer[dim].append(int(value))
+        self.generation += 1
         if (
             self.merge_threshold is not None
             and self.buffered_rows >= self.merge_threshold
@@ -97,6 +111,7 @@ class DeltaBufferedFlood:
             raise SchemaError("batch columns disagree on length")
         for dim, values in rows.items():
             self._buffer[dim].extend(int(v) for v in np.atleast_1d(values))
+        self.generation += 1
         if (
             self.merge_threshold is not None
             and self.buffered_rows >= self.merge_threshold
@@ -117,6 +132,7 @@ class DeltaBufferedFlood:
         }
         self.build(Table(combined, compress=self.table.compressed))
         self.merges += 1
+        self.generation += 1
         self.last_merge_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------ query

@@ -99,14 +99,30 @@ class BatchQueryEngine:
         worker jobs on (the serving layer shares one pool across batches).
         When given, ``workers`` only controls job chunking and the engine
         never shuts the pool down.
+    backend:
+        Optional scan-backend spec (``'serial'`` / ``'thread'`` /
+        ``'process'`` or a :class:`~repro.core.backends.ScanBackend`)
+        applied to the index's *intra-query* scans. Requires a
+        :class:`~repro.core.shard.ShardedFloodIndex`; plain indexes have
+        no shard fan-out to re-target. ``None`` (default) leaves the
+        index's own backend untouched. With the process backend, engine
+        worker threads submit to one bounded process pool, so the
+        combination cannot oversubscribe unboundedly.
     """
 
-    def __init__(self, index: FloodIndex, workers: int = 1, executor=None):
+    def __init__(self, index: FloodIndex, workers: int = 1, executor=None, backend=None):
         if not isinstance(index, FloodIndex):
             raise QueryError(
                 f"BatchQueryEngine requires a FloodIndex, got {type(index).__name__}"
             )
         index.table  # raises BuildError when not built
+        if backend is not None:
+            if not hasattr(index, "use_backend"):
+                raise QueryError(
+                    "backend= needs a ShardedFloodIndex; wrap the index first "
+                    "(ShardedFloodIndex.wrap)"
+                )
+            index.use_backend(backend)
         self.index = index
         self.workers = max(1, int(workers))
         self.executor = executor

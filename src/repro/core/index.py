@@ -150,6 +150,14 @@ class FloodIndex(BaseIndex):
 
     name = "Flood"
 
+    #: Table-content generation. A plain Flood index is immutable after
+    #: build, so this never moves; mutable wrappers
+    #: (:class:`~repro.core.delta.DeltaBufferedFlood`) bump their own
+    #: counter on every insert/merge. The serving layer folds
+    #: ``generation`` into result-cache keys, so caching over a mutable
+    #: index can never serve a pre-mutation result.
+    generation: int = 0
+
     #: Attributes holding all state :meth:`_build` produces. Lives next to
     #: the build code so additions stay in sync; anything sharing a built
     #: index without rebuilding (``ShardedFloodIndex.wrap``) copies exactly

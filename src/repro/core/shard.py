@@ -9,34 +9,40 @@ process-wide worker pool. Projection and refinement stay single-threaded
 (they are a few vectorized passes, microseconds at any plan size); the
 scan, which dominates large queries (paper Table 2), is what shards.
 
-Parallelism model: each shard's worker scans its run subset through the
-normal :meth:`FloodIndex.execute_plan` kernel into a
-:class:`~repro.storage.visitor.RecordingVisitor`; the recorded
-``(start, stop, mask)`` visits are then replayed into the caller's visitor
-in shard order. The expensive work — column decode and residual masking,
-whose numpy kernels release the GIL — runs in parallel, while the caller's
-visitor only ever runs on the calling thread, so any visitor works
-unchanged and results are deterministic regardless of worker scheduling.
+*Where* the per-shard pieces execute is pluggable
+(:mod:`repro.core.backends`): the default :class:`ThreadBackend` uses the
+process-wide thread pool below (numpy kernels release the GIL), while
+:class:`ProcessBackend` runs shards on worker processes attached
+zero-copy to the table's shared-memory segments — real cores even for
+CPU-bound, GIL-holding visitor work. Mergeable visitors
+(``fresh``/``merge``) ship compact partial aggregates back and merge in
+shard order; any other visitor falls back to
+:class:`~repro.storage.visitor.RecordingVisitor` record-and-replay. The
+merge (or replay) runs on the calling thread in shard order either way,
+so results are deterministic regardless of worker scheduling.
 
 Results are bit-identical to :meth:`FloodIndex.query` and the seed's
-:meth:`FloodIndex.query_percell`: splitting a coalesced run at a shard
-boundary changes neither the rows scanned nor the masks computed.
+:meth:`FloodIndex.query_percell` under every backend: splitting a
+coalesced run at a shard boundary changes neither the rows scanned nor
+the masks computed.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.core.backends import ScanBackend, SerialBackend, resolve_backend
 from repro.core.index import FloodIndex, QueryPlan
 from repro.errors import BuildError
 from repro.query.predicate import Query
 from repro.query.stats import QueryStats
 from repro.storage.scan import split_runs
 from repro.storage.table import Table
-from repro.storage.visitor import RecordingVisitor, Visitor
+from repro.storage.visitor import Visitor
 
 #: Below this many planned points a query is scanned serially: pool
 #: dispatch costs more than it buys on small scans (identical results
@@ -97,8 +103,17 @@ class ShardedFloodIndex(FloodIndex):
         Plans scanning fewer points than this run serially (0 forces the
         parallel path, used by the identity tests).
     executor:
-        Worker pool for shard scans; defaults to the process-wide pool
-        from :func:`get_scan_pool`.
+        Worker pool for the (default) thread backend; defaults to the
+        process-wide pool from :func:`get_scan_pool`. Ignored by other
+        backends.
+    backend:
+        Scan-backend spec: ``'serial'`` / ``'thread'`` / ``'process'``
+        or a :class:`~repro.core.backends.ScanBackend` instance.
+        ``None`` (default) means ``'thread'`` — the pre-backend
+        behavior. String specs resolve lazily on first parallel scan
+        (the process backend needs the built table); the resolved
+        instance is reachable as :attr:`scan_backend` and the caller
+        owns its :meth:`~repro.core.backends.ScanBackend.shutdown`.
     **kwargs:
         ``flatten`` / ``refinement`` / ``delta``, as for
         :class:`FloodIndex`.
@@ -112,6 +127,7 @@ class ShardedFloodIndex(FloodIndex):
         num_shards: int | None = None,
         min_parallel_points: int = MIN_PARALLEL_POINTS,
         executor: ThreadPoolExecutor | None = None,
+        backend: str | ScanBackend | None = None,
         **kwargs,
     ):
         super().__init__(layout, **kwargs)
@@ -120,6 +136,11 @@ class ShardedFloodIndex(FloodIndex):
         self.num_shards = int(num_shards) if num_shards else default_num_shards()
         self.min_parallel_points = int(min_parallel_points)
         self.executor = executor
+        self._backend_spec = "thread" if backend is None else backend
+        self._backend: ScanBackend | None = (
+            backend if isinstance(backend, ScanBackend) else None
+        )
+        self._backend_lock = threading.Lock()
 
     # ------------------------------------------------------------------ build
     def _build(self, table: Table) -> None:
@@ -133,6 +154,7 @@ class ShardedFloodIndex(FloodIndex):
         num_shards: int | None = None,
         min_parallel_points: int = MIN_PARALLEL_POINTS,
         executor: ThreadPoolExecutor | None = None,
+        backend: str | ScanBackend | None = None,
     ) -> "ShardedFloodIndex":
         """Shard an already-built :class:`FloodIndex` without rebuilding.
 
@@ -145,6 +167,7 @@ class ShardedFloodIndex(FloodIndex):
             num_shards=num_shards,
             min_parallel_points=min_parallel_points,
             executor=executor,
+            backend=backend,
             flatten=index.flatten,
             refinement=index.refinement,
             delta=index.delta,
@@ -188,6 +211,39 @@ class ShardedFloodIndex(FloodIndex):
         """Shard count after snapping to cell boundaries (<= ``num_shards``)."""
         return self.shard_bounds.size - 1
 
+    # --------------------------------------------------------------- backend
+    @property
+    def scan_backend(self) -> ScanBackend:
+        """The resolved backend executing this index's shard scans.
+
+        Resolves a string spec lazily (``'process'`` needs the built
+        table to place in shared memory); repeated access returns the
+        same instance. The caller (CLI, benchmark, server) owns
+        :meth:`~repro.core.backends.ScanBackend.shutdown` of process
+        backends — per-query code never tears pools down.
+        """
+        if self._backend is None:
+            # Locked: concurrent engine workers resolving 'process' would
+            # otherwise each copy the table into shared memory and leak
+            # every losing copy's segments until the atexit sweep.
+            with self._backend_lock:
+                if self._backend is None:
+                    table = self.table if self._backend_spec == "process" else None
+                    self._backend = resolve_backend(
+                        self._backend_spec, table=table, executor=self.executor
+                    )
+        return self._backend
+
+    def use_backend(self, backend: str | ScanBackend) -> ScanBackend:
+        """Swap the scan backend; returns the *previous* resolved backend
+        (or ``None``), whose shutdown the caller owns."""
+        old = self._backend
+        self._backend_spec = backend
+        self._backend = backend if isinstance(backend, ScanBackend) else None
+        if self._backend is None:
+            self.scan_backend  # resolve eagerly so config errors fail here
+        return old
+
     # ------------------------------------------------------------------- scan
     def execute_plan(
         self,
@@ -197,12 +253,14 @@ class ShardedFloodIndex(FloodIndex):
         stats: QueryStats,
         runs: list[tuple[int, int, int]] | None = None,
     ) -> None:
-        """Scan a (refined) plan with per-shard fan-out.
+        """Scan a (refined) plan with per-shard fan-out on the backend.
 
-        Small plans (fewer than ``min_parallel_points`` planned points) and
-        single-shard tables fall through to the serial kernel; otherwise the
-        runs are split at shard boundaries, scanned concurrently into
-        recording visitors, and replayed into ``visitor`` in shard order.
+        Small plans (fewer than ``min_parallel_points`` planned points),
+        single-shard tables, and the serial backend fall through to the
+        serial kernel; otherwise the runs are split at shard boundaries
+        and handed to :attr:`scan_backend`, which merges partial
+        aggregates (mergeable visitors) or replays recorded visits in
+        shard order.
         """
         if runs is None:
             runs = plan.coalesced_runs()
@@ -213,22 +271,12 @@ class ShardedFloodIndex(FloodIndex):
         if bounds.size - 1 <= 1 or planned_points < self.min_parallel_points:
             super().execute_plan(plan, query, visitor, stats, runs=runs)
             return
+        backend = self.scan_backend
+        if isinstance(backend, SerialBackend):
+            super().execute_plan(plan, query, visitor, stats, runs=runs)
+            return
         per_shard = [rs for rs in split_runs(runs, bounds) if rs]
         if len(per_shard) <= 1:
             super().execute_plan(plan, query, visitor, stats, runs=runs)
             return
-        serial_execute = super().execute_plan
-
-        def scan_shard(shard_runs):
-            recorder = RecordingVisitor()
-            local = QueryStats()
-            serial_execute(plan, query, recorder, local, runs=shard_runs)
-            return recorder, local
-
-        pool = self.executor if self.executor is not None else get_scan_pool()
-        table = self.table
-        for recorder, local in pool.map(scan_shard, per_shard):
-            recorder.replay(table, visitor)
-            stats.points_scanned += local.points_scanned
-            stats.points_matched += local.points_matched
-            stats.exact_points += local.exact_points
+        backend.scan(self, plan, query, visitor, stats, per_shard)

@@ -25,6 +25,12 @@ Two resilience tiers sit in front of the queue:
   admitted but not yet resolved; a saturated batcher rejects
   :meth:`submit` with :class:`~repro.errors.OverloadedError` instead of
   letting the queue (and every client's latency) grow without bound.
+- **Per-client fairness** — ``max_client_depth`` bounds how many of
+  those admitted-but-unresolved requests any *one* client (connection)
+  may hold. Without it, a single greedy pipelined client can fill the
+  whole global quota and starve every other connection; with it, the
+  greedy client's excess is shed (same ``OverloadedError`` / retry
+  contract) while other clients' requests still admit.
 """
 
 from __future__ import annotations
@@ -67,6 +73,9 @@ class BatcherStats:
     batched_queries_total: int = 0
     #: Requests shed by admission control (``max_queue_depth`` saturated).
     queries_rejected: int = 0
+    #: Requests shed by per-client fairness (``max_client_depth``
+    #: saturated for that client while global capacity remained).
+    queries_rejected_client: int = 0
     #: Batches whose engine dispatch raised (every member query failed).
     batches_failed: int = 0
     #: Queries resolved with an error (engine failure or a raising
@@ -104,6 +113,11 @@ class MicroBatcher:
         unbounded — today's behavior. When saturated, :meth:`submit`
         raises :class:`~repro.errors.OverloadedError` immediately instead
         of enqueueing.
+    max_client_depth:
+        Per-client fairness bound: the maximum admitted-but-unresolved
+        requests any single ``client`` token (one server connection) may
+        hold. ``0`` (default) disables the bound. Requests submitted
+        without a ``client`` are exempt.
     cache:
         Optional :class:`~repro.serve.cache.ResultCache`; requests
         submitted with a ``cache_key`` are answered from it when possible
@@ -118,6 +132,7 @@ class MicroBatcher:
         max_delay: float = 0.002,
         executor=None,
         max_queue_depth: int = 0,
+        max_client_depth: int = 0,
         cache: ResultCache | None = None,
     ):
         if max_batch < 1:
@@ -128,11 +143,16 @@ class MicroBatcher:
             raise QueryError(
                 f"max_queue_depth must be >= 0 (0 = unbounded), got {max_queue_depth}"
             )
+        if max_client_depth < 0:
+            raise QueryError(
+                f"max_client_depth must be >= 0 (0 = unbounded), got {max_client_depth}"
+            )
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
         self.executor = executor
         self.max_queue_depth = int(max_queue_depth)
+        self.max_client_depth = int(max_client_depth)
         self.cache = cache
         self.stats = BatcherStats()
         self._queue: asyncio.Queue | None = None
@@ -144,6 +164,10 @@ class MicroBatcher:
         #: concurrent dispatch tasks, so a slow engine shows up here, not
         #: in ``Queue.qsize()``.
         self._in_flight = 0
+        #: client token -> its admitted-but-unresolved request count;
+        #: entries are removed when they hit zero, so the dict stays
+        #: proportional to *active* clients, not connections ever seen.
+        self._client_in_flight: dict = {}
 
     # ------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -178,7 +202,17 @@ class MicroBatcher:
         """Requests admitted but not yet resolved (what admission bounds)."""
         return self._in_flight
 
-    async def submit(self, query: Query, visitor_factory=CountVisitor, cache_key=None):
+    def in_flight_for(self, client) -> int:
+        """Admitted-but-unresolved requests held by one client token."""
+        return self._client_in_flight.get(client, 0)
+
+    async def submit(
+        self,
+        query: Query,
+        visitor_factory=CountVisitor,
+        cache_key=None,
+        client=None,
+    ):
         """Enqueue one query; await its ``(result, stats)`` pair.
 
         Parameters
@@ -195,6 +229,13 @@ class MicroBatcher:
             requests carrying a key participate in the cache; ``None``
             (default) always executes. Ignored when the batcher has no
             cache.
+        client:
+            Optional hashable token identifying the submitting client
+            (the server uses one per connection). Only consulted when
+            ``max_client_depth`` is set: a client at its quota is shed
+            even while global capacity remains, so it cannot starve the
+            other clients. Cache hits never count against the quota (they
+            consume no engine capacity).
 
         Returns
         -------
@@ -206,7 +247,8 @@ class MicroBatcher:
         Raises
         ------
         OverloadedError
-            When ``max_queue_depth`` is saturated; the request was never
+            When ``max_queue_depth`` (or this client's
+            ``max_client_depth``) is saturated; the request was never
             enqueued and the caller may retry after backing off.
         """
         if self._task is None:
@@ -222,9 +264,25 @@ class MicroBatcher:
                 f"overloaded: {self._in_flight} requests in flight "
                 f"(max_queue_depth={self.max_queue_depth})"
             )
+        track_client = client is not None and self.max_client_depth > 0
+        if track_client:
+            held = self._client_in_flight.get(client, 0)
+            if held >= self.max_client_depth:
+                self.stats.queries_rejected_client += 1
+                raise OverloadedError(
+                    f"overloaded: this connection holds {held} requests "
+                    f"in flight (max_client_depth={self.max_client_depth})"
+                )
         future = asyncio.get_running_loop().create_future()
         self._in_flight += 1
         future.add_done_callback(self._release_admission)
+        if track_client:
+            self._client_in_flight[client] = (
+                self._client_in_flight.get(client, 0) + 1
+            )
+            future.add_done_callback(
+                lambda _future: self._release_client(client)
+            )
         await self._queue.put(_Request(query, visitor_factory, future, cache_key))
         return await future
 
@@ -232,6 +290,15 @@ class MicroBatcher:
         """Free one admission slot; runs however the request resolves
         (served, failed, cancelled, or drain-failed at stop)."""
         self._in_flight -= 1
+
+    def _release_client(self, client) -> None:
+        """Free one of ``client``'s fairness slots (empty counters are
+        dropped so idle connections cost nothing)."""
+        remaining = self._client_in_flight.get(client, 0) - 1
+        if remaining > 0:
+            self._client_in_flight[client] = remaining
+        else:
+            self._client_in_flight.pop(client, None)
 
     # -------------------------------------------------------------- collect
     async def _collect(self) -> None:

@@ -84,15 +84,29 @@ class ResultCache:
 
     # ----------------------------------------------------------------- keys
     @staticmethod
-    def make_key(query: Query, agg: str = "count", dim: str | None = None):
-        """The canonical identity of a request: sorted ranges + aggregate.
+    def make_key(
+        query: Query,
+        agg: str = "count",
+        dim: str | None = None,
+        generation: int = 0,
+    ):
+        """The canonical identity of a request: sorted ranges + aggregate
+        + table generation.
 
         Two requests with the same predicate (regardless of the order the
-        dimensions were written in), the same aggregate, and the same
-        aggregated dimension produce the same key — and therefore must
-        produce the same reply over an immutable table.
+        dimensions were written in), the same aggregate, the same
+        aggregated dimension, *and the same table contents* produce the
+        same key — and therefore must produce the same reply.
+
+        ``generation`` is the serving index's mutation counter
+        (``index.generation``: fixed at 0 for immutable indexes, bumped
+        by every :class:`~repro.core.delta.DeltaBufferedFlood` insert or
+        merge). A mutation therefore invalidates every previously cached
+        result by construction — old keys stop being produced, and their
+        entries age out of the LRU — so a stale hit is impossible without
+        any explicit flush hook.
         """
-        return (tuple(sorted(query.ranges.items())), agg, dim)
+        return (tuple(sorted(query.ranges.items())), agg, dim, generation)
 
     # --------------------------------------------------------------- access
     def get(self, key):

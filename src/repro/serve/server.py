@@ -102,6 +102,11 @@ class FloodServer:
         Admission bound on requests in flight; ``0`` (default) is
         unbounded. Saturation produces the structured ``overloaded``
         reply instead of unbounded queueing.
+    max_client_depth:
+        Per-connection fairness bound: in-flight requests one connection
+        may hold before *its* excess is shed (same ``overloaded`` +
+        ``retry`` reply), so a greedy pipelined client cannot monopolize
+        ``max_queue_depth``. ``0`` (default) disables the bound.
     cache_entries / cache_ttl:
         Result-cache capacity and per-entry lifetime (seconds;
         ``cache_ttl=0`` means entries never expire). ``cache_entries=0``
@@ -117,6 +122,7 @@ class FloodServer:
         max_batch: int = 64,
         max_delay: float = 0.002,
         max_queue_depth: int = 0,
+        max_client_depth: int = 0,
         cache_entries: int = 0,
         cache_ttl: float = 0.0,
     ):
@@ -133,6 +139,7 @@ class FloodServer:
             max_batch=max_batch,
             max_delay=max_delay,
             max_queue_depth=max_queue_depth,
+            max_client_depth=max_client_depth,
             cache=cache,
         )
         self.connections_served = 0
@@ -191,6 +198,9 @@ class FloodServer:
         self._writers.add(writer)
         write_lock = asyncio.Lock()
         in_flight: set[asyncio.Task] = set()
+        # The fairness token: one per connection, compared by identity,
+        # so max_client_depth bounds each connection independently.
+        client_token = object()
 
         async def send(data: bytes) -> None:
             async with write_lock:
@@ -198,7 +208,7 @@ class FloodServer:
                 await writer.drain()
 
         async def serve_query(message: dict) -> None:
-            await send(await self._handle_query(message))
+            await send(await self._handle_query(message, client_token))
 
         try:
             while True:
@@ -266,7 +276,7 @@ class FloodServer:
             return _encode({"ok": True, "stopping": True}), True, None
         return None, False, message
 
-    async def _handle_query(self, message: dict) -> bytes:
+    async def _handle_query(self, message: dict, client=None) -> bytes:
         request_id = message.get("id")
         try:
             ranges = message.get("ranges")
@@ -282,11 +292,20 @@ class FloodServer:
                 raise QueryError(f"unknown aggregate dimension {agg_dim!r}")
             factory = visitor_factory_for(agg, agg_dim)
             cache_key = (
-                ResultCache.make_key(query, agg, agg_dim)
+                ResultCache.make_key(
+                    query,
+                    agg,
+                    agg_dim,
+                    # Mutable indexes bump generation on insert/merge, so
+                    # a cached pre-mutation reply can never match again.
+                    generation=getattr(self.engine.index, "generation", 0),
+                )
                 if self.batcher.cache is not None
                 else None
             )
-            result, stats = await self.batcher.submit(query, factory, cache_key)
+            result, stats = await self.batcher.submit(
+                query, factory, cache_key, client=client
+            )
         except OverloadedError:
             # The structured shed-load contract: exactly this error string
             # plus retry:true, so generic clients can back off and resend.
@@ -315,10 +334,12 @@ class FloodServer:
             "largest_batch": batcher.largest_batch,
             "mean_batch_size": batcher.mean_batch_size,
             "queries_rejected": batcher.queries_rejected,
+            "queries_rejected_client": batcher.queries_rejected_client,
             "batches_failed": batcher.batches_failed,
             "queries_failed": batcher.queries_failed,
             "in_flight": self.batcher.in_flight,
             "max_queue_depth": self.batcher.max_queue_depth,
+            "max_client_depth": self.batcher.max_client_depth,
         }
         if self.batcher.cache is not None:
             payload["cache"] = self.batcher.cache.stats_payload()

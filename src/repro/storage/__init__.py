@@ -13,15 +13,20 @@ column store and using the same optimizations where applicable"):
 - :mod:`repro.storage.table` -- the table abstraction: named columns, row
   permutation (clustering), and cumulative-aggregate companion columns.
 - :mod:`repro.storage.visitor` -- aggregation visitors (COUNT / SUM / AVG /
-  MIN / MAX / collect) accumulated during scans.
+  MIN / MAX / collect) accumulated during scans, with the mergeable
+  protocol (``fresh`` / ``merge``) the parallel scan backends ship
+  partial aggregates through.
 - :mod:`repro.storage.scan` -- the scan-and-filter kernel, including the
   exact-range optimization that skips per-value checks.
+- :mod:`repro.storage.shm` -- the table mirrored into
+  ``multiprocessing.shared_memory`` so worker processes scan zero-copy.
 """
 
 from repro.storage.column import CompressedColumn, BLOCK_SIZE
 from repro.storage.dictionary import DictionaryEncoder
 from repro.storage.scaling import DecimalScaler
 from repro.storage.scan import scan_range
+from repro.storage.shm import SharedMemoryTable, ShmTableHandle
 from repro.storage.table import Table
 from repro.storage.visitor import (
     AvgVisitor,
@@ -40,6 +45,8 @@ __all__ = [
     "DecimalScaler",
     "scan_range",
     "Table",
+    "SharedMemoryTable",
+    "ShmTableHandle",
     "Visitor",
     "CountVisitor",
     "SumVisitor",

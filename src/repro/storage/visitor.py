@@ -6,13 +6,38 @@ ranges plus an optional match mask (``None`` means the range is *exact*:
 every row matches the filter, enabling the paper's exact-range
 optimizations — skipping per-value checks and, for SUM/COUNT, answering
 from cumulative-aggregate columns without touching the data at all).
+
+Parallel scans add a second contract, the **mergeable-visitor protocol**:
+a visitor that implements both :meth:`Visitor.fresh` (a new empty visitor
+of the same configuration) and :meth:`Visitor.merge` (fold another
+instance's partial aggregate into this one) lets the scan backends in
+:mod:`repro.core.backends` give each worker its own private visitor and
+combine the compact partial aggregates afterwards, in deterministic
+storage (shard) order. Workers then ship back a handful of counters
+instead of recorded ``(start, stop, mask)`` lists, and the thread path
+skips the replay pass entirely. Visitors that implement neither are still
+fully supported — the backends fall back to :class:`RecordingVisitor`
+replay, which works for arbitrary visitors.
+
+Aggregates preserve the column dtype: SUM/MIN/MAX accumulate through
+numpy scalars (``.item()``), so float-valued tables (anything duck-typing
+``Table`` with float columns) aggregate exactly instead of being silently
+truncated to int.
 """
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 
 import numpy as np
+
+
+def is_mergeable(visitor: "Visitor") -> bool:
+    """Whether ``visitor`` implements the mergeable-visitor protocol
+    (both :meth:`Visitor.fresh` and :meth:`Visitor.merge` overridden)."""
+    cls = type(visitor)
+    return cls.fresh is not Visitor.fresh and cls.merge is not Visitor.merge
 
 
 class Visitor(ABC):
@@ -28,8 +53,54 @@ class Visitor(ABC):
         """The accumulated aggregate."""
 
     def reset(self) -> None:
-        """Restore the initial state so the visitor can be reused."""
-        self.__init__()  # subclasses with constructor args override
+        """Restore the initial state so the visitor can be reused.
+
+        The default re-invokes ``__init__`` — but only when that is
+        provably safe (no required constructor arguments). A subclass
+        whose constructor takes required arguments must override
+        ``reset``; forgetting to used to explode with a bare
+        ``TypeError`` deep inside reuse paths, so it is diagnosed here.
+        """
+        init = type(self).__init__
+        required = [
+            name
+            for name, param in inspect.signature(init).parameters.items()
+            if name != "self"
+            and param.default is inspect.Parameter.empty
+            and param.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        ]
+        if required:
+            raise NotImplementedError(
+                f"{type(self).__name__}.__init__ requires {required}; "
+                "override reset() to restore initial state"
+            )
+        init(self)
+
+    # ------------------------------------------------- mergeable protocol
+    def fresh(self) -> "Visitor":
+        """A new *empty* visitor with this one's configuration.
+
+        Part of the mergeable protocol; the default marks the visitor
+        non-mergeable (backends fall back to recording + replay).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the mergeable protocol"
+        )
+
+    def merge(self, other: "Visitor") -> None:
+        """Fold ``other``'s partial aggregate into this visitor.
+
+        ``other`` is always a :meth:`fresh` sibling fed a disjoint,
+        earlier-or-later span of the scan; backends merge in storage
+        (shard) order, so order-sensitive visitors stay deterministic.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the mergeable protocol"
+        )
 
 
 class CountVisitor(Visitor):
@@ -38,11 +109,20 @@ class CountVisitor(Visitor):
     def __init__(self):
         self.count = 0
 
+    def reset(self) -> None:
+        self.count = 0
+
     def visit(self, table, start, stop, mask):
         if mask is None:
             self.count += stop - start
         else:
             self.count += int(np.count_nonzero(mask))
+
+    def fresh(self) -> "CountVisitor":
+        return type(self)()
+
+    def merge(self, other: "CountVisitor") -> None:
+        self.count += other.count
 
     @property
     def result(self) -> int:
@@ -73,13 +153,22 @@ class SumVisitor(Visitor):
                 self.total += table.cumulative_sum(self.dim, start, stop)
                 self.cumulative_hits += 1
                 return
-            self.total += int(table.values(self.dim, start, stop).sum())
+            # .item() keeps the column's dtype: int columns stay exact
+            # python ints, float columns stay floats (no truncation).
+            self.total += table.values(self.dim, start, stop).sum().item()
         else:
             values = table.values(self.dim, start, stop)
-            self.total += int(values[mask].sum())
+            self.total += values[mask].sum().item()
+
+    def fresh(self) -> "SumVisitor":
+        return type(self)(self.dim, self.use_cumulative)
+
+    def merge(self, other: "SumVisitor") -> None:
+        self.total += other.total
+        self.cumulative_hits += other.cumulative_hits
 
     @property
-    def result(self) -> int:
+    def result(self):
         return self.total
 
 
@@ -99,6 +188,13 @@ class AvgVisitor(Visitor):
         self._sum.visit(table, start, stop, mask)
         self._count.visit(table, start, stop, mask)
 
+    def fresh(self) -> "AvgVisitor":
+        return type(self)(self.dim)
+
+    def merge(self, other: "AvgVisitor") -> None:
+        self._sum.merge(other._sum)
+        self._count.merge(other._count)
+
     @property
     def result(self):
         if self._count.result == 0:
@@ -113,13 +209,23 @@ class MinVisitor(Visitor):
         self.dim = dim
         self._min = None
 
+    def reset(self) -> None:
+        self._min = None
+
     def visit(self, table, start, stop, mask):
         values = table.values(self.dim, start, stop)
         if mask is not None:
             values = values[mask]
         if values.size:
-            local = int(values.min())
+            local = values.min().item()  # dtype-preserving (no int truncation)
             self._min = local if self._min is None else min(self._min, local)
+
+    def fresh(self) -> "MinVisitor":
+        return type(self)(self.dim)
+
+    def merge(self, other: "MinVisitor") -> None:
+        if other._min is not None:
+            self._min = other._min if self._min is None else min(self._min, other._min)
 
     @property
     def result(self):
@@ -133,13 +239,23 @@ class MaxVisitor(Visitor):
         self.dim = dim
         self._max = None
 
+    def reset(self) -> None:
+        self._max = None
+
     def visit(self, table, start, stop, mask):
         values = table.values(self.dim, start, stop)
         if mask is not None:
             values = values[mask]
         if values.size:
-            local = int(values.max())
+            local = values.max().item()  # dtype-preserving (no int truncation)
             self._max = local if self._max is None else max(self._max, local)
+
+    def fresh(self) -> "MaxVisitor":
+        return type(self)(self.dim)
+
+    def merge(self, other: "MaxVisitor") -> None:
+        if other._max is not None:
+            self._max = other._max if self._max is None else max(self._max, other._max)
 
     @property
     def result(self):
@@ -149,16 +265,19 @@ class MaxVisitor(Visitor):
 class RecordingVisitor(Visitor):
     """Captures ``visit`` calls verbatim for later replay.
 
-    The sharded scan path feeds each shard's worker a recording visitor so
-    the expensive part of the scan (column decode + residual masking) runs
-    in parallel, then replays the recorded ``(start, stop, mask)`` triples
-    into the caller's real visitor in storage order — any visitor works
-    unchanged, and the visit sequence the caller observes is deterministic
-    regardless of worker scheduling.
+    The any-visitor fallback of the scan backends: each shard's worker
+    records the expensive part of the scan (column decode + residual
+    masking) here, then the recorded ``(start, stop, mask)`` triples are
+    replayed into the caller's real visitor in storage order — any
+    visitor works unchanged, and the visit sequence the caller observes
+    is deterministic regardless of worker scheduling.
     """
 
     def __init__(self):
         self.visits: list[tuple[int, int, np.ndarray | None]] = []
+
+    def reset(self) -> None:
+        self.visits = []
 
     def visit(self, table, start, stop, mask):
         self.visits.append((start, stop, mask))
@@ -167,6 +286,12 @@ class RecordingVisitor(Visitor):
         """Re-issue every recorded visit against ``visitor``, in order."""
         for start, stop, mask in self.visits:
             visitor.visit(table, start, stop, mask)
+
+    def fresh(self) -> "RecordingVisitor":
+        return type(self)()
+
+    def merge(self, other: "RecordingVisitor") -> None:
+        self.visits.extend(other.visits)
 
     @property
     def result(self) -> list:
@@ -193,6 +318,12 @@ class CollectVisitor(Visitor):
             self._chunks.append(np.arange(start, stop, dtype=np.int64))
         else:
             self._chunks.append(np.nonzero(mask)[0].astype(np.int64) + start)
+
+    def fresh(self) -> "CollectVisitor":
+        return type(self)()
+
+    def merge(self, other: "CollectVisitor") -> None:
+        self._chunks.extend(other._chunks)
 
     @property
     def result(self) -> np.ndarray:

@@ -1,0 +1,205 @@
+"""Per-connection fairness: one greedy client cannot starve the rest.
+
+Two levels: the :class:`MicroBatcher`'s ``max_client_depth`` quota is
+pinned deterministically with a slow engine, and the end-to-end contract
+is exercised over TCP with two competing scripted clients — a greedy
+pipelined connection whose excess is shed, and a polite one whose
+requests keep admitting throughout.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BatchQueryEngine
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+from repro.errors import OverloadedError, QueryError
+from repro.query.predicate import Query
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import AsyncFloodClient, RetryableError
+from repro.serve.server import FloodServer
+
+from tests.helpers import make_table, random_query
+
+DIMS = ("x", "y", "z")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    table = make_table(n=2000, dims=DIMS, seed=31)
+    index = FloodIndex(GridLayout(DIMS, (4, 3))).build(table)
+    return BatchQueryEngine(index)
+
+
+class _SlowEngine:
+    """Holds every batch for ``delay`` seconds so in-flight counts are
+    deterministic while the test issues competing submits."""
+
+    def __init__(self, engine, delay=0.3):
+        self.engine = engine
+        self.index = engine.index
+        self.delay = delay
+
+    def run(self, queries, visitors=None):
+        time.sleep(self.delay)
+        return self.engine.run(queries, visitors=visitors)
+
+
+def _queries(engine, n, seed=32):
+    rng = np.random.default_rng(seed)
+    return [random_query(engine.index.table, rng) for _ in range(n)]
+
+
+class TestBatcherQuota:
+    def test_invalid_depth_rejected(self, engine):
+        with pytest.raises(QueryError):
+            MicroBatcher(engine, max_client_depth=-1)
+
+    def test_greedy_client_shed_while_others_admit(self, engine):
+        """Client A fills its quota; A's next submit is shed but B's still
+        admits — the exact starvation scenario the quota exists for."""
+
+        async def scenario():
+            slow = _SlowEngine(engine, delay=0.4)
+            batcher = MicroBatcher(
+                slow, max_batch=1, max_delay=0.0, max_client_depth=2
+            )
+            await batcher.start()
+            queries = _queries(engine, 4)
+            loop = asyncio.get_running_loop()
+            greedy = [
+                loop.create_task(batcher.submit(q, client="A"))
+                for q in queries[:2]
+            ]
+            await asyncio.sleep(0)  # both admitted, engine busy
+            assert batcher.in_flight_for("A") == 2
+            with pytest.raises(OverloadedError):
+                await batcher.submit(queries[2], client="A")
+            assert batcher.stats.queries_rejected_client == 1
+            assert batcher.stats.queries_rejected == 0  # global bound untouched
+            # The polite client is unaffected by A's saturation.
+            polite = loop.create_task(batcher.submit(queries[3], client="B"))
+            await asyncio.sleep(0)
+            assert batcher.in_flight_for("B") == 1
+            results = await asyncio.wait_for(
+                asyncio.gather(*greedy, polite), timeout=10
+            )
+            assert all(isinstance(r, tuple) for r in results)
+            # Slots freed: A admits again, and idle counters are dropped.
+            result, _ = await asyncio.wait_for(
+                batcher.submit(queries[2], client="A"), timeout=10
+            )
+            assert isinstance(result, int)
+            await batcher.stop()
+            assert batcher._client_in_flight == {}
+
+        asyncio.run(scenario())
+
+    def test_clientless_submits_exempt(self, engine):
+        async def scenario():
+            slow = _SlowEngine(engine, delay=0.3)
+            batcher = MicroBatcher(
+                slow, max_batch=1, max_delay=0.0, max_client_depth=1
+            )
+            await batcher.start()
+            queries = _queries(engine, 3, seed=33)
+            loop = asyncio.get_running_loop()
+            tasks = [loop.create_task(batcher.submit(q)) for q in queries]
+            await asyncio.sleep(0)
+            assert batcher.in_flight == 3  # no token, no quota
+            await asyncio.wait_for(asyncio.gather(*tasks), timeout=10)
+            assert batcher.stats.queries_rejected_client == 0
+            await batcher.stop()
+
+        asyncio.run(scenario())
+
+    def test_zero_depth_disables_quota(self, engine):
+        async def scenario():
+            batcher = MicroBatcher(engine, max_batch=8, max_delay=0.01)
+            await batcher.start()
+            queries = _queries(engine, 10, seed=34)
+            results = await asyncio.gather(
+                *[batcher.submit(q, client="A") for q in queries]
+            )
+            await batcher.stop()
+            assert len(results) == 10
+            assert batcher.stats.queries_rejected_client == 0
+            assert batcher._client_in_flight == {}  # nothing ever tracked
+
+        asyncio.run(scenario())
+
+
+class TestTwoCompetingConnections:
+    def test_greedy_connection_shed_polite_connection_served(self, engine):
+        """End-to-end over TCP: a pipelined client blasting concurrent
+        requests sees ``overloaded``+``retry`` sheds, while a second
+        connection's single requests are all served."""
+
+        async def scenario(server, host, port):
+            greedy = await AsyncFloodClient().connect(host, port)
+            polite = await AsyncFloodClient().connect(host, port)
+            try:
+                ranges = {"x": (0, 900)}
+                flood = await asyncio.gather(
+                    *[greedy.query(ranges) for _ in range(6)],
+                    return_exceptions=True,
+                )
+                shed = [r for r in flood if isinstance(r, RetryableError)]
+                served = [r for r in flood if isinstance(r, tuple)]
+                assert len(served) == 2  # exactly the quota
+                assert len(shed) == 4  # the greedy excess, all retryable
+                # The polite connection was admitted during the storm.
+                count, _ = await polite.query(ranges)
+                assert isinstance(count, int)
+                stats = (await polite.query({"x": (0, 10)}))[1]
+                assert stats is not None
+            finally:
+                await greedy.close()
+                await polite.close()
+            payload = server._stats_payload()
+            assert payload["queries_rejected_client"] == 4
+            assert payload["max_client_depth"] == 2
+
+        async def main():
+            slow = _SlowEngine(engine, delay=0.5)
+            server = FloodServer(
+                slow, max_batch=64, max_delay=0.3, max_client_depth=2
+            )
+            host, port = await server.start()
+            try:
+                await asyncio.wait_for(scenario(server, host, port), timeout=30)
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_retrying_greedy_client_eventually_served(self, engine):
+        """With the documented retry contract, the greedy client's shed
+        requests succeed on resend once its own slots free up."""
+
+        async def main():
+            slow = _SlowEngine(engine, delay=0.1)
+            server = FloodServer(
+                slow, max_batch=64, max_delay=0.0, max_client_depth=2
+            )
+            host, port = await server.start()
+            client = await AsyncFloodClient(retries=8, backoff=0.05).connect(
+                host, port
+            )
+            try:
+                results = await asyncio.wait_for(
+                    asyncio.gather(
+                        *[client.query({"x": (0, 900)}) for _ in range(6)]
+                    ),
+                    timeout=30,
+                )
+                counts = {count for count, _ in results}
+                assert len(counts) == 1  # same query, same answer, all served
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(main())

@@ -1,0 +1,113 @@
+"""Mutation-driven cache invalidation via the table generation counter.
+
+The ROADMAP follow-on: once serving sits on a delta-buffered index, a
+result cached before an insert must be impossible to serve after it.
+The mechanism is key-based — ``ResultCache.make_key`` folds the index's
+``generation`` (bumped by every ``DeltaBufferedFlood`` mutation) into
+the request identity, so mutations stop *producing* the old keys and
+stale entries silently age out of the LRU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaBufferedFlood
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+from repro.query.predicate import Query
+from repro.serve.cache import ResultCache
+from repro.storage.visitor import CountVisitor
+
+from tests.helpers import make_table
+
+DIMS = ("x", "y", "z")
+
+
+def _build_delta(merge_threshold=None):
+    table = make_table(n=1500, dims=DIMS, seed=21)
+    return DeltaBufferedFlood(
+        GridLayout(DIMS, (4, 3)), merge_threshold=merge_threshold
+    ).build(table)
+
+
+def _count(index, query) -> int:
+    visitor = CountVisitor()
+    index.query(query, visitor)
+    return visitor.result
+
+
+class TestGenerationCounter:
+    def test_every_mutation_bumps(self):
+        delta = _build_delta()
+        assert delta.generation == 0
+        row = {dim: 10 for dim in DIMS}
+        delta.insert(row)
+        assert delta.generation == 1
+        delta.insert_many({dim: np.array([1, 2]) for dim in DIMS})
+        assert delta.generation == 2
+        delta.merge()
+        assert delta.generation == 3
+        delta.merge()  # empty buffer: no state change, no bump
+        assert delta.generation == 3
+
+    def test_plain_flood_is_generation_zero(self):
+        table = make_table(n=400, dims=DIMS, seed=22)
+        flood = FloodIndex(GridLayout(DIMS, (3, 3))).build(table)
+        assert flood.generation == 0  # immutable: keys never churn
+
+    def test_keys_differ_across_generations(self):
+        query = Query({"x": (0, 500)})
+        k0 = ResultCache.make_key(query, generation=0)
+        k1 = ResultCache.make_key(query, generation=1)
+        assert k0 != k1
+        assert k0 == ResultCache.make_key(query, generation=0)
+
+
+class TestInsertInvalidates:
+    def test_cached_result_not_served_after_insert(self):
+        """The acceptance scenario: cache a count, insert a matching row,
+        and the cache must miss — the fresh execution sees the new row."""
+        delta = _build_delta()
+        cache = ResultCache(16)
+        query = Query({"x": (0, 999), "y": (0, 999)})
+
+        key = ResultCache.make_key(query, generation=delta.generation)
+        before = _count(delta, query)
+        cache.put(key, before)
+        assert cache.get(ResultCache.make_key(query, generation=delta.generation)) == before
+
+        delta.insert({"x": 5, "y": 5, "z": 5})  # matches the query
+        stale_key = key
+        fresh_key = ResultCache.make_key(query, generation=delta.generation)
+        assert fresh_key != stale_key
+        assert cache.get(fresh_key) is None  # miss: must re-execute
+        after = _count(delta, query)
+        assert after == before + 1
+        cache.put(fresh_key, after)
+        assert cache.get(fresh_key) == after
+
+    def test_auto_merge_also_invalidates(self):
+        delta = _build_delta(merge_threshold=2)
+        cache = ResultCache(16)
+        query = Query({"x": (0, 999)})
+        key = ResultCache.make_key(query, generation=delta.generation)
+        cache.put(key, _count(delta, query))
+        delta.insert({dim: 1 for dim in DIMS})
+        delta.insert({dim: 2 for dim in DIMS})  # threshold: triggers merge
+        assert delta.merges == 1
+        fresh_key = ResultCache.make_key(query, generation=delta.generation)
+        assert fresh_key != key
+        assert cache.get(fresh_key) is None
+
+    def test_results_stay_correct_across_generations(self):
+        delta = _build_delta()
+        query = Query({"y": (100, 800)})
+        cache = ResultCache(16)
+        for _ in range(3):
+            key = ResultCache.make_key(query, generation=delta.generation)
+            cached = cache.get(key)
+            executed = _count(delta, query)
+            if cached is not None:
+                assert cached == executed  # a hit is always still-valid
+            cache.put(key, executed)
+            delta.insert({"x": 1, "y": 500, "z": 1})

@@ -1,0 +1,141 @@
+"""SharedMemoryTable: zero-copy attach, identity, and leak-freedom."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.shm import (
+    SharedMemoryTable,
+    _cleanup_all_owned,
+    owned_segment_names,
+)
+from repro.storage.table import Table
+
+from tests.helpers import make_table
+
+
+@pytest.fixture
+def shared():
+    table = make_table(n=700, dims=("x", "y", "z"), seed=3)
+    table.add_cumulative("y")
+    shared = SharedMemoryTable.from_table(table)
+    yield table, shared
+    shared.unlink()
+
+
+class TestRoundTrip:
+    def test_values_identical_to_source(self, shared):
+        table, shm = shared
+        assert shm.num_rows == table.num_rows
+        assert shm.dims == table.dims
+        for dim in table.dims:
+            np.testing.assert_array_equal(shm.values(dim), table.values(dim))
+            np.testing.assert_array_equal(
+                shm.values(dim, 100, 250), table.values(dim, 100, 250)
+            )
+        idx = np.array([0, 5, 699, 3], dtype=np.int64)
+        np.testing.assert_array_equal(shm.take("x", idx), table.take("x", idx))
+
+    def test_cumulative_carried_over(self, shared):
+        table, shm = shared
+        assert shm.has_cumulative("y")
+        assert not shm.has_cumulative("x")
+        assert shm.cumulative_sum("y", 10, 400) == table.cumulative_sum("y", 10, 400)
+
+    def test_add_cumulative_after_sharing(self, shared):
+        table, shm = shared
+        shm.add_cumulative("z")
+        assert shm.cumulative_sum("z", 0, 700) == int(table.values("z").sum())
+        attached = SharedMemoryTable.attach(shm.handle)  # fresh handle sees it
+        assert attached.has_cumulative("z")
+        attached.close()
+
+    def test_slices_are_views_of_shared_pages(self, shared):
+        _, shm = shared
+        assert np.shares_memory(shm.values("x"), shm.values("x", 10, 50))
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            SharedMemoryTable.from_table(
+                Table({"x": np.empty(0, dtype=np.int64)})
+            )
+
+    def test_direct_constructor_rejected(self):
+        with pytest.raises(SchemaError):
+            SharedMemoryTable({"x": np.arange(4)})
+
+
+class TestAttach:
+    def test_attach_is_zero_copy(self, shared):
+        """A write through the owner's view is visible in the attached
+        view — same physical pages, not a pickled copy."""
+        _, shm = shared
+        attached = SharedMemoryTable.attach(shm.handle)
+        before = int(attached.values("x", 0, 1)[0])
+        owner_view = shm.values("x")
+        owner_view[0] = before + 41
+        assert int(attached.values("x", 0, 1)[0]) == before + 41
+        owner_view[0] = before
+        attached.close()
+
+    def test_attached_views_read_only(self, shared):
+        _, shm = shared
+        attached = SharedMemoryTable.attach(shm.handle)
+        with pytest.raises(ValueError):
+            attached.values("x")[0] = 1
+        attached.close()
+
+    def test_attached_view_cannot_own_lifecycle(self, shared):
+        _, shm = shared
+        attached = SharedMemoryTable.attach(shm.handle)
+        with pytest.raises(SchemaError):
+            attached.unlink()
+        with pytest.raises(SchemaError):
+            attached.add_cumulative("x")
+        attached.close()
+        attached.close()  # idempotent
+
+    def test_handle_is_tiny_and_picklable(self, shared):
+        _, shm = shared
+        blob = pickle.dumps(shm.handle)
+        assert len(blob) < 1024  # names + lengths, never column bytes
+        clone = pickle.loads(blob)
+        attached = SharedMemoryTable.attach(clone)
+        np.testing.assert_array_equal(attached.values("y"), shm.values("y"))
+        attached.close()
+
+
+class TestLeakFreedom:
+    def test_unlink_releases_segments(self):
+        table = make_table(n=300, dims=("x", "y"), seed=4)
+        shm = SharedMemoryTable.from_table(table)
+        handle = shm.handle
+        names = owned_segment_names()
+        assert len(names) >= 2
+        shm.unlink()
+        assert not any(name in owned_segment_names() for name in names)
+        with pytest.raises(FileNotFoundError):
+            SharedMemoryTable.attach(handle)
+        shm.unlink()  # idempotent
+
+    def test_atexit_sweep_unlinks_forgotten_tables(self):
+        table = make_table(n=300, dims=("x",), seed=5)
+        shm = SharedMemoryTable.from_table(table)
+        handle = shm.handle
+        shm.close()  # views dropped, but the owner "forgot" to unlink
+        _cleanup_all_owned()  # what atexit runs
+        assert owned_segment_names() == []
+        with pytest.raises(FileNotFoundError):
+            SharedMemoryTable.attach(handle)
+
+    def test_failed_attach_leaves_nothing_open(self):
+        table = make_table(n=300, dims=("x", "y"), seed=6)
+        shm = SharedMemoryTable.from_table(table)
+        handle = shm.handle
+        shm.unlink()
+        # All-or-nothing: a vanished segment mid-attach must not leave
+        # earlier segments mapped (they could pin freed memory).
+        with pytest.raises(FileNotFoundError):
+            SharedMemoryTable.attach(handle)
