@@ -1,0 +1,299 @@
+"""Mutable serving under load: insert-rate × merge-threshold × query mix.
+
+Two measurements over a TPC-H delta-buffered index behind ``FloodServer``
+(the stack ``repro serve --index delta`` runs):
+
+1. **Merge liveness** — the acceptance criterion: queries must keep
+   completing *during* an off-loop merge. A pinger issues cheap queries
+   continuously while a forced merge rebuilds the clustered table on an
+   executor thread; the largest gap between consecutive query
+   completions must stay well below the merge duration (a blocking merge
+   would stall the loop for the whole rebuild). The assert is demoted to
+   a report with ``REPRO_REQUIRE_MUTABLE_LIVENESS=0`` (identity is
+   always enforced), and skipped outright when the merge finishes too
+   fast to discriminate.
+
+2. **Sweep** — throughput across insert rate (no writes / steady
+   trickle / heavy pipelined batches), merge threshold (never / small),
+   and query mix (hot cached counts vs mixed aggregates), persisted as
+   ``results/BENCH_mutable.json`` for the CI perf trajectory
+   (``repro bench-diff`` compares it across runs). After every
+   configuration the served results are checked against a
+   rebuilt-from-scratch numpy oracle.
+"""
+
+import asyncio
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import build_flood
+from repro.bench.report import write_json_result
+from repro.core.cost import AnalyticCostModel
+from repro.core.delta import DeltaBufferedFlood
+from repro.core.engine import BatchQueryEngine
+from repro.datasets import load
+from repro.serve.client import AsyncFloodClient, FloodClient
+from repro.serve.server import FloodServer
+
+ROWS = 80_000
+GRID_SCALE = 4.0
+MAX_DELAY = 0.001
+#: Liveness bar: the largest inter-completion gap while a merge runs must
+#: stay below this fraction of the merge duration (1.0 would already mean
+#: "no full-merge stall"; 0.5 proves real overlap with margin).
+MAX_GAP_FRACTION = 0.5
+#: Below this merge duration the gap measurement cannot discriminate a
+#: stall from scheduler noise; the liveness assert is skipped (reported).
+MIN_MERGE_SECONDS = 0.15
+REQUIRE_LIVENESS = os.environ.get("REPRO_REQUIRE_MUTABLE_LIVENESS", "1") != "0"
+
+
+@pytest.fixture(scope="module")
+def mutable_setup():
+    bundle = load("tpch", n=ROWS, num_queries=120, seed=7)
+    _, opt = build_flood(
+        bundle.table, bundle.train, cost_model=AnalyticCostModel(),
+        max_cells=8192, seed=7,
+    )
+    layout = opt.layout.scaled(GRID_SCALE)
+    return bundle, layout
+
+
+def _fresh_delta(bundle, layout):
+    return DeltaBufferedFlood(layout, merge_threshold=None).build(bundle.table)
+
+
+def _wire_ranges(query) -> dict:
+    return {d: list(b) for d, b in query.ranges.items()}
+
+
+def _with_server(delta, scenario, **server_kwargs):
+    async def main():
+        server = FloodServer(
+            BatchQueryEngine(delta), max_delay=MAX_DELAY, **server_kwargs
+        )
+        host, port = await server.start()
+        try:
+            return await asyncio.wait_for(scenario(server, host, port), timeout=300)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def _oracle_count(columns, ranges) -> int:
+    mask = np.ones(len(next(iter(columns.values()))), dtype=bool)
+    for dim, (low, high) in ranges.items():
+        mask &= (columns[dim] >= low) & (columns[dim] <= high)
+    return int(mask.sum())
+
+
+def _random_rows(table, k, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            dim: int(rng.integers(*table.min_max(dim)))
+            for dim in table.dims
+        }
+        for _ in range(k)
+    ]
+
+
+# ------------------------------------------------------- 1. merge liveness
+def test_queries_keep_completing_during_offloop_merge(mutable_setup):
+    bundle, layout = mutable_setup
+    delta = _fresh_delta(bundle, layout)
+    cheap = bundle.test[0]
+    expected_before = None
+
+    async def scenario(server, host, port):
+        client = await AsyncFloodClient().connect(host, port)
+        # Buffer enough rows that the merge rebuilds the whole table.
+        for row in _random_rows(bundle.table, 64, seed=11):
+            await client.insert(row)
+        baseline, _ = await client.query(_wire_ranges(cheap))
+
+        completions: list[float] = []
+        stop = asyncio.Event()
+
+        async def pinger():
+            while not stop.is_set():
+                await client.query(_wire_ranges(cheap))
+                completions.append(time.perf_counter())
+
+        ping_task = asyncio.get_running_loop().create_task(pinger())
+        await asyncio.sleep(0.05)  # warm the completion stream
+        merge_started = time.perf_counter()
+        merged = await client.merge()  # awaits the off-loop commit
+        merge_wall = time.perf_counter() - merge_started
+        await asyncio.sleep(0.05)
+        stop.set()
+        await ping_task
+        after, _ = await client.query(_wire_ranges(cheap))
+        await client.close()
+        return baseline, after, merged, completions, merge_started, merge_wall
+
+    baseline, after, merged, completions, merge_started, merge_wall = (
+        _with_server(delta, scenario)
+    )
+    assert merged["merges"] == 1 and merged["buffered_rows"] == 0
+    assert after == baseline  # same predicate, same rows, across the swap
+    merge_seconds = merged["last_merge_seconds"]
+    in_window = [t for t in completions if t >= merge_started]
+    assert len(in_window) >= 2, "no queries completed during the merge window"
+    gaps = np.diff([merge_started, *in_window])
+    max_gap = float(gaps.max())
+    print(
+        f"\nmerge rebuilt {delta.table.num_rows} rows in {merge_seconds:.3f}s "
+        f"(wall {merge_wall:.3f}s); {len(in_window)} queries completed in the "
+        f"window, max completion gap {max_gap * 1e3:.1f} ms"
+    )
+    if merge_seconds < MIN_MERGE_SECONDS:
+        print(f"  merge too fast (<{MIN_MERGE_SECONDS}s) to assert liveness")
+        return
+    message = (
+        f"event loop stalled {max_gap:.3f}s during a {merge_seconds:.3f}s "
+        f"merge (bar: {MAX_GAP_FRACTION:.0%} of the merge)"
+    )
+    if REQUIRE_LIVENESS:
+        assert max_gap < MAX_GAP_FRACTION * merge_seconds, message
+    elif max_gap >= MAX_GAP_FRACTION * merge_seconds:
+        print(f"  WARNING (not asserted): {message}")
+
+
+# ------------------------------- 2. insert-rate × threshold × mix sweep
+def test_sweep_insert_rate_threshold_query_mix(mutable_setup):
+    bundle, layout = mutable_setup
+    table = bundle.table
+    pool = bundle.test + bundle.train
+    total_queries = 120
+    agg_dim = table.dims[0]
+    rows_cache: dict[int, list[dict]] = {}
+
+    def rows_for(count, seed):
+        key = (count, seed)
+        if key not in rows_cache:
+            rows_cache[key] = _random_rows(table, count, seed)
+        return rows_cache[key]
+
+    async def run_config(server, host, port, queries, inserts, insert_batch):
+        client = await AsyncFloodClient().connect(host, port)
+        inserted = 0
+
+        async def writer():
+            nonlocal inserted
+            if not inserts:
+                return
+            for first in range(0, len(inserts), insert_batch):
+                chunk = inserts[first : first + insert_batch]
+                columns = {
+                    dim: [row[dim] for row in chunk] for dim in table.dims
+                }
+                ack = await client.insert_many(columns)
+                assert ack["ok"]
+                inserted += len(chunk)
+                await asyncio.sleep(0.001)
+
+        async def reader():
+            gate = asyncio.Semaphore(16)
+
+            async def one(spec):
+                query, agg = spec
+                async with gate:
+                    payload = _wire_ranges(query)
+                    if agg == "count":
+                        return await client.query(payload)
+                    return await client.query(payload, agg=agg, dim=agg_dim)
+
+            return await asyncio.gather(*[one(spec) for spec in queries])
+
+        start = time.perf_counter()
+        _, results = await asyncio.gather(writer(), reader())
+        elapsed = time.perf_counter() - start
+        await server.mutable.drain()
+        stats_reply = server._stats_payload()
+        # Quiesced identity: every count probe equals the from-scratch
+        # oracle over initial + inserted rows.
+        columns = {
+            dim: np.concatenate(
+                [table.values(dim), np.array([r[dim] for r in inserts])]
+            )
+            if inserts
+            else table.values(dim)
+            for dim in table.dims
+        }
+        for query, agg in queries[:20]:
+            if agg != "count":
+                continue
+            final, _ = await client.query(_wire_ranges(query))
+            assert final == _oracle_count(columns, query.ranges), query
+        await client.close()
+        return elapsed, inserted, stats_reply
+
+    sweep_rows = []
+    for threshold in (0, 4096):
+        for num_inserts, insert_batch, rate_label in (
+            (0, 1, "none"),
+            (256, 8, "trickle"),
+            (4096, 256, "heavy"),
+        ):
+            for distinct, mix_label in ((8, "hot-count"), (40, "mixed-aggs")):
+                aggs = (
+                    ["count"]
+                    if mix_label == "hot-count"
+                    else ["count", "sum", "avg"]
+                )
+                queries = [
+                    (pool[i % distinct], aggs[i % len(aggs)])
+                    for i in range(total_queries)
+                ]
+                delta = _fresh_delta(bundle, layout)
+                inserts = rows_for(num_inserts, seed=21)
+
+                elapsed, inserted, stats = _with_server(
+                    delta,
+                    lambda server, host, port: run_config(
+                        server, host, port, queries, inserts, insert_batch
+                    ),
+                    cache_entries=256,
+                    merge_threshold=threshold,
+                )
+                mutable = stats["mutable"]
+                assert inserted == num_inserts
+                if threshold and num_inserts >= threshold:
+                    assert mutable["merges"] >= 1
+                if not threshold:
+                    assert mutable["merges"] == 0
+                assert mutable["maintenance_failures"] == 0
+                sweep_rows.append(
+                    {
+                        "merge_threshold": threshold,
+                        "insert_rate": rate_label,
+                        "inserts": num_inserts,
+                        "query_mix": mix_label,
+                        "queries_per_second": total_queries / elapsed,
+                        "merges": mutable["merges"],
+                        "last_merge_seconds": mutable["last_merge_seconds"],
+                        "buffered_rows_final": mutable["buffered_rows"],
+                        "generation": mutable["generation"],
+                    }
+                )
+
+    print(f"\n{'thresh':>6s} {'inserts':>7s} {'mix':>10s} {'q/s':>8s} "
+          f"{'merges':>6s} {'buffered':>8s}")
+    for row in sweep_rows:
+        print(
+            f"{row['merge_threshold']:6d} {row['inserts']:7d} "
+            f"{row['query_mix']:>10s} {row['queries_per_second']:8.1f} "
+            f"{row['merges']:6d} {row['buffered_rows_final']:8d}"
+        )
+    write_json_result("BENCH_mutable", {"rows": ROWS, "sweep": sweep_rows})
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

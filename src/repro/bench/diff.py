@@ -1,0 +1,237 @@
+"""Perf-trajectory diffing: compare two runs' ``BENCH_*.json`` artifacts.
+
+CI uploads ``results/BENCH_*.json`` after every run (the perf
+trajectory). Until now, seeing whether a PR moved the needle meant
+downloading the previous artifact and eyeballing JSON by hand; ``repro
+bench-diff`` automates it:
+
+- every ``BENCH_*.json`` present in *both* directories is walked
+  recursively and numeric leaves at matching paths are compared;
+- metrics whose key names mark them as throughput-like
+  (``queries_per_second``, ``speedup``, ``hit_rate``, ...) warn when
+  they *drop* by more than the threshold; time-like metrics
+  (``seconds``, ``_time``, ``latency``) warn when they *rise*;
+- unit-less metrics are reported but never warned on (row counts and
+  configuration echoes are not performance);
+- the summary prints as a fixed-width table, one row per changed
+  metric, with regressions flagged.
+
+Exit code is 0 unless ``fail_on_regression`` is set — on shared CI
+runners the diff is a tripwire for humans, not a gate, because noisy
+neighbors routinely move wall-clock numbers 10–20%.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import math
+import os
+
+from repro.bench.report import format_table
+
+#: Key-name fragments marking a metric where *lower* is a regression.
+HIGHER_IS_BETTER = (
+    "queries_per_second",
+    "qps",
+    "throughput",
+    "speedup",
+    "hit_rate",
+    "rows_per_second",
+    "inserts_per_second",
+)
+#: Key-name fragments marking a metric where *higher* is a regression.
+LOWER_IS_BETTER = ("seconds", "_time", "latency", "_ms", "stall")
+
+#: Default warn threshold: relative change above 20% on a directional
+#: metric counts as a regression.
+DEFAULT_THRESHOLD = 0.2
+
+
+def metric_direction(path: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 undirected.
+
+    The *last* path component decides (a ``queries_per_second`` leaf
+    under a ``timings`` group is still a throughput).
+    """
+    leaf = path.rsplit(".", 1)[-1].lower()
+    for fragment in HIGHER_IS_BETTER:
+        if fragment in leaf:
+            return 1
+    for fragment in LOWER_IS_BETTER:
+        if fragment in leaf:
+            return -1
+    return 0
+
+
+def flatten_metrics(payload, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a JSON payload, keyed by dotted path.
+
+    Lists index by position (``sweep[3].queries_per_second``) — sweep
+    grids are deterministic per benchmark version, so positions align
+    between runs; a changed grid simply shows up as added/removed paths,
+    which are reported, not diffed.
+    """
+    out: dict[str, float] = {}
+    if isinstance(payload, dict):
+        items = payload.items()
+    elif isinstance(payload, list):
+        items = ((f"[{i}]", value) for i, value in enumerate(payload))
+    elif isinstance(payload, bool):  # bool is an int subclass; skip it
+        return out
+    elif isinstance(payload, (int, float)):
+        out[prefix] = float(payload)
+        return out
+    else:
+        return out
+    for key, value in items:
+        if prefix and not str(key).startswith("["):
+            path = f"{prefix}.{key}"
+        else:
+            path = f"{prefix}{key}"
+        out.update(flatten_metrics(value, path))
+    return out
+
+
+def load_bench_points(directory: str) -> dict[str, dict]:
+    """``BENCH_*.json`` files in ``directory``, keyed by bare name."""
+    points = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path) as handle:
+                points[name] = json.load(handle)
+        except (OSError, ValueError):
+            continue  # a truncated artifact must not kill the whole diff
+    return points
+
+
+def diff_payloads(
+    previous: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
+) -> tuple[list[dict], list[dict]]:
+    """Compare two runs of one benchmark; returns ``(rows, regressions)``.
+
+    Each row: ``{path, previous, current, change, direction, regressed}``
+    with ``change`` the signed relative delta (``None`` when the
+    previous value was 0 or either side is missing/non-finite).
+    """
+    prev_metrics = flatten_metrics(previous)
+    curr_metrics = flatten_metrics(current)
+    rows, regressions = [], []
+    for path in sorted(prev_metrics.keys() | curr_metrics.keys()):
+        prev = prev_metrics.get(path)
+        curr = curr_metrics.get(path)
+        direction = metric_direction(path)
+        change = None
+        comparable = (
+            prev is not None
+            and curr is not None
+            and math.isfinite(prev)
+            and math.isfinite(curr)
+        )
+        if comparable and prev != 0:
+            change = (curr - prev) / abs(prev)
+        regressed = (
+            change is not None
+            and direction != 0
+            and direction * change < -threshold
+        )
+        row = {
+            "path": path,
+            "previous": prev,
+            "current": curr,
+            "change": change,
+            "direction": direction,
+            "regressed": regressed,
+        }
+        rows.append(row)
+        if regressed:
+            regressions.append(row)
+    return rows, regressions
+
+
+def _fmt_value(value) -> str:
+    if value is None:
+        return "-"
+    if not math.isfinite(value):  # foreign artifacts may carry inf/nan
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def format_diff(name: str, rows: list[dict], all_rows: bool = False) -> str:
+    """A report table for one benchmark's diff.
+
+    By default only *directional* metrics (throughputs and timings) are
+    shown; ``all_rows`` includes configuration echoes too.
+    """
+    shown = [r for r in rows if all_rows or r["direction"] != 0]
+    table_rows = []
+    for row in shown:
+        if row["change"] is None:
+            delta = "new" if row["previous"] is None else (
+                "gone" if row["current"] is None else "-"
+            )
+        else:
+            delta = f"{row['change'] * 100:+.1f}%"
+        flag = "REGRESSED" if row["regressed"] else ""
+        table_rows.append(
+            [row["path"], _fmt_value(row["previous"]), _fmt_value(row["current"]),
+             delta, flag]
+        )
+    if not table_rows:
+        return f"{name}: no directional metrics to compare"
+    return format_table(
+        ["metric", "previous", "current", "change", ""],
+        table_rows,
+        title=name,
+    )
+
+
+def run_diff(
+    current_dir: str = "results",
+    previous_dir: str = "previous-results",
+    threshold: float = DEFAULT_THRESHOLD,
+    fail_on_regression: bool = False,
+    all_rows: bool = False,
+) -> int:
+    """The ``repro bench-diff`` entry point; returns a process exit code.
+
+    Missing directories or artifacts are reported and skipped, never
+    fatal — the very first CI run of a repo has no previous artifact.
+    """
+    current = load_bench_points(current_dir)
+    previous = load_bench_points(previous_dir)
+    if not current:
+        print(f"bench-diff: no BENCH_*.json under {current_dir!r}; nothing to do")
+        return 0
+    if not previous:
+        print(
+            f"bench-diff: no previous artifact under {previous_dir!r}; "
+            "skipping (first run?)"
+        )
+        return 0
+    total_regressions = 0
+    for name in sorted(current):
+        if name not in previous:
+            print(f"{name}: new benchmark (no previous point)")
+            continue
+        rows, regressions = diff_payloads(
+            previous[name], current[name], threshold=threshold
+        )
+        total_regressions += len(regressions)
+        print(format_diff(name, rows, all_rows=all_rows))
+        print()
+    for name in sorted(set(previous) - set(current)):
+        print(f"{name}: present in previous run only")
+    if total_regressions:
+        print(
+            f"WARNING: {total_regressions} metric(s) regressed more than "
+            f"{threshold * 100:.0f}% vs the previous run"
+        )
+        if fail_on_regression:
+            return 1
+    else:
+        print(f"bench-diff: no regressions beyond {threshold * 100:.0f}%")
+    return 0

@@ -25,6 +25,14 @@ Commands
     (``--cache-entries`` / ``--cache-ttl``), admission control
     (``--max-queue-depth``), and per-connection fairness
     (``--max-client-depth``); pair with :mod:`repro.serve.client`.
+    ``--index delta`` serves a mutable delta-buffered index accepting
+    wire ``insert`` ops, with off-loop merges at ``--merge-threshold``
+    buffered rows (0 = never) and, with ``--adaptive``, live layout
+    replacement when the workload shifts.
+``bench-diff``
+    Compare this run's ``results/BENCH_*.json`` perf points against a
+    previous run's artifact directory and flag >20% regressions —
+    the CI trajectory check.
 """
 
 from __future__ import annotations
@@ -189,7 +197,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="scale the learned grid's column counts (see `throughput`)",
     )
+    serve.add_argument(
+        "--index",
+        choices=["flood", "delta"],
+        default="flood",
+        help="flood (default) serves a read-only index; delta serves a "
+        "mutable delta-buffered index accepting insert/insert_many/merge "
+        "ops over the wire",
+    )
+    serve.add_argument(
+        "--merge-threshold",
+        type=int,
+        default=0,
+        help="buffered rows that trigger an off-loop merge of the delta "
+        "index (0 = never merge automatically; the merge op still works; "
+        "needs --index delta)",
+    )
+    serve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="monitor served query times and replace the layout off-loop "
+        "when the workload shifts (paper §8; needs --index delta)",
+    )
     serve.add_argument("--seed", type=int, default=7)
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="diff results/BENCH_*.json against a previous run's artifact",
+    )
+    bench_diff.add_argument(
+        "--current", default="results", help="this run's results directory"
+    )
+    bench_diff.add_argument(
+        "--previous",
+        default="previous-results",
+        help="directory holding the previous run's BENCH_*.json artifact",
+    )
+    bench_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative change on a directional metric that counts as a "
+        "regression (default 0.2 = 20%%)",
+    )
+    bench_diff.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any metric regressed beyond the threshold "
+        "(default: warn only — shared CI runners are noisy)",
+    )
+    bench_diff.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_rows",
+        help="show every numeric leaf, not just throughput/time metrics",
+    )
     return parser
 
 
@@ -299,8 +361,10 @@ def _cmd_throughput(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from repro.bench.harness import build_flood
+    from repro.bench.harness import default_cost_model
     from repro.core.engine import BatchQueryEngine
+    from repro.core.index import FloodIndex
+    from repro.core.optimizer import find_optimal_layout
     from repro.core.shard import ShardedFloodIndex
     from repro.datasets import load
     from repro.serve.server import FloodServer
@@ -320,27 +384,62 @@ def _cmd_serve(args) -> int:
     if args.max_client_depth < 0:
         print("serve needs --max-client-depth >= 0 (0 = unbounded)", file=sys.stderr)
         return 2
+    if args.merge_threshold < 0:
+        print("serve needs --merge-threshold >= 0 (0 = never)", file=sys.stderr)
+        return 2
+    if args.index != "delta" and (args.merge_threshold or args.adaptive):
+        print(
+            "--merge-threshold/--adaptive need --index delta", file=sys.stderr
+        )
+        return 2
     print(f"Loading {args.dataset} at {args.rows} rows...")
     bundle = load(args.dataset, n=args.rows, num_queries=50, seed=args.seed)
-    flood, opt = build_flood(bundle.table, bundle.train, seed=args.seed)
+    # Learn the layout first, then build the served index exactly once
+    # (a mutable or grid-scaled index must not pay for a throwaway build).
+    cost_model = default_cost_model()
+    opt = find_optimal_layout(
+        bundle.table, bundle.train, cost_model, seed=args.seed
+    )
     layout = opt.layout
     if args.grid_scale != 1.0:
-        from repro.core.index import FloodIndex
-
         layout = layout.scaled(args.grid_scale)
-        flood = FloodIndex(layout).build(bundle.table)
     scan_backend = None
-    if args.shards != 1:
-        flood = ShardedFloodIndex.wrap(
-            flood,
-            num_shards=args.shards if args.shards else None,
-            backend=args.backend,
-        )
-        scan_backend = flood.scan_backend  # resolve now: fail before binding
-        print(
-            f"Sharded into {flood.effective_shards} storage shards "
-            f"({args.backend} scan backend)"
-        )
+    if args.index == "delta":
+        from repro.core.delta import DeltaBufferedFlood
+
+        # The controller owns the merge threshold (merges must run
+        # off-loop), so the index's own blocking auto-merge stays off.
+        flood = DeltaBufferedFlood(
+            layout,
+            merge_threshold=None,
+            num_shards=None if args.shards == 1 else args.shards,
+            backend=None if args.shards == 1 else args.backend,
+        ).build(bundle.table)
+        inner = flood.index
+        if args.shards != 1:
+            print(
+                f"Mutable delta index, sharded into {inner.effective_shards} "
+                f"storage shards ({args.backend} scan backend)"
+            )
+        else:
+            print("Mutable delta index (unsharded)")
+        if args.merge_threshold:
+            print(f"Off-loop merge at {args.merge_threshold} buffered rows")
+        if args.adaptive:
+            print("Adaptive re-layout: on")
+    else:
+        flood = FloodIndex(layout).build(bundle.table)
+        if args.shards != 1:
+            flood = ShardedFloodIndex.wrap(
+                flood,
+                num_shards=args.shards if args.shards else None,
+                backend=args.backend,
+            )
+            scan_backend = flood.scan_backend  # resolve now: fail before binding
+            print(
+                f"Sharded into {flood.effective_shards} storage shards "
+                f"({args.backend} scan backend)"
+            )
     print(f"Layout: {layout.describe()} ({layout.num_cells} cells)")
     # One long-lived pool shared across every micro-batch (the engine
     # would otherwise spin up and tear down a pool per batch).
@@ -362,6 +461,10 @@ def _cmd_serve(args) -> int:
         max_client_depth=args.max_client_depth,
         cache_entries=args.cache_entries,
         cache_ttl=args.cache_ttl,
+        merge_threshold=args.merge_threshold,
+        adaptive=args.adaptive,
+        cost_model=cost_model,
+        seed=args.seed,
     )
     if args.cache_entries:
         ttl = f", ttl {args.cache_ttl:g}s" if args.cache_ttl else ", no expiry"
@@ -393,7 +496,21 @@ def _cmd_serve(args) -> int:
             pool.shutdown()
         if scan_backend is not None:
             scan_backend.shutdown()  # process backend: pool + shared memory
+        if hasattr(flood, "shutdown"):
+            flood.shutdown()  # delta: retire the current inner backend
     return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.bench.diff import run_diff
+
+    return run_diff(
+        current_dir=args.current,
+        previous_dir=args.previous,
+        threshold=args.threshold,
+        fail_on_regression=args.fail_on_regression,
+        all_rows=args.all_rows,
+    )
 
 
 def _cmd_datasets(_args) -> int:
@@ -434,6 +551,7 @@ def main(argv=None) -> int:
         "calibrate": _cmd_calibrate,
         "throughput": _cmd_throughput,
         "serve": _cmd_serve,
+        "bench-diff": _cmd_bench_diff,
     }[args.command]
     return handler(args)
 

@@ -6,6 +6,8 @@
   holds equal mass (Section 5.1).
 - :mod:`repro.core.index` -- the Flood index: projection, per-cell PLM
   refinement, and scan (Sections 3.2 and 5.2).
+- :mod:`repro.core.protocol` -- the queryable-index protocol the engine
+  and serving stack program against (plain, sharded, or delta-buffered).
 - :mod:`repro.core.engine` -- throughput-mode batch execution of query
   workloads (vectorized plans, shared enumeration cache, worker pool).
 - :mod:`repro.core.shard` -- intra-query parallelism: the clustered table
@@ -44,10 +46,20 @@ from repro.core.knn import KNNSearcher, knn
 from repro.core.layout import GridLayout
 from repro.core.monitor import AdaptiveFlood, WorkloadMonitor
 from repro.core.optimizer import find_optimal_layout, heuristic_layout
+from repro.core.protocol import (
+    MutableIndex,
+    QueryableIndex,
+    require_queryable,
+    supports_insert,
+)
 from repro.core.shard import ShardedFloodIndex
 
 __all__ = [
     "ShardedFloodIndex",
+    "QueryableIndex",
+    "MutableIndex",
+    "require_queryable",
+    "supports_insert",
     "ScanBackend",
     "SerialBackend",
     "ThreadBackend",

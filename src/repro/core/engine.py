@@ -22,7 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro.baselines.base import timed
-from repro.core.index import FloodIndex
+from repro.core.protocol import require_queryable
 from repro.errors import QueryError
 from repro.query.stats import QueryStats, WorkloadResult
 from repro.storage.visitor import CountVisitor, Visitor
@@ -78,17 +78,20 @@ class BatchResult:
 
 
 class BatchQueryEngine:
-    """Executes batches of queries against a built :class:`FloodIndex`.
+    """Executes batches of queries against a built queryable index.
 
     Parameters
     ----------
     index:
-        A built Flood index (any ``flatten`` / ``refinement`` variant),
-        including :class:`~repro.core.shard.ShardedFloodIndex` — engine
-        workers then parallelize across queries while each query's scan
-        fans out across the shard pool (the pools are distinct and both
+        Any built index satisfying the queryable-index protocol
+        (:mod:`repro.core.protocol`): a plain :class:`FloodIndex` (any
+        ``flatten`` / ``refinement`` variant),
+        :class:`~repro.core.shard.ShardedFloodIndex` — engine workers
+        then parallelize across queries while each query's scan fans
+        out across the shard pool (the pools are distinct and both
         bounded, so the combination cannot deadlock or oversubscribe
-        unboundedly).
+        unboundedly) — or a mutable
+        :class:`~repro.core.delta.DeltaBufferedFlood`.
     workers:
         Worker threads for query-level parallelism. 1 (default) runs the
         batch on the calling thread; the enumeration cache is shared either
@@ -110,12 +113,10 @@ class BatchQueryEngine:
         combination cannot oversubscribe unboundedly.
     """
 
-    def __init__(self, index: FloodIndex, workers: int = 1, executor=None, backend=None):
-        if not isinstance(index, FloodIndex):
-            raise QueryError(
-                f"BatchQueryEngine requires a FloodIndex, got {type(index).__name__}"
-            )
-        index.table  # raises BuildError when not built
+    def __init__(self, index, workers: int = 1, executor=None, backend=None):
+        # Anything satisfying the queryable-index protocol serves: plain,
+        # sharded, or delta-buffered (raises BuildError when not built).
+        require_queryable(index)
         if backend is not None:
             if not hasattr(index, "use_backend"):
                 raise QueryError(
@@ -127,10 +128,27 @@ class BatchQueryEngine:
         self.workers = max(1, int(workers))
         self.executor = executor
         self._enum_cache: dict = {}
+        self._cache_table = index.table
 
     def clear_cache(self) -> None:
         """Drop the shared enumeration cache (e.g. after a workload shift)."""
         self._enum_cache.clear()
+
+    def _check_cache_epoch(self) -> None:
+        """Invalidate the enumeration cache when the clustered table moved.
+
+        A mutable index (``DeltaBufferedFlood``) replaces its clustered
+        table wholesale on every merge/re-layout; cached enumerations
+        index the *old* table's cell starts and would silently scan the
+        wrong rows. Buffered inserts never replace the table, so the
+        identity check costs one pointer compare per batch and the cache
+        stays hot under write load. (Benign under racing workers: the
+        worst case is clearing an already-cleared cache.)
+        """
+        table = self.index.table
+        if table is not self._cache_table:
+            self._enum_cache.clear()
+            self._cache_table = table
 
     @staticmethod
     def replay_stats(stats: QueryStats) -> QueryStats:
@@ -169,6 +187,7 @@ class BatchQueryEngine:
         order plus the batch's wall time.
         """
         queries = list(queries)
+        self._check_cache_epoch()
         if visitors is None:
             visitors = [visitor_factory() for _ in queries]
         elif len(visitors) != len(queries):

@@ -60,7 +60,11 @@ class Flattener:
                 values = values[sample_rows]
             if values.size == 0:
                 raise BuildError(f"cannot flatten empty dimension {dim!r}")
-            lo, hi = int(values.min()), int(values.max())
+            # .item() keeps the column dtype: int64 domains stay exact
+            # python ints; float domains keep their fractional bounds
+            # (int() truncation would shrink dom_hi and let projection
+            # wrongly skip boundary checks on the top column).
+            lo, hi = values.min().item(), values.max().item()
             self._bounds[dim] = (lo, hi)
             if kind == "rmi":
                 self._models[dim] = RecursiveModelIndex(

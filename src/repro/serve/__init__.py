@@ -16,9 +16,13 @@ wait.
   re-scanning.
 - :mod:`repro.serve.server` -- :class:`FloodServer`, a JSON-lines TCP
   front-end dispatching through the batcher (``repro serve``).
+- :mod:`repro.serve.mutable` -- :class:`MutableController`, the
+  mutable-serving lifecycle: wire inserts through the batcher's write
+  barrier, off-loop merges with atomic swap, adaptive re-layout.
 - :mod:`repro.serve.client` -- :class:`FloodClient` (blocking) and
   :class:`AsyncFloodClient` for talking to the server, both with
-  exponential-backoff retry of shed (``overloaded``) requests.
+  exponential-backoff retry of shed (``overloaded``) requests and
+  ``insert`` / ``insert_many`` / ``merge`` write methods.
 """
 
 from repro.serve.batcher import MicroBatcher
@@ -29,6 +33,7 @@ from repro.serve.client import (
     RetryableError,
     ServerError,
 )
+from repro.serve.mutable import MutableController
 from repro.serve.server import FloodServer, visitor_factory_for
 
 __all__ = [
@@ -37,6 +42,7 @@ __all__ = [
     "FloodServer",
     "FloodClient",
     "AsyncFloodClient",
+    "MutableController",
     "ServerError",
     "RetryableError",
     "visitor_factory_for",

@@ -31,6 +31,12 @@ Two resilience tiers sit in front of the queue:
   whole global quota and starve every other connection; with it, the
   greedy client's excess is shed (same ``OverloadedError`` / retry
   contract) while other clients' requests still admit.
+
+Mutable serving adds a **write barrier**: :meth:`MicroBatcher.submit_write`
+enqueues a mutation that the collector applies only after every batch
+dispatched so far has resolved, so writes are strictly serialized
+against in-flight query execution (wire ``insert`` ops and merge/layout
+swaps both ride this path).
 """
 
 from __future__ import annotations
@@ -59,6 +65,15 @@ class _Request:
 
 
 @dataclass
+class _Write:
+    """One awaited mutation: applied only after every in-flight batch
+    has resolved (the write barrier), then acked through ``future``."""
+
+    fn: object
+    future: asyncio.Future
+
+
+@dataclass
 class BatcherStats:
     """Counters a serving process exposes for observability.
 
@@ -82,6 +97,9 @@ class BatcherStats:
     #: visitor factory) — without these, an all-erroring server would
     #: report healthy-looking counters (nothing served, nothing failed).
     queries_failed: int = 0
+    #: Mutations applied through the write barrier (inserts, merge
+    #: commits, layout swaps).
+    writes_applied: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -123,6 +141,16 @@ class MicroBatcher:
         submitted with a ``cache_key`` are answered from it when possible
         and populate it on completion. ``None`` (default) disables
         caching entirely.
+
+    Attributes
+    ----------
+    on_query_executed:
+        Optional ``(query, stats)`` callback invoked on the event loop
+        for every query an engine batch actually executed (cache hits
+        excluded — they measure nothing). The adaptive serving mode
+        feeds its :class:`~repro.core.monitor.WorkloadMonitor` through
+        this hook. Exceptions are swallowed: observability must never
+        fail a batch.
     """
 
     def __init__(
@@ -155,6 +183,7 @@ class MicroBatcher:
         self.max_client_depth = int(max_client_depth)
         self.cache = cache
         self.stats = BatcherStats()
+        self.on_query_executed = None
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
         self._dispatches: set[asyncio.Task] = set()
@@ -286,6 +315,30 @@ class MicroBatcher:
         await self._queue.put(_Request(query, visitor_factory, future, cache_key))
         return await future
 
+    async def submit_write(self, fn):
+        """Apply a mutation serialized against in-flight batches.
+
+        ``fn`` is a zero-argument callable (an insert into the delta
+        buffer, a merge commit/swap). The collector executes it **on the
+        event loop** only after every batch dispatched so far has
+        resolved — so a mutation never interleaves with an executor
+        thread reading the index, and every query enqueued after this
+        call returns observes the mutation. Keep ``fn`` cheap (buffer
+        appends, pointer swaps); heavy work belongs on an executor
+        *before* the commit (see ``DeltaBufferedFlood.prepare_merge``).
+
+        Returns ``fn()``'s return value; raises whatever ``fn`` raised,
+        or :class:`~repro.errors.QueryError` if the batcher stopped
+        before the write was applied. Writes are deliberately exempt
+        from admission control: shedding a non-idempotent mutation would
+        push retry ambiguity onto every client.
+        """
+        if self._task is None:
+            raise QueryError("MicroBatcher.submit_write before start()")
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Write(fn, future))
+        return await future
+
     def _release_admission(self, _future) -> None:
         """Free one admission slot; runs however the request resolves
         (served, failed, cancelled, or drain-failed at stop)."""
@@ -317,7 +370,11 @@ class MicroBatcher:
             item = await queue.get()
             if item is _SHUTDOWN:
                 break
+            if isinstance(item, _Write):
+                await self._apply_write(item)
+                continue
             batch = [item]
+            pending_write = None
             deadline = loop.time() + self.max_delay
             while len(batch) < self.max_batch:
                 timeout = deadline - loop.time()
@@ -330,13 +387,41 @@ class MicroBatcher:
                 if item is _SHUTDOWN:
                     stopping = True
                     break
+                if isinstance(item, _Write):
+                    # A write closes the batch: everything enqueued before
+                    # it dispatches first, then the barrier applies it.
+                    pending_write = item
+                    break
                 batch.append(item)
             task = loop.create_task(self._dispatch(batch))
             self._dispatches.add(task)
             task.add_done_callback(self._dispatches.discard)
+            if pending_write is not None:
+                await self._apply_write(pending_write)
         # Drain-stop: every dispatched batch finishes before stop() returns.
         if self._dispatches:
             await asyncio.gather(*self._dispatches, return_exceptions=True)
+
+    async def _apply_write(self, write: _Write) -> None:
+        """The write barrier: drain every dispatched batch, then mutate.
+
+        Runs on the collector (event-loop) coroutine, so no engine batch
+        can start between the drain and the mutation — the serialization
+        guarantee ``submit_write`` documents. While the barrier waits,
+        queued queries simply stay queued; the event loop itself remains
+        free (ops like ping/stats still answer inline).
+        """
+        while self._dispatches:
+            await asyncio.gather(*list(self._dispatches), return_exceptions=True)
+        try:
+            result = write.fn()
+        except Exception as exc:  # the write fails alone, never the collector
+            if not write.future.done():
+                write.future.set_exception(exc)
+            return
+        self.stats.writes_applied += 1
+        if not write.future.done():
+            write.future.set_result(result)
 
     async def _dispatch(self, batch: list[_Request]) -> None:
         """Run one micro-batch on the engine (in a thread) and resolve futures."""
@@ -390,3 +475,8 @@ class MicroBatcher:
                 self.stats.queries_served += 1
             else:
                 self.stats.queries_cancelled += 1
+            if self.on_query_executed is not None:
+                try:
+                    self.on_query_executed(request.query, stats)
+                except Exception:
+                    pass  # observability hook; never fails the batch

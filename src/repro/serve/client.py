@@ -143,6 +143,35 @@ class FloodClient:
                 continue
             return reply["result"], reply["stats"]
 
+    def insert(self, row: dict) -> dict:
+        """Insert one row into a mutable served index.
+
+        Returns the server's structured ack (``buffered_rows`` /
+        ``generation`` / ``merges`` / ``merge_running`` counters). Once
+        this returns, every later query — on any connection — observes
+        the row. Raises :class:`ServerError` on a read-only server.
+        Writes are never auto-retried: resending a non-idempotent op on
+        an ambiguous failure could double-insert.
+        """
+        self._next_id += 1
+        return self._roundtrip(
+            {"id": self._next_id, "op": "insert", "row": dict(row)}
+        )
+
+    def insert_many(self, rows: dict) -> dict:
+        """Insert a column-oriented batch (dim -> list of values)."""
+        self._next_id += 1
+        return self._roundtrip(
+            {"id": self._next_id, "op": "insert_many",
+             "rows": {dim: list(values) for dim, values in rows.items()}}
+        )
+
+    def merge(self) -> dict:
+        """Force (or join) a merge of the delta buffer; acks after the
+        new index is committed."""
+        self._next_id += 1
+        return self._roundtrip({"id": self._next_id, "op": "merge"})
+
     def ping(self) -> bool:
         """Liveness check."""
         return bool(self._roundtrip({"op": "ping"}).get("pong"))
@@ -268,6 +297,28 @@ class AsyncFloodClient:
                 attempt += 1
                 continue
             return reply["result"], reply["stats"]
+
+    async def insert(self, row: dict) -> dict:
+        """Insert one row; see :meth:`FloodClient.insert`. May be issued
+        concurrently with in-flight queries on this connection — the
+        server serializes the write against running batches."""
+        self._next_id += 1
+        return await self._roundtrip(
+            {"id": self._next_id, "op": "insert", "row": dict(row)}
+        )
+
+    async def insert_many(self, rows: dict) -> dict:
+        """Insert a column-oriented batch; see :meth:`FloodClient.insert_many`."""
+        self._next_id += 1
+        return await self._roundtrip(
+            {"id": self._next_id, "op": "insert_many",
+             "rows": {dim: list(values) for dim, values in rows.items()}}
+        )
+
+    async def merge(self) -> dict:
+        """Force (or join) a merge; see :meth:`FloodClient.merge`."""
+        self._next_id += 1
+        return await self._roundtrip({"id": self._next_id, "op": "merge"})
 
     async def close(self) -> None:
         """Close the connection and stop the dispatch task."""

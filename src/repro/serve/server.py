@@ -17,6 +17,18 @@ Wire protocol (one JSON object per line, in either direction):
 - Ops: ``{"op": "ping"}`` (liveness), ``{"op": "stats"}`` (server +
   batcher + cache counters), ``{"op": "shutdown"}`` (graceful stop; used
   by the smoke tests and the demo client).
+- Writes (mutable index only, i.e. a served
+  :class:`~repro.core.delta.DeltaBufferedFlood`):
+  ``{"id": 2, "op": "insert", "row": {"x": 1, "y": 2}}`` buffers one
+  row; ``{"id": 3, "op": "insert_many", "rows": {"x": [1, 2], "y":
+  [3, 4]}}`` a column-oriented batch; ``{"id": 4, "op": "merge"}``
+  forces (or joins) an off-loop merge and acks after its commit.
+  Replies carry the structured counters ``{"ok": true, "inserted": 1,
+  "buffered_rows": 5, "generation": 7, "merges": 0, ...}``. Writes are
+  serialized against in-flight query batches by the batcher's write
+  barrier, so an acked insert is visible to every later query on any
+  connection, and generation-keyed caching makes a stale hit
+  impossible. On a read-only index these ops get an error reply.
 - Errors: ``{"id": ..., "ok": false, "error": "..."}``; malformed JSON
   gets an error reply and the connection stays open.
 - Overload: when admission control sheds a request the reply is the
@@ -39,11 +51,14 @@ import json
 from dataclasses import asdict
 
 from repro.core.engine import BatchQueryEngine
+from repro.core.monitor import WorkloadMonitor
+from repro.core.protocol import supports_insert
 from repro.errors import OverloadedError, QueryError, ReproError
 from repro.jsonutil import sanitize_json
 from repro.query.predicate import Query
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
+from repro.serve.mutable import MutableController
 from repro.storage.visitor import (
     AvgVisitor,
     CountVisitor,
@@ -112,6 +127,18 @@ class FloodServer:
         ``cache_ttl=0`` means entries never expire). ``cache_entries=0``
         (default) disables caching — wire behavior is then identical to a
         cacheless server.
+    merge_threshold:
+        Buffered rows that trigger an off-loop merge of the served
+        mutable index (``0`` = never merge automatically; the ``merge``
+        op still works). Requires a mutable index.
+    adaptive:
+        Enable workload-shift adaptation: ``True`` (default monitor), a
+        configured :class:`~repro.core.monitor.WorkloadMonitor`, or
+        ``False`` (off). When the monitor signals, a fresh layout is
+        learned off-loop from the recent-query window and swapped in
+        atomically. Requires a mutable index.
+    cost_model / seed:
+        Cost model and base seed for adaptive re-layout.
     """
 
     def __init__(
@@ -125,6 +152,10 @@ class FloodServer:
         max_client_depth: int = 0,
         cache_entries: int = 0,
         cache_ttl: float = 0.0,
+        merge_threshold: int = 0,
+        adaptive: bool | WorkloadMonitor = False,
+        cost_model=None,
+        seed: int = 0,
     ):
         if cache_entries < 0:
             raise QueryError(
@@ -142,6 +173,30 @@ class FloodServer:
             max_client_depth=max_client_depth,
             cache=cache,
         )
+        mutable = supports_insert(engine.index)
+        if (merge_threshold or adaptive) and not mutable:
+            raise QueryError(
+                "merge_threshold/adaptive need a mutable index "
+                "(DeltaBufferedFlood); got "
+                f"{type(engine.index).__name__}"
+            )
+        self.mutable: MutableController | None = None
+        if mutable:
+            monitor = None
+            if adaptive:
+                monitor = (
+                    adaptive
+                    if isinstance(adaptive, WorkloadMonitor)
+                    else WorkloadMonitor()
+                )
+            self.mutable = MutableController(
+                engine,
+                self.batcher,
+                merge_threshold=merge_threshold,
+                monitor=monitor,
+                cost_model=cost_model,
+                seed=seed,
+            )
         self.connections_served = 0
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
@@ -168,6 +223,11 @@ class FloodServer:
                 writer.close()
             await self._server.wait_closed()
             self._server = None
+        if self.mutable is not None:
+            # Let an in-flight merge commit (the batcher is still running
+            # here, so its barrier write can land) instead of abandoning
+            # the built index.
+            await self.mutable.drain()
         await self.batcher.stop()
         self._shutdown.set()
 
@@ -208,7 +268,7 @@ class FloodServer:
                 await writer.drain()
 
         async def serve_query(message: dict) -> None:
-            await send(await self._handle_query(message, client_token))
+            await send(await self._handle_request(message, client_token))
 
         try:
             while True:
@@ -246,11 +306,13 @@ class FloodServer:
                 pass
 
     def _parse_line(self, line: bytes):
-        """One request line -> ``(inline_reply, close?, query_message)``.
+        """One request line -> ``(inline_reply, close?, message)``.
 
-        Ops and malformed requests produce an immediate ``inline_reply``;
-        well-formed query requests return ``(None, False, message)`` for
-        the caller to serve concurrently.
+        Observability ops and malformed requests produce an immediate
+        ``inline_reply`` — deliberately *ahead* of the batcher, so ping
+        and stats answer even while the queue is saturated or a merge is
+        committing. Query and write requests return ``(None, False,
+        message)`` for the caller to serve concurrently.
         """
         try:
             # Python's json accepts Infinity/NaN literals by default;
@@ -275,6 +337,32 @@ class FloodServer:
             # the actual stop once the connection handler trips it.
             return _encode({"ok": True, "stopping": True}), True, None
         return None, False, message
+
+    async def _handle_request(self, message: dict, client=None) -> bytes:
+        """One concurrent request: a query, or a write op on a mutable index."""
+        if message.get("op") in ("insert", "insert_many", "merge"):
+            return await self._handle_write(message)
+        return await self._handle_query(message, client)
+
+    async def _handle_write(self, message: dict) -> bytes:
+        request_id = message.get("id")
+        try:
+            if self.mutable is None:
+                raise QueryError(
+                    f"op {message['op']!r} needs a mutable index; this server "
+                    "hosts a read-only one (serve a DeltaBufferedFlood)"
+                )
+            if message["op"] == "merge":
+                payload = await self.mutable.merge_now()
+            else:
+                payload = await self.mutable.apply_insert(message)
+        except (ReproError, TypeError, ValueError, OverflowError) as exc:
+            return _encode({"id": request_id, "ok": False, "error": str(exc)})
+        except Exception as exc:  # last resort: an error reply beats a hang
+            return _encode(
+                {"id": request_id, "ok": False, "error": f"internal error: {exc}"}
+            )
+        return _encode({"id": request_id, "ok": True, **payload})
 
     async def _handle_query(self, message: dict, client=None) -> bytes:
         request_id = message.get("id")
@@ -337,12 +425,15 @@ class FloodServer:
             "queries_rejected_client": batcher.queries_rejected_client,
             "batches_failed": batcher.batches_failed,
             "queries_failed": batcher.queries_failed,
+            "writes_applied": batcher.writes_applied,
             "in_flight": self.batcher.in_flight,
             "max_queue_depth": self.batcher.max_queue_depth,
             "max_client_depth": self.batcher.max_client_depth,
         }
         if self.batcher.cache is not None:
             payload["cache"] = self.batcher.cache.stats_payload()
+        if self.mutable is not None:
+            payload["mutable"] = self.mutable.stats_payload()
         return payload
 
 

@@ -100,15 +100,15 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
 class ShmTableHandle:
     """The picklable identity of a :class:`SharedMemoryTable`.
 
-    Only names and lengths — a handle is a few hundred bytes no matter
-    how large the table, which is what makes per-worker attach cheap.
-    ``columns`` and ``cumulative`` map dimension name to
-    ``(segment name, element count)``.
+    Only names, lengths, and dtypes — a handle is a few hundred bytes no
+    matter how large the table, which is what makes per-worker attach
+    cheap. ``columns`` and ``cumulative`` map dimension name to
+    ``(segment name, element count, dtype string)``.
     """
 
     num_rows: int
-    columns: tuple[tuple[str, str, int], ...]
-    cumulative: tuple[tuple[str, str, int], ...]
+    columns: tuple[tuple[str, str, int, str], ...]
+    cumulative: tuple[tuple[str, str, int, str], ...]
 
 
 class SharedMemoryTable(Table):
@@ -119,9 +119,9 @@ class SharedMemoryTable(Table):
     table's decoded columns into fresh segments) or :meth:`attach` (a
     view: maps an owner's segments by name, zero-copy). Both variants
     behave exactly like an uncompressed ``Table`` — ``values`` returns
-    int64 views of the shared pages, ``cumulative_sum`` answers from the
-    shared prefix arrays — so every scan kernel and visitor works
-    unchanged.
+    dtype-preserving views of the shared pages, ``cumulative_sum``
+    answers from the shared prefix arrays — so every scan kernel and
+    visitor works unchanged.
     """
 
     def __init__(self, *_args, **_kwargs):
@@ -176,10 +176,13 @@ class SharedMemoryTable(Table):
     def _share_array(
         values: np.ndarray, segments: list[shared_memory.SharedMemory]
     ) -> np.ndarray:
-        values = np.ascontiguousarray(values, dtype=np.int64)
+        # Preserve the column dtype (int64 or float64; Table guarantees
+        # one of the two) — forcing int64 here would silently truncate
+        # float columns on their way into shared memory.
+        values = np.ascontiguousarray(values)
         segment = _new_segment(values.nbytes)
         segments.append(segment)
-        view = np.ndarray(values.shape, dtype=np.int64, buffer=segment.buf)
+        view = np.ndarray(values.shape, dtype=values.dtype, buffer=segment.buf)
         view[:] = values
         return view
 
@@ -189,11 +192,11 @@ class SharedMemoryTable(Table):
         return ShmTableHandle(
             num_rows=self.num_rows,
             columns=tuple(
-                (dim, seg.name, arr.size)
+                (dim, seg.name, arr.size, arr.dtype.str)
                 for (dim, arr), seg in zip(self._columns.items(), self._segments)
             ),
             cumulative=tuple(
-                (dim, seg.name, arr.size)
+                (dim, seg.name, arr.size, arr.dtype.str)
                 for (dim, arr), seg in zip(
                     self._cumulative.items(), self._segments[len(self._columns):]
                 )
@@ -211,10 +214,10 @@ class SharedMemoryTable(Table):
         columns: dict[str, np.ndarray] = {}
         cumulative: dict[str, np.ndarray] = {}
         try:
-            for dim, name, size in handle.columns:
-                columns[dim] = cls._attach_array(name, size, segments)
-            for dim, name, size in handle.cumulative:
-                cumulative[dim] = cls._attach_array(name, size, segments)
+            for dim, name, size, dtype in handle.columns:
+                columns[dim] = cls._attach_array(name, size, dtype, segments)
+            for dim, name, size, dtype in handle.cumulative:
+                cumulative[dim] = cls._attach_array(name, size, dtype, segments)
         except FileNotFoundError:
             for segment in segments:
                 segment.close()
@@ -225,11 +228,11 @@ class SharedMemoryTable(Table):
 
     @staticmethod
     def _attach_array(
-        name: str, size: int, segments: list[shared_memory.SharedMemory]
+        name: str, size: int, dtype: str, segments: list[shared_memory.SharedMemory]
     ) -> np.ndarray:
         segment = _attach_segment(name)
         segments.append(segment)
-        view = np.ndarray((size,), dtype=np.int64, buffer=segment.buf)
+        view = np.ndarray((size,), dtype=np.dtype(dtype), buffer=segment.buf)
         view.flags.writeable = False  # workers scan; they never mutate
         return view
 

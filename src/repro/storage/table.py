@@ -1,10 +1,16 @@
-"""The column-store table: named int64 columns plus companion structures.
+"""The column-store table: named numeric columns plus companion structures.
 
 A :class:`Table` is immutable after construction. Clustered indexes produce
 a *permuted* table (the storage order is the index, paper Section 1) via
 :meth:`Table.permute`. Cumulative-aggregate companion columns (paper
 Section 7.1) are added with :meth:`Table.add_cumulative` and answer SUMs
 over exact ranges in O(1).
+
+Integer columns are stored as int64 (optionally block-delta compressed);
+floating columns keep float64 end to end — they are stored raw (the
+delta encoding is integral), and permutation, cumulative companions, and
+``min_max`` all preserve the dtype, so float dimensions survive the whole
+pipeline without silent truncation.
 """
 
 from __future__ import annotations
@@ -18,16 +24,18 @@ from repro.storage.column import CompressedColumn
 
 
 class Table:
-    """An in-memory columnar table of int64 attributes.
+    """An in-memory columnar table of numeric attributes.
 
     Parameters
     ----------
     columns:
-        Mapping of column name to 1-D integer array; all must share length.
+        Mapping of column name to 1-D numeric array; all must share
+        length. Integer-typed input becomes int64; floating input stays
+        float64 (never compressed — block-delta encoding is integral).
     compress:
-        If True (default), store block-delta compressed columns; otherwise
-        raw int64 arrays (used by the MonetDB-parity sanity bench, which the
-        paper runs without compression).
+        If True (default), store integer columns block-delta compressed;
+        otherwise raw arrays (used by the MonetDB-parity sanity bench,
+        which the paper runs without compression).
     """
 
     def __init__(self, columns: Mapping[str, np.ndarray], compress: bool = True):
@@ -40,8 +48,12 @@ class Table:
         self.compressed = bool(compress)
         self._columns = {}
         for name, values in columns.items():
-            values = np.asarray(values).astype(np.int64, copy=False)
-            self._columns[name] = CompressedColumn(values) if compress else values
+            values = np.asarray(values)
+            if np.issubdtype(values.dtype, np.floating):
+                self._columns[name] = values.astype(np.float64, copy=False)
+            else:
+                values = values.astype(np.int64, copy=False)
+                self._columns[name] = CompressedColumn(values) if compress else values
         self._cumulative: dict[str, np.ndarray] = {}
 
     # ----------------------------------------------------------------- schema
@@ -83,12 +95,12 @@ class Table:
         names = names or self.dims
         return np.stack([self.values(name) for name in names], axis=1)
 
-    def min_max(self, name: str) -> tuple[int, int]:
-        """(min, max) of a column."""
+    def min_max(self, name: str) -> tuple:
+        """(min, max) of a column, in the column's dtype (python scalars)."""
         values = self.values(name)
         if values.size == 0:
             raise SchemaError("min_max of an empty table")
-        return int(values.min()), int(values.max())
+        return values.min().item(), values.max().item()
 
     # ------------------------------------------------------------- clustering
     def permute(self, order: np.ndarray) -> "Table":
@@ -107,19 +119,22 @@ class Table:
     def add_cumulative(self, name: str) -> None:
         """Add a prefix-sum companion column for O(1) exact-range SUMs."""
         self._require(name)
-        prefix = np.zeros(self.num_rows + 1, dtype=np.int64)
-        np.cumsum(self.values(name), out=prefix[1:])
+        values = self.values(name)
+        dtype = np.float64 if np.issubdtype(values.dtype, np.floating) else np.int64
+        prefix = np.zeros(self.num_rows + 1, dtype=dtype)
+        np.cumsum(values, out=prefix[1:])
         self._cumulative[name] = prefix
 
     def has_cumulative(self, name: str) -> bool:
         return name in self._cumulative
 
-    def cumulative_sum(self, name: str, start: int, stop: int) -> int:
-        """SUM(name) over rows [start, stop) from the prefix column."""
+    def cumulative_sum(self, name: str, start: int, stop: int):
+        """SUM(name) over rows [start, stop) from the prefix column
+        (python int for integer columns, float for float columns)."""
         prefix = self._cumulative.get(name)
         if prefix is None:
             raise SchemaError(f"no cumulative column for {name!r}")
-        return int(prefix[stop] - prefix[start])
+        return (prefix[stop] - prefix[start]).item()
 
     # ------------------------------------------------------------------- size
     def size_bytes(self) -> int:

@@ -1,0 +1,168 @@
+"""Tests for the perf-trajectory diff tool (``repro bench-diff``)."""
+
+import json
+
+import pytest
+
+from repro.bench.diff import (
+    diff_payloads,
+    flatten_metrics,
+    format_diff,
+    metric_direction,
+    run_diff,
+)
+
+
+class TestFlatten:
+    def test_nested_and_lists(self):
+        payload = {
+            "rows": 1000,
+            "sweep": [
+                {"queries_per_second": 10.0},
+                {"queries_per_second": 20.0, "nested": {"scan_time": 0.5}},
+            ],
+        }
+        flat = flatten_metrics(payload)
+        assert flat["rows"] == 1000
+        assert flat["sweep[0].queries_per_second"] == 10.0
+        assert flat["sweep[1].nested.scan_time"] == 0.5
+
+    def test_bools_and_strings_skipped(self):
+        flat = flatten_metrics({"ok": True, "name": "tpch", "n": 3})
+        assert flat == {"n": 3.0}
+
+
+class TestDirection:
+    @pytest.mark.parametrize(
+        "path, expected",
+        [
+            ("sweep[0].queries_per_second", 1),
+            ("config.speedup", 1),
+            ("cache_hit_rate", 1),
+            ("merge.last_merge_seconds", -1),
+            ("scan_time", -1),
+            ("p99_latency", -1),
+            ("rows", 0),
+            ("concurrency", 0),
+        ],
+    )
+    def test_direction_by_key_name(self, path, expected):
+        assert metric_direction(path) == expected
+
+    def test_last_component_decides(self):
+        # A throughput leaf under a time-named group is still a throughput.
+        assert metric_direction("timings.queries_per_second") == 1
+
+
+class TestDiffPayloads:
+    def test_throughput_drop_is_regression(self):
+        rows, regressions = diff_payloads(
+            {"queries_per_second": 100.0}, {"queries_per_second": 70.0}
+        )
+        assert len(regressions) == 1
+        assert regressions[0]["change"] == pytest.approx(-0.3)
+
+    def test_time_rise_is_regression(self):
+        _, regressions = diff_payloads({"scan_time": 1.0}, {"scan_time": 1.5})
+        assert len(regressions) == 1
+
+    def test_improvements_and_noise_pass(self):
+        _, regressions = diff_payloads(
+            {"queries_per_second": 100.0, "scan_time": 1.0, "rows": 10},
+            {"queries_per_second": 115.0, "scan_time": 0.9, "rows": 99},
+        )
+        assert regressions == []  # faster, and `rows` is undirected
+
+    def test_threshold_respected(self):
+        prev, curr = {"queries_per_second": 100.0}, {"queries_per_second": 85.0}
+        _, at_20 = diff_payloads(prev, curr, threshold=0.2)
+        _, at_10 = diff_payloads(prev, curr, threshold=0.1)
+        assert at_20 == [] and len(at_10) == 1
+
+    def test_added_and_removed_paths_reported_not_diffed(self):
+        rows, regressions = diff_payloads(
+            {"old_metric_seconds": 1.0}, {"new_metric_seconds": 2.0}
+        )
+        assert regressions == []
+        by_path = {row["path"]: row for row in rows}
+        assert by_path["old_metric_seconds"]["current"] is None
+        assert by_path["new_metric_seconds"]["previous"] is None
+
+    def test_nonfinite_values_compare_as_incomparable(self):
+        """Foreign artifacts may carry Infinity/NaN (json.load accepts
+        the literals); they must neither crash the formatter nor produce
+        a change verdict."""
+        rows, regressions = diff_payloads(
+            {"scan_seconds": float("inf"), "queries_per_second": float("nan")},
+            {"scan_seconds": 1.0, "queries_per_second": 100.0},
+        )
+        assert regressions == []
+        assert all(row["change"] is None for row in rows)
+        text = format_diff("BENCH_x", rows)  # must not raise
+        assert "inf" in text
+
+    def test_format_diff_flags_regressions(self):
+        rows, _ = diff_payloads(
+            {"queries_per_second": 100.0}, {"queries_per_second": 50.0}
+        )
+        text = format_diff("BENCH_x", rows)
+        assert "REGRESSED" in text and "-50.0%" in text
+
+
+class TestRunDiff:
+    def _write(self, directory, name, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{name}.json").write_text(json.dumps(payload))
+
+    def test_regression_warns_but_exits_zero_by_default(self, tmp_path, capsys):
+        self._write(tmp_path / "prev", "BENCH_a", {"queries_per_second": 100.0})
+        self._write(tmp_path / "curr", "BENCH_a", {"queries_per_second": 10.0})
+        code = run_diff(str(tmp_path / "curr"), str(tmp_path / "prev"))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARNING" in out and "REGRESSED" in out
+
+    def test_fail_on_regression(self, tmp_path):
+        self._write(tmp_path / "prev", "BENCH_a", {"queries_per_second": 100.0})
+        self._write(tmp_path / "curr", "BENCH_a", {"queries_per_second": 10.0})
+        code = run_diff(
+            str(tmp_path / "curr"), str(tmp_path / "prev"), fail_on_regression=True
+        )
+        assert code == 1
+
+    def test_missing_previous_is_skip_not_failure(self, tmp_path, capsys):
+        self._write(tmp_path / "curr", "BENCH_a", {"queries_per_second": 100.0})
+        code = run_diff(str(tmp_path / "curr"), str(tmp_path / "nope"))
+        assert code == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_clean_run_reports_no_regressions(self, tmp_path, capsys):
+        point = {"sweep": [{"queries_per_second": 100.0, "scan_time": 0.5}]}
+        self._write(tmp_path / "prev", "BENCH_a", point)
+        self._write(tmp_path / "curr", "BENCH_a", point)
+        code = run_diff(str(tmp_path / "curr"), str(tmp_path / "prev"))
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_truncated_artifact_skipped(self, tmp_path, capsys):
+        self._write(tmp_path / "prev", "BENCH_a", {"queries_per_second": 1.0})
+        (tmp_path / "curr").mkdir()
+        (tmp_path / "curr" / "BENCH_a.json").write_text("{not json")
+        code = run_diff(str(tmp_path / "curr"), str(tmp_path / "prev"))
+        assert code == 0  # unreadable current point -> nothing to do
+
+    def test_cli_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._write(tmp_path / "prev", "BENCH_a", {"queries_per_second": 100.0})
+        self._write(tmp_path / "curr", "BENCH_a", {"queries_per_second": 95.0})
+        code = main(
+            [
+                "bench-diff",
+                "--current", str(tmp_path / "curr"),
+                "--previous", str(tmp_path / "prev"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "-5.0%" in out and "no regressions" in out

@@ -11,7 +11,8 @@ from repro.core.layout import GridLayout
 from repro.core.monitor import WorkloadMonitor
 from repro.errors import QueryError, SchemaError
 from repro.query.predicate import Query
-from repro.storage.visitor import CollectVisitor, CountVisitor
+from repro.storage.table import Table
+from repro.storage.visitor import CollectVisitor, CountVisitor, SumVisitor
 
 from tests.helpers import make_table
 
@@ -100,6 +101,276 @@ class TestDeltaBufferedFlood:
         base = index.size_bytes()
         index.insert({"x": 1, "y": 2, "z": 3})
         assert index.size_bytes() > base
+
+
+class TestDeltaDtypeAdoption:
+    """The buffer must adopt the table's per-column dtype — float
+    dimensions used to be silently truncated through ``int(v)``."""
+
+    def _float_delta(self, n=800, seed=6, threshold=None):
+        rng = np.random.default_rng(seed)
+        data = {
+            "x": rng.uniform(0, 1000, n),          # float64
+            "y": rng.integers(0, 1000, n),         # int64
+            "z": rng.uniform(0, 1000, n),          # float64
+        }
+        table = Table(data)
+        index = DeltaBufferedFlood(
+            GridLayout(DIMS, (3, 3)), merge_threshold=threshold
+        ).build(table)
+        return index, data
+
+    def test_float_insert_not_truncated(self):
+        index, data = self._float_delta()
+        index.insert({"x": 1.5, "y": 2, "z": 3.25})
+        visitor = SumVisitor("x")
+        index.query(Query({"x": (0, 1000)}), visitor)
+        assert visitor.result == pytest.approx(data["x"].sum() + 1.5)
+
+    def test_float_survives_merge(self):
+        index, data = self._float_delta()
+        index.insert({"x": 0.75, "y": 1, "z": 0.5})
+        index.merge()
+        assert index.table.values("x").dtype == np.float64
+        visitor = SumVisitor("x")
+        index.query(Query({"x": (0, 1000)}), visitor)
+        assert visitor.result == pytest.approx(data["x"].sum() + 0.75)
+
+    def test_float_insert_many(self):
+        index, data = self._float_delta()
+        index.insert_many(
+            {"x": [0.25, 0.75], "y": [1, 2], "z": [10.5, 20.25]}
+        )
+        visitor = SumVisitor("z")
+        index.query(Query({"z": (0, 1000)}), visitor)
+        assert visitor.result == pytest.approx(data["z"].sum() + 30.75)
+
+    def test_fractional_rows_filter_exactly(self):
+        """A 0.5-valued row must match [0, 0] on no dimension and
+        [0, 1] on every dimension — int truncation would flip the
+        first."""
+        index, _ = self._float_delta()
+        index.insert({"x": 0.5, "y": 0, "z": 0.5})
+        hit = CountVisitor()
+        index.query(Query({"x": (0, 1)}), hit)
+        miss_exact_zero = CountVisitor()
+        index.query(Query({"x": (0, 0), "z": (0, 0)}), miss_exact_zero)
+        brute_hit = 1  # inserted row; x uniform over (0, 1000) floats
+        assert hit.result >= brute_hit
+        assert miss_exact_zero.result == 0
+
+    def test_int_columns_still_coerce(self):
+        table = make_table(n=300, dims=DIMS, seed=7)
+        index = DeltaBufferedFlood(GridLayout(DIMS, (2, 2))).build(table)
+        index.insert({"x": 1.9, "y": 2, "z": 3})  # int64 column truncates
+        visitor = CollectVisitor()
+        index.query(Query({"x": (1, 1)}), visitor)
+        buffered = index._buffer["x"]
+        assert buffered[0] == 1 and isinstance(buffered[0], np.int64)
+
+
+class TestDeltaTimingConsistency:
+    def test_buffer_scan_times_agree(self):
+        """scan_time and total_time must grow by the *same* measured
+        delta (two separate perf_counter() reads used to disagree)."""
+        table = make_table(n=400, dims=DIMS, seed=8)
+        index = DeltaBufferedFlood(GridLayout(DIMS, (2, 2))).build(table)
+        for i in range(50):
+            index.insert({"x": i, "y": i, "z": i})
+        base = index.index.query(Query({"x": (0, 1000)}), CountVisitor())
+        delta_stats = index.query(Query({"x": (0, 1000)}), CountVisitor())
+        # The buffer contribution to both counters is identical.
+        scan_contrib = delta_stats.scan_time - base.scan_time
+        total_contrib = delta_stats.total_time - base.total_time
+        assert scan_contrib >= 0
+        # Same measurement feeds both, so the difference between the two
+        # contributions is exactly the (tiny) drift of base timings, not
+        # a systematic extra perf_counter window.
+        assert delta_stats.total_time - delta_stats.scan_time == pytest.approx(
+            delta_stats.index_time + delta_stats.refine_time, abs=1e-12
+        )
+
+
+class TestDeltaMergeLifecycle:
+    """The serving-side split: prepare off-thread, commit atomically."""
+
+    def _build(self, n=600, seed=9, **kwargs):
+        table = make_table(n=n, dims=DIMS, seed=seed)
+        return DeltaBufferedFlood(
+            GridLayout(DIMS, (3, 3)), merge_threshold=None, **kwargs
+        ).build(table)
+
+    def test_prepare_commit_equals_blocking_merge(self):
+        index = self._build()
+        rng = np.random.default_rng(10)
+        for _ in range(20):
+            index.insert(_row(rng))
+        prepared = index.prepare_merge()
+        assert prepared.rows_merged == 20
+        old = index.commit_merge(prepared)
+        assert old is not None  # the superseded inner index
+        assert index.buffered_rows == 0
+        assert index.merges == 1
+        assert index.table.num_rows == 620
+
+    def test_rows_inserted_mid_merge_survive(self):
+        """Inserts landing between prepare and commit stay buffered and
+        visible — the non-blocking merge's core invariant."""
+        index = self._build()
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            index.insert(_row(rng))
+        prepared = index.prepare_merge()
+        late = {"x": 7, "y": 7, "z": 7}
+        index.insert(late)  # mid-merge insert
+        index.commit_merge(prepared)
+        assert index.buffered_rows == 1
+        assert index.table.num_rows == 610
+        visitor = CountVisitor()
+        index.query(Query({"x": (7, 7), "y": (7, 7), "z": (7, 7)}), visitor)
+        brute = int(
+            (
+                (index.table.values("x") == 7)
+                & (index.table.values("y") == 7)
+                & (index.table.values("z") == 7)
+            ).sum()
+        )
+        assert visitor.result == brute + 1
+
+    def test_prepare_on_empty_buffer_is_none(self):
+        index = self._build()
+        assert index.prepare_merge() is None
+        assert index.commit_merge(None) is None
+
+    def test_generation_bumps_on_commit(self):
+        index = self._build()
+        index.insert({"x": 1, "y": 2, "z": 3})
+        generation = index.generation
+        index.commit_merge(index.prepare_merge())
+        assert index.generation == generation + 1
+
+    def test_sharded_buffered_combo_identity(self):
+        index = self._build(num_shards=3, min_parallel_points=0)
+        from repro.core.shard import ShardedFloodIndex
+
+        assert isinstance(index.index, ShardedFloodIndex)
+        rng = np.random.default_rng(12)
+        for _ in range(15):
+            index.insert(_row(rng))
+        query = Query({"x": (100, 900), "y": (0, 500)})
+        sharded = CountVisitor()
+        index.query(query, sharded)
+        percell = CountVisitor()
+        index.query_percell(query, percell)
+        assert sharded.result == percell.result
+        index.merge()  # rebuild re-shards
+        assert isinstance(index.index, ShardedFloodIndex)
+        after = CountVisitor()
+        index.query(query, after)
+        assert after.result == sharded.result
+
+    def test_relayout_learns_new_layout_and_merges(self):
+        from repro.core.cost import AnalyticCostModel
+
+        index = self._build(n=2000, seed=13)
+        rng = np.random.default_rng(14)
+        for _ in range(5):
+            index.insert(_row(rng))
+        queries = [
+            Query({"y": (i * 50, i * 50 + 40), "z": (0, 500)}) for i in range(10)
+        ]
+        prepared = index.prepare_relayout(
+            queries, cost_model=AnalyticCostModel(), seed=1
+        )
+        assert prepared.layout is not None
+        index.commit_merge(prepared)
+        assert index.retrains == 1
+        assert index.merges == 0  # relayouts counted separately
+        assert index.buffered_rows == 0
+        assert index.layout is prepared.layout
+        visitor = CountVisitor()
+        index.query(queries[0], visitor)
+        assert visitor.result == int(queries[0].match_mask(index.table).sum())
+
+
+class TestEngineEnumCacheOverMutableIndex:
+    def test_merge_between_runs_invalidates_enum_cache(self):
+        """Library-path regression: the engine's enumeration cache holds
+        cell starts of the *old* clustered table; an auto-merge between
+        ``run()`` calls must invalidate it or identical queries silently
+        scan the wrong rows of the rebuilt table."""
+        from repro.core.engine import BatchQueryEngine
+
+        table = make_table(n=2000, dims=DIMS, seed=17)
+        index = DeltaBufferedFlood(
+            GridLayout(DIMS, (4, 4)), merge_threshold=32
+        ).build(table)
+        engine = BatchQueryEngine(index)
+        query = Query({"x": (100, 600), "y": (0, 800)})
+        first = engine.run([query]).results[0]
+        assert first == int(query.match_mask(index.table).sum())
+        rng = np.random.default_rng(18)
+        matching = 0
+        for _ in range(40):  # crosses merge_threshold -> table rebuilt
+            row = _row(rng)
+            matching += int(
+                100 <= row["x"] <= 600 and 0 <= row["y"] <= 800
+            )
+            index.insert(row)
+        assert index.merges >= 1
+        second = engine.run([query]).results[0]
+        assert second == first + matching
+
+    def test_relayout_between_runs_invalidates_enum_cache(self):
+        from repro.core.cost import AnalyticCostModel
+        from repro.core.engine import BatchQueryEngine
+
+        table = make_table(n=2000, dims=DIMS, seed=19)
+        index = DeltaBufferedFlood(
+            GridLayout(DIMS, (4, 4)), merge_threshold=None
+        ).build(table)
+        engine = BatchQueryEngine(index)
+        query = Query({"y": (100, 700)})
+        first = engine.run([query]).results[0]
+        prepared = index.prepare_relayout(
+            [Query({"y": (i * 60, i * 60 + 50)}) for i in range(10)],
+            cost_model=AnalyticCostModel(),
+        )
+        index.commit_merge(prepared)
+        second = engine.run([query]).results[0]
+        assert second == first == int(query.match_mask(index.table).sum())
+
+
+class TestQueryableProtocol:
+    def test_delta_satisfies_protocol(self):
+        from repro.core.protocol import require_queryable, supports_insert
+
+        table = make_table(n=200, dims=DIMS, seed=15)
+        index = DeltaBufferedFlood(GridLayout(DIMS, (2, 2))).build(table)
+        require_queryable(index)  # must not raise
+        assert supports_insert(index)
+
+    def test_plain_flood_is_queryable_but_immutable(self):
+        from repro.core.protocol import require_queryable, supports_insert
+
+        table = make_table(n=200, dims=DIMS, seed=16)
+        index = FloodIndex(GridLayout(DIMS, (2, 2))).build(table)
+        require_queryable(index)
+        assert not supports_insert(index)
+
+    def test_baseline_rejected(self):
+        from repro.baselines import FullScanIndex
+        from repro.core.protocol import require_queryable
+
+        with pytest.raises(QueryError):
+            require_queryable(FullScanIndex().build(make_table()))
+
+    def test_unbuilt_delta_raises_builderror(self):
+        from repro.core.protocol import require_queryable
+        from repro.errors import BuildError
+
+        with pytest.raises(BuildError):
+            require_queryable(DeltaBufferedFlood(GridLayout(DIMS, (2, 2))))
 
 
 class TestWorkloadMonitor:

@@ -109,3 +109,68 @@ class TestTable:
         before = table.size_bytes()
         table.add_cumulative("a")
         assert table.size_bytes() > before
+
+
+class TestFloatColumns:
+    """Float columns keep float64 end to end (int truncation used to be
+    silent: Table coerced every column to int64 at construction)."""
+
+    def _mixed(self, n=400, seed=3):
+        rng = np.random.default_rng(seed)
+        return Table(
+            {
+                "f": rng.uniform(-10, 10, size=n),
+                "i": rng.integers(0, 100, size=n),
+            }
+        )
+
+    def test_dtype_preserved(self):
+        table = self._mixed()
+        assert table.values("f").dtype == np.float64
+        assert table.values("i").dtype == np.int64
+
+    def test_values_not_truncated(self):
+        table = Table({"f": np.array([0.25, -1.5, 7.75])})
+        assert np.array_equal(table.values("f"), [0.25, -1.5, 7.75])
+
+    def test_permute_preserves_dtype_and_values(self):
+        table = Table({"f": np.array([0.5, 1.5, 2.5]), "i": np.array([3, 1, 2])})
+        permuted = table.permute(np.array([2, 0, 1]))
+        assert permuted.values("f").dtype == np.float64
+        assert np.array_equal(permuted.values("f"), [2.5, 0.5, 1.5])
+
+    def test_min_max_keeps_fractional_part(self):
+        table = Table({"f": np.array([0.25, 9.75])})
+        lo, hi = table.min_max("f")
+        assert lo == 0.25 and hi == 9.75
+        assert isinstance(lo, float)
+
+    def test_min_max_int_column_still_python_int(self):
+        table = self._mixed()
+        lo, hi = table.min_max("i")
+        assert isinstance(lo, int) and isinstance(hi, int)
+
+    def test_cumulative_sum_float(self):
+        table = Table({"f": np.array([0.5, 0.25, 1.25, 2.0])})
+        table.add_cumulative("f")
+        assert table.cumulative_sum("f", 1, 3) == pytest.approx(1.5)
+        assert isinstance(table.cumulative_sum("f", 0, 4), float)
+
+    def test_cumulative_sum_int_still_exact_python_int(self):
+        table = self._mixed()
+        table.add_cumulative("i")
+        total = table.cumulative_sum("i", 0, table.num_rows)
+        assert isinstance(total, int)
+        assert total == int(table.values("i").sum())
+
+    def test_take_preserves_dtype(self):
+        table = self._mixed()
+        taken = table.take("f", np.array([1, 3, 5]))
+        assert taken.dtype == np.float64
+
+    def test_float_columns_never_compressed(self):
+        table = self._mixed()
+        # Block-delta compression is integral; floats must bypass it even
+        # in a compress=True table (the default used here).
+        assert table.compressed
+        assert isinstance(table._columns["f"], np.ndarray)
