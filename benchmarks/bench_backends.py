@@ -39,7 +39,7 @@ from repro.core.index import FloodIndex
 from repro.core.shard import ShardedFloodIndex
 from repro.datasets import load
 from repro.query.predicate import Query
-from repro.storage.shm import owned_segment_names
+from repro.analysis.sanitizers import shm_leak_sanitizer
 from repro.storage.visitor import CountVisitor, SumVisitor, Visitor
 
 ROWS = 150_000
@@ -248,16 +248,16 @@ def test_no_leaked_segments_after_shutdown():
         "y": rng.integers(0, 1000, size=30_000),
     })
     index = FloodIndex(GridLayout(("x", "y"), (8,))).build(table)
-    before = set(owned_segment_names())
-    backend = ProcessBackend(index.table, workers=2)
-    sharded = ShardedFloodIndex.wrap(
-        index, num_shards=2, min_parallel_points=0, backend=backend
-    )
-    visitor = CountVisitor()
-    sharded.query(Query({"x": (0, 900)}), visitor)
-    assert set(owned_segment_names()) - before  # segments existed in use
-    backend.shutdown()
-    assert set(owned_segment_names()) <= before  # ... and are gone now
+    with shm_leak_sanitizer() as probe:
+        backend = ProcessBackend(index.table, workers=2)
+        sharded = ShardedFloodIndex.wrap(
+            index, num_shards=2, min_parallel_points=0, backend=backend
+        )
+        visitor = CountVisitor()
+        sharded.query(Query({"x": (0, 900)}), visitor)
+        assert probe.created()  # segments existed in use
+        backend.shutdown()
+    # Exiting the sanitizer raises ShmLeakError if any segment survived.
 
 
 if __name__ == "__main__":

@@ -1,0 +1,31 @@
+"""repro's self-checks: static invariant rules (``repro check``) plus
+runtime sanitizers for the serving stack.
+
+Static side: :mod:`repro.analysis.core` (findings, suppressions, rule
+registry), :mod:`repro.analysis.callgraph` (symbol table + blocking
+propagation), :mod:`repro.analysis.rules` (the project rules), and
+:mod:`repro.analysis.runner` (path walking, text/JSON rendering, exit
+codes). Dynamic side: :mod:`repro.analysis.sanitizers`.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    all_rules,
+    register,
+)
+from repro.analysis.runner import CheckReport, main_check, run_check
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "main_check",
+    "register",
+    "run_check",
+]

@@ -1,0 +1,321 @@
+"""Project symbol table + call graph for the reachability rules.
+
+The loop-safety rule needs more than syntax: ``async def`` serving code
+is allowed to *mention* ``index.prepare_merge`` (as a
+``run_in_executor`` argument) but not to *reach* it through a chain of
+synchronous calls. This module builds the per-function facts that make
+that distinction checkable:
+
+- every function/method (including nested defs) with its **own** calls
+  and blocking sites — nested ``def``\\ s and ``lambda``\\ s are deferred
+  execution, so their bodies are attributed to themselves, never to the
+  enclosing function;
+- name-based call resolution: ``self.x(...)`` resolves within the
+  enclosing class only (so ``AsyncFloodClient._roundtrip`` never aliases
+  the blocking ``FloodClient._roundtrip``), plain names resolve to
+  module-level functions or class constructors, and attribute calls on
+  other receivers resolve to any project function of that name;
+- transitive blocking traces (:meth:`CallGraph.first_block`) with the
+  call chain preserved, so a finding can say *how* an async handler
+  reaches ``time.sleep``.
+
+Blocking facts are heuristic and name-based by design — this is a
+project linter, not a type checker; the false-positive escape hatch is
+``# repro: allow(loop-safety)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: ``qualifier.attr`` calls that block the calling thread outright.
+BLOCKING_CALLS = {
+    ("time", "sleep"): "time.sleep",
+    ("socket", "create_connection"): "socket.create_connection (blocking connect)",
+    ("subprocess", "run"): "subprocess.run",
+    ("subprocess", "check_output"): "subprocess.check_output",
+    ("socket", "socket"): "socket.socket (blocking socket I/O)",
+}
+
+#: Known-heavy project calls (index rebuilds, layout optimization, raw
+#: scans): CPU-bound for seconds at bench scale — never on the loop.
+HEAVY_CALLS = {
+    "prepare_merge": "prepare_merge (clustered rebuild)",
+    "prepare_relayout": "prepare_relayout (layout learn + rebuild)",
+    "find_optimal_layout": "find_optimal_layout (layout search)",
+    "build_flood": "build_flood (index build)",
+    "query_percell": "query_percell (per-cell scan loop)",
+    "default_cost_model": "default_cost_model (may calibrate for seconds)",
+}
+
+#: Heavy calls identified by their receiver chain, for names too generic
+#: to match globally (``.run`` alone would alias ``run_in_executor``).
+HEAVY_QUALIFIED = {
+    ("engine", "run"): "BatchQueryEngine.run (batch scan on the loop)",
+}
+
+
+def dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_own(node: ast.AST):
+    """Yield ``node``'s descendants, stopping at nested function/class
+    scopes and lambdas (deferred execution belongs to its own scope)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+@dataclass
+class CallSite:
+    """One call made directly by a function (deferred scopes excluded)."""
+
+    name: str              #: simple callee name (``submit_write``)
+    qualifier: str | None  #: ``None`` = bare name; ``"self"``; else receiver chain
+    lineno: int
+    col_offset: int
+    node: ast.Call
+
+
+@dataclass
+class BlockSite:
+    """A syntactically blocking call (see ``BLOCKING_CALLS``/``HEAVY_CALLS``)."""
+
+    what: str
+    lineno: int
+    col_offset: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method with its own (non-deferred) calls and blocks."""
+
+    name: str
+    qualname: str
+    cls: str | None
+    source: object  # SourceFile
+    node: ast.AST
+    is_async: bool
+    parent: "FunctionInfo | None" = None
+    calls: list[CallSite] = field(default_factory=list)
+    blocking: list[BlockSite] = field(default_factory=list)
+    children: "list[FunctionInfo]" = field(default_factory=list)
+
+    @property
+    def is_nested(self) -> bool:
+        """Closures are only callable from their enclosing scope — they
+        must never resolve a ``.name(...)`` call made elsewhere."""
+        return self.parent is not None
+
+    @property
+    def display(self) -> str:
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+
+@dataclass
+class Trace:
+    """How a function reaches a blocking call: chain of displays + leaf."""
+
+    chain: list[str]
+    leaf: str
+
+
+def _classify_call(node: ast.Call) -> tuple[CallSite | None, BlockSite | None]:
+    """The (call site, blocking site) facts of one Call node."""
+    func = node.func
+    site = None
+    block = None
+    if isinstance(func, ast.Name):
+        site = CallSite(func.id, None, node.lineno, node.col_offset, node)
+        if func.id == "open":
+            block = BlockSite("open() (blocking file I/O)", node.lineno, node.col_offset)
+    elif isinstance(func, ast.Attribute):
+        qualifier = dotted(func.value) or "<expr>"
+        site = CallSite(func.attr, qualifier, node.lineno, node.col_offset, node)
+        tail = qualifier.rsplit(".", 1)[-1]
+        if (tail, func.attr) in BLOCKING_CALLS:
+            block = BlockSite(
+                BLOCKING_CALLS[(tail, func.attr)], node.lineno, node.col_offset
+            )
+        elif (tail, func.attr) in HEAVY_QUALIFIED:
+            block = BlockSite(
+                HEAVY_QUALIFIED[(tail, func.attr)], node.lineno, node.col_offset
+            )
+        elif func.attr in HEAVY_CALLS:
+            block = BlockSite(HEAVY_CALLS[func.attr], node.lineno, node.col_offset)
+        elif func.attr == "result" and isinstance(func.value, ast.Call):
+            inner = func.value.func
+            if isinstance(inner, ast.Attribute) and inner.attr == "submit":
+                block = BlockSite(
+                    "submit(...).result() (synchronous wait on an executor)",
+                    node.lineno, node.col_offset,
+                )
+    return site, block
+
+
+class _Collector(ast.NodeVisitor):
+    """Walk one module, building FunctionInfos with innermost attribution."""
+
+    def __init__(self, source, graph: "CallGraph"):
+        self.source = source
+        self.graph = graph
+        self.class_stack: list[str] = []
+        self.func_stack: list[FunctionInfo] = []
+        self.lambda_depth = 0
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.graph.classes.setdefault(node.name, node)
+        self.graph.class_sources.setdefault(node.name, self.source)
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node, is_async: bool) -> None:
+        scope = [info.name for info in self.func_stack]
+        qualname = "::".join(
+            [self.source.path, ".".join(self.class_stack + scope + [node.name])]
+        )
+        info = FunctionInfo(
+            name=node.name,
+            qualname=qualname,
+            cls=self.class_stack[-1] if self.class_stack else None,
+            source=self.source,
+            node=node,
+            is_async=is_async,
+            parent=self.func_stack[-1] if self.func_stack else None,
+        )
+        self.graph.add(info)
+        self.func_stack.append(info)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, is_async=True)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # Deferred execution: nothing inside a lambda runs at this point
+        # in the enclosing function, so none of its calls belong here.
+        self.lambda_depth += 1
+        self.generic_visit(node)
+        self.lambda_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.func_stack and self.lambda_depth == 0:
+            site, block = _classify_call(node)
+            info = self.func_stack[-1]
+            if site is not None:
+                info.calls.append(site)
+            if block is not None:
+                info.blocking.append(block)
+        self.generic_visit(node)
+
+
+class CallGraph:
+    """Name-resolved project call graph with blocking propagation."""
+
+    def __init__(self, sources):
+        self.functions: list[FunctionInfo] = []
+        self.classes: dict[str, ast.ClassDef] = {}
+        self.class_sources: dict[str, object] = {}
+        self._by_name: dict[str, list[FunctionInfo]] = {}
+        self._by_method: dict[tuple[str, str], list[FunctionInfo]] = {}
+        self._by_source: dict[str, list[FunctionInfo]] = {}
+        for source in sources:
+            _Collector(source, self).visit(source.tree)
+        self._block_memo: dict[int, Trace | None] = {}
+
+    def add(self, info: FunctionInfo) -> None:
+        self.functions.append(info)
+        if info.parent is not None:
+            info.parent.children.append(info)
+        else:
+            self._by_name.setdefault(info.name, []).append(info)
+            if info.cls:
+                self._by_method.setdefault((info.cls, info.name), []).append(info)
+        self._by_source.setdefault(info.source.path, []).append(info)
+
+    def functions_in(self, source) -> list[FunctionInfo]:
+        return self._by_source.get(source.path, [])
+
+    def resolve(self, site: CallSite, caller: FunctionInfo) -> list[FunctionInfo]:
+        """Candidate callees for one call site (name-based, class-aware)."""
+        if site.qualifier == "self" and caller.cls:
+            # Within the enclosing class only: two classes sharing a
+            # method name (sync FloodClient / AsyncFloodClient) must not
+            # alias each other through self-calls.
+            return self._by_method.get((caller.cls, site.name), [])
+        if site.qualifier is None:
+            # A sibling closure called by name runs right here, inline.
+            siblings = [fn for fn in caller.children if fn.name == site.name]
+            if siblings:
+                return siblings
+            module_level = [
+                fn for fn in self._by_name.get(site.name, []) if fn.cls is None
+            ]
+            if module_level:
+                return module_level
+            # A bare-name call matching a project class is a construction.
+            if site.name in self.classes:
+                return self._by_method.get((site.name, "__init__"), [])
+            return []
+        return self._by_name.get(site.name, [])
+
+    def first_block(self, fn: FunctionInfo, _stack: set[int] | None = None) -> Trace | None:
+        """The first blocking call reachable from ``fn`` (memoized DFS;
+        cycles are treated as non-blocking on that path)."""
+        key = id(fn)
+        if key in self._block_memo:
+            return self._block_memo[key]
+        stack = _stack or set()
+        if key in stack:
+            return None
+        stack = stack | {key}
+        trace: Trace | None = None
+        if fn.blocking:
+            block = fn.blocking[0]
+            trace = Trace(chain=[fn.display], leaf=block.what)
+        else:
+            for site in fn.calls:
+                for callee in self.resolve(site, fn):
+                    sub = self.first_block(callee, stack)
+                    if sub is not None:
+                        trace = Trace(chain=[fn.display] + sub.chain, leaf=sub.leaf)
+                        break
+                if trace is not None:
+                    break
+        self._block_memo[key] = trace
+        return trace
+
+    def blocked_call_sites(self, fn: FunctionInfo):
+        """``(site, trace)`` for each of ``fn``'s calls into a *sync*
+        callee that transitively blocks. Async callees are excluded —
+        they are reported as roots of their own (awaiting an async
+        function yields at every await; the blocking segment is inside
+        it, which is where the finding should point)."""
+        for site in fn.calls:
+            for callee in self.resolve(site, fn):
+                if callee.is_async:
+                    continue
+                trace = self.first_block(callee)
+                if trace is not None:
+                    yield site, Trace(chain=[fn.display] + trace.chain, leaf=trace.leaf)
+                    break

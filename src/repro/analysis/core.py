@@ -1,0 +1,223 @@
+"""Finding model, source loading, suppressions, and the rule registry.
+
+The serving stack's correctness rests on conventions — never block the
+event loop, retire every shared-memory segment, fold ``index.generation``
+into cache keys, keep wire JSON strict, implement the full mergeable
+protocol, route mutations through the write barrier. Each was learned
+from a real bug; ``repro check`` makes them machine-checked instead of
+remembered.
+
+This module is the framework half: :class:`SourceFile` parses one file
+and its ``# repro: allow(<rule>)`` suppression comments, :class:`Finding`
+is the diagnostic unit (rule, location, severity, fix hint),
+:class:`Rule` + :func:`register` form the registry the runner iterates,
+and :class:`Project` holds the analyzed file set plus the lazily built
+call graph shared by reachability rules. The rules themselves live in
+:mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+#: ``# repro: allow(rule-a, rule-b)`` — on the offending line, or on a
+#: comment-only line directly above it. ``allow(*)`` silences every rule.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(\s*([^)]*?)\s*\)")
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violated at a location, with a fix hint."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    fix_hint: str = ""
+
+    @property
+    def anchor(self) -> str:
+        """The clickable ``path:line`` identity of this finding."""
+        return f"{self.path}:{self.line}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        """Stable-keyed JSON form (the ``--format json`` contract)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "anchor": self.anchor,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    def render(self) -> str:
+        """The one-finding text form: ``path:line:col: severity: [rule] ...``."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity}: [{self.rule}] {self.message}"
+        )
+        if self.fix_hint:
+            text += f"\n    fix: {self.fix_hint}"
+        return text
+
+
+def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule names allowed there.
+
+    A suppression on a code line covers that line; on a comment-only line
+    it covers the line below (so long messages fit above the statement).
+    """
+    table: dict[int, frozenset[str]] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        match = SUPPRESS_RE.search(raw)
+        if not match:
+            continue
+        rules = frozenset(
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        )
+        if not rules:
+            continue
+        target = number + 1 if raw.strip().startswith("#") else number
+        table[target] = table.get(target, frozenset()) | rules
+    return table
+
+
+class SourceFile:
+    """One parsed python file plus its suppression table.
+
+    Raises ``SyntaxError`` on unparsable input; the runner converts that
+    into a ``syntax-error`` finding rather than crashing the whole check.
+    """
+
+    def __init__(self, path: str, text: str):
+        self.path = str(path)
+        self.text = text
+        self.tree = ast.parse(text, filename=self.path)
+        self.suppressions = parse_suppressions(text)
+
+    def in_package(self, name: str) -> bool:
+        """Whether this file lives under a ``name/`` path component
+        (e.g. ``in_package("serve")`` for the serving-layer rules)."""
+        return name in re.split(r"[\\/]", self.path)[:-1]
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line, frozenset())
+        return finding.rule in rules or "*" in rules
+
+
+class Rule:
+    """One named invariant check.
+
+    Subclasses set ``name`` / ``description`` / ``fix_hint`` and implement
+    :meth:`check`, yielding :class:`Finding` objects. Decorate with
+    :func:`register` to appear in ``repro check``.
+    """
+
+    name: str = ""
+    description: str = ""
+    severity: str = "error"
+    fix_hint: str = ""
+
+    def check(self, source: SourceFile, project: "Project"):
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, node, message: str,
+        fix_hint: str | None = None, severity: str | None = None,
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node`` (any object with
+        ``lineno`` / ``col_offset``, i.e. AST nodes and call sites)."""
+        return Finding(
+            rule=self.name,
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity if severity is None else severity,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one :class:`Rule` subclass to the registry."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"{cls.__name__} must set a rule name")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"{cls.__name__}.severity must be one of {SEVERITIES}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by name (import populates the registry)."""
+    from repro.analysis import rules as _rules  # noqa: F401  (registration)
+
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_rules(names) -> list[Rule]:
+    """The named subset of the registry; unknown names raise ``KeyError``."""
+    available = {rule.name: rule for rule in all_rules()}
+    missing = sorted(set(names) - set(available))
+    if missing:
+        raise KeyError(
+            f"unknown rule(s) {missing}; available: {sorted(available)}"
+        )
+    return [available[name] for name in sorted(set(names))]
+
+
+class Project:
+    """The analyzed file set plus its lazily built call graph."""
+
+    def __init__(self, sources: list[SourceFile]):
+        self.sources = list(sources)
+        self._callgraph = None
+
+    @property
+    def callgraph(self):
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self.sources)
+        return self._callgraph
+
+    def class_def(self, name: str):
+        """The project ``ClassDef`` for ``name`` (None when undefined here)."""
+        return self.callgraph.classes.get(name)
+
+    def run(self, rules=None) -> tuple[list[Finding], list[Finding]]:
+        """Run ``rules`` (default: all) over every source.
+
+        Returns ``(active, suppressed)``, both sorted by location — the
+        split is what lets the runner fail on new findings while counting
+        deliberate ``# repro: allow(...)`` waivers separately.
+        """
+        chosen = all_rules() if rules is None else list(rules)
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        for rule in chosen:
+            for source in self.sources:
+                for finding in rule.check(source, self):
+                    bucket = (
+                        suppressed if source.is_suppressed(finding) else active
+                    )
+                    bucket.append(finding)
+        active.sort(key=Finding.sort_key)
+        suppressed.sort(key=Finding.sort_key)
+        return active, suppressed

@@ -1,0 +1,527 @@
+"""The project-specific invariant rules behind ``repro check``.
+
+Each rule encodes a convention that already produced (or nearly
+produced) a real bug in this codebase; ``docs/architecture.md`` lists
+the history. Rules are heuristic and name-based — the goal is catching
+the regression *classes* cheaply, with ``# repro: allow(<rule>)`` as the
+reviewed escape hatch for deliberate exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import dotted, walk_own
+from repro.analysis.core import Rule, register
+
+
+# --------------------------------------------------------------- loop-safety
+@register
+class LoopSafetyRule(Rule):
+    """No blocking or known-heavy calls reachable from ``async def``
+    bodies in ``serve/`` — callgraph-propagated, not just syntactic."""
+
+    name = "loop-safety"
+    description = (
+        "async serving code must never block the event loop: no sleeps, "
+        "blocking I/O, synchronous executor waits, or heavy core/* calls "
+        "reachable from an async def in serve/"
+    )
+    fix_hint = (
+        "run the blocking work via loop.run_in_executor(...) "
+        "(see MutableController._run_maintenance)"
+    )
+
+    def check(self, source, project):
+        if not source.in_package("serve"):
+            return
+        graph = project.callgraph
+        for fn in graph.functions_in(source):
+            if not fn.is_async:
+                continue
+            for block in fn.blocking:
+                yield self.finding(
+                    source, block,
+                    f"async {fn.display} calls {block.what} on the event loop",
+                )
+            for site, trace in graph.blocked_call_sites(fn):
+                chain = " -> ".join(trace.chain)
+                yield self.finding(
+                    source, site,
+                    f"async {fn.display} reaches {trace.leaf} "
+                    f"through the synchronous chain {chain}",
+                )
+
+
+# ------------------------------------------------------------- shm-lifecycle
+_SHM_PRODUCER_ATTRS = {"from_table", "attach"}
+_SHM_PREPARE_ATTRS = {"prepare_merge", "prepare_relayout"}
+_SHM_PRODUCER_NAMES = {"ProcessBackend"}
+_SHM_CLEANUP_ATTRS = {"close", "unlink", "shutdown"}
+
+
+def _producer_label(node: ast.Call) -> str | None:
+    """Human label when ``node`` creates shm-owning state, else None."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _SHM_PRODUCER_NAMES:
+        return f"{func.id}(...)"
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SHM_PRODUCER_ATTRS | _SHM_PREPARE_ATTRS:
+            qualifier = dotted(func.value)
+            return f"{qualifier}.{func.attr}" if qualifier else func.attr
+        if func.attr == "run_in_executor":
+            # The deferred form: run_in_executor(None, index.prepare_merge)
+            # or run_in_executor(None, lambda: index.prepare_relayout(...)).
+            # The executor runs the producer; the awaited result owns it.
+            for arg in node.args[1:]:
+                if (
+                    isinstance(arg, ast.Attribute)
+                    and arg.attr in _SHM_PREPARE_ATTRS | _SHM_PRODUCER_ATTRS
+                ):
+                    return f"run_in_executor({arg.attr})"
+                if isinstance(arg, ast.Lambda):
+                    for sub in ast.walk(arg):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr
+                            in _SHM_PREPARE_ATTRS | _SHM_PRODUCER_ATTRS
+                        ):
+                            return f"run_in_executor({sub.func.attr})"
+    return None
+
+
+def _parent_map(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _binding_role(node: ast.AST, parents, fn_node):
+    """How a producer call's result is used: ``("bound", name, stmt)``,
+    ``("escape", ...)`` (arg / return / attribute target / ...), or
+    ``("discard", ...)`` for a bare expression statement."""
+    child, parent = node, parents.get(node)
+    while parent is not None and parent is not fn_node:
+        if isinstance(parent, ast.Call) and child is not parent.func:
+            return ("escape", None, None)
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return ("escape", None, None)
+        if isinstance(parent, ast.Assign):
+            if len(parent.targets) == 1 and isinstance(parent.targets[0], ast.Name):
+                return ("bound", parent.targets[0].id, parent)
+            return ("escape", None, None)  # self.x = ..., a[i] = ..., tuples
+        if isinstance(parent, ast.AnnAssign):
+            if isinstance(parent.target, ast.Name):
+                return ("bound", parent.target.id, parent)
+            return ("escape", None, None)
+        if isinstance(parent, ast.NamedExpr):
+            if isinstance(parent.target, ast.Name):
+                return ("bound", parent.target.id, parent)
+            return ("escape", None, None)
+        if isinstance(parent, ast.Expr):
+            return ("discard", None, None)
+        child, parent = parent, parents.get(parent)
+    return ("escape", None, None)
+
+
+def _has_general_discharge(fn_node, name: str) -> bool:
+    """Whether ``name`` is retired or handed off anywhere in the function
+    (nested scopes included — cleanup often lives in closures)."""
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)) and name in node.names:
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SHM_CLEANUP_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                return True
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = getattr(node, "value", None)
+            if value is not None and any(
+                isinstance(sub, ast.Name) and sub.id == name
+                for sub in ast.walk(value)
+            ):
+                return True
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript)) for t in node.targets
+            ) and any(
+                isinstance(sub, ast.Name) and sub.id == name
+                for sub in ast.walk(node.value)
+            ):
+                return True
+    return False
+
+
+def _enclosing_try(stmt, parents, fn_node):
+    """The innermost ``try`` whose *body* (not handlers/finally) contains
+    ``stmt``, or None."""
+    child, parent = stmt, parents.get(stmt)
+    while parent is not None and parent is not fn_node:
+        if isinstance(parent, ast.Try) and any(
+            child is body_stmt for body_stmt in parent.body
+        ):
+            return parent
+        child, parent = parent, parents.get(parent)
+    return None
+
+
+def _mentioned_in_error_edges(try_node: ast.Try, name: str) -> bool:
+    edge_nodes = list(try_node.finalbody)
+    for handler in try_node.handlers:
+        edge_nodes.extend(handler.body)
+    for stmt in edge_nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+    return False
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """Every shm-owning creation (``SharedMemoryTable.from_table`` /
+    ``.attach`` / ``ProcessBackend(...)`` / ``prepare_*``) must be
+    retired or handed off on all paths, including exception edges."""
+
+    name = "shm-lifecycle"
+    description = (
+        "shared-memory creations must be paired with close/unlink/shutdown "
+        "or explicit ownership hand-off on every path, exception edges "
+        "included — POSIX segments outlive the process otherwise"
+    )
+    fix_hint = (
+        "retire it in a finally: (close()/unlink()/shutdown()) or hand "
+        "ownership off explicitly (return it / assign it to the owner)"
+    )
+
+    def check(self, source, project):
+        graph = project.callgraph
+        for fn in graph.functions_in(source):
+            producers = [
+                (node, _producer_label(node))
+                for node in walk_own(fn.node)
+                if isinstance(node, ast.Call) and _producer_label(node)
+            ]
+            if not producers:
+                continue
+            parents = _parent_map(fn.node)
+            for node, label in producers:
+                role, name, stmt = _binding_role(node, parents, fn.node)
+                if role == "discard":
+                    yield self.finding(
+                        source, node,
+                        f"result of {label} is discarded — the segments or "
+                        "pool it may own can never be retired",
+                    )
+                    continue
+                if role != "bound":
+                    continue  # arg/return/attribute: ownership handed off
+                if not _has_general_discharge(fn.node, name):
+                    yield self.finding(
+                        source, node,
+                        f"{name} (from {label}) is never retired: no "
+                        "close()/unlink()/shutdown() and it never escapes "
+                        f"{fn.display}",
+                    )
+                    continue
+                try_node = _enclosing_try(stmt, parents, fn.node)
+                if try_node is not None and (
+                    try_node.handlers or try_node.finalbody
+                ):
+                    if not _mentioned_in_error_edges(try_node, name):
+                        yield self.finding(
+                            source, node,
+                            f"{name} (from {label}) is not retired on the "
+                            "exception edges of the enclosing try — no "
+                            "except/finally references it",
+                        )
+
+
+# ----------------------------------------------------- generation-discipline
+@register
+class GenerationDisciplineRule(Rule):
+    """Result-cache keys must thread the index generation, so mutations
+    invalidate cached replies by construction."""
+
+    name = "generation-discipline"
+    description = (
+        "ResultCache.make_key call sites must pass generation= (or index= "
+        "to derive it); cache puts must not hand-build tuple keys"
+    )
+    fix_hint = (
+        "pass generation=index.generation (0 for an immutable index) or "
+        "index=the served index"
+    )
+
+    def check(self, source, project):
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "make_key":
+                threaded = len(node.args) >= 4 or any(
+                    kw.arg in ("generation", "index") for kw in node.keywords
+                )
+                if not threaded:
+                    yield self.finding(
+                        source, node,
+                        "make_key without generation=/index=: a mutation "
+                        "could serve this entry stale",
+                    )
+            elif func.attr == "put":
+                qualifier = (dotted(func.value) or "").lower()
+                if "cache" in qualifier and node.args and isinstance(
+                    node.args[0], ast.Tuple
+                ):
+                    yield self.finding(
+                        source, node,
+                        "hand-built cache key tuple bypasses "
+                        "ResultCache.make_key (and its generation field)",
+                        fix_hint="build the key with ResultCache.make_key(...)",
+                        severity="warning",
+                    )
+
+
+# ---------------------------------------------------------------- strict-json
+@register
+class StrictJsonRule(Rule):
+    """Wire JSON must be strict RFC 8259: no ``Infinity``/``NaN`` out
+    (``allow_nan=False``) and none accepted in (``parse_constant``)."""
+
+    name = "strict-json"
+    description = (
+        "serve/ must not call bare json.dumps/json.loads: outbound needs "
+        "allow_nan=False, inbound needs parse_constant rejection "
+        "(repro.jsonutil has both)"
+    )
+
+    def check(self, source, project):
+        if not source.in_package("serve"):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "json"
+            ):
+                continue
+            if func.attr in ("dumps", "dump"):
+                allow_nan = next(
+                    (kw.value for kw in node.keywords if kw.arg == "allow_nan"),
+                    None,
+                )
+                strict = allow_nan is not None and not (
+                    isinstance(allow_nan, ast.Constant) and allow_nan.value is True
+                )
+                if not strict:
+                    yield self.finding(
+                        source, node,
+                        f"json.{func.attr} without allow_nan=False can emit "
+                        "the non-JSON Infinity/NaN literals on the wire",
+                        fix_hint="use repro.jsonutil.dumps_strict (or pass "
+                        "allow_nan=False after sanitize_json)",
+                    )
+            elif func.attr in ("loads", "load"):
+                if not any(kw.arg == "parse_constant" for kw in node.keywords):
+                    yield self.finding(
+                        source, node,
+                        f"json.{func.attr} without parse_constant accepts "
+                        "Infinity/NaN literals that are not valid JSON",
+                        fix_hint="use repro.jsonutil.loads_strict (or pass "
+                        "parse_constant=reject_nonfinite)",
+                    )
+
+
+# ----------------------------------------------------------- visitor-protocol
+def _required_init_params(init_node) -> list[str]:
+    args = init_node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    required = positional[: len(positional) - len(args.defaults)]
+    names = [a.arg for a in required if a.arg != "self"]
+    names += [
+        a.arg
+        for a, default in zip(args.kwonlyargs, args.kw_defaults)
+        if default is None
+    ]
+    return names
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        name = dotted(base)
+        if name:
+            names.append(name.rsplit(".", 1)[-1])
+    return names
+
+
+def _own_methods(node: ast.ClassDef) -> dict[str, ast.AST]:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _inherits_concrete(project, node: ast.ClassDef, method: str, seen=None) -> bool:
+    """Whether a project-defined ancestor (other than the abstract root
+    ``Visitor``, whose fresh/merge are raising stubs) defines ``method``."""
+    seen = seen or set()
+    for base in _base_names(node):
+        if base in seen or base == "Visitor":
+            continue
+        seen.add(base)
+        base_def = project.class_def(base)
+        if base_def is None:
+            continue
+        if method in _own_methods(base_def):
+            return True
+        if _inherits_concrete(project, base_def, method, seen):
+            return True
+    return False
+
+
+@register
+class VisitorProtocolRule(Rule):
+    """Visitor subclasses claiming mergeability must implement the whole
+    ``fresh``/``merge``/``reset`` protocol with dtype-preserving math."""
+
+    name = "visitor-protocol"
+    description = (
+        "a Visitor defining fresh or merge must define both (is_mergeable "
+        "checks both); mergeable visitors with required __init__ args must "
+        "override fresh and reset; aggregates must stay dtype-preserving"
+    )
+
+    def check(self, source, project):
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(base.endswith("Visitor") for base in _base_names(node)):
+                continue
+            methods = _own_methods(node)
+            effective = {
+                m: m in methods or _inherits_concrete(project, node, m)
+                for m in ("fresh", "merge")
+            }
+            if effective["fresh"] != effective["merge"]:
+                present = "fresh" if effective["fresh"] else "merge"
+                missing = "merge" if effective["fresh"] else "fresh"
+                yield self.finding(
+                    source, node,
+                    f"{node.name} has {present} but not {missing}: "
+                    "is_mergeable stays False and backends silently fall "
+                    "back to recording/replay",
+                    fix_hint=f"implement {missing} (or drop {present})",
+                )
+            elif effective["fresh"]:
+                init = methods.get("__init__")
+                required = _required_init_params(init) if init else []
+                if required:
+                    if "reset" not in methods:
+                        yield self.finding(
+                            source, node,
+                            f"mergeable {node.name} takes required __init__ "
+                            f"args {required} but does not override reset() "
+                            "— the default reset() cannot re-invoke its "
+                            "__init__",
+                            fix_hint="override reset() to restore initial state",
+                        )
+                    if "fresh" not in methods:
+                        yield self.finding(
+                            source, node,
+                            f"mergeable {node.name} takes required __init__ "
+                            f"args {required} but inherits fresh() — "
+                            "type(self)() cannot construct it",
+                            fix_hint="override fresh() to pass the config through",
+                        )
+            for method_name in ("visit", "merge"):
+                body = methods.get(method_name)
+                if body is None:
+                    continue
+                for sub in ast.walk(body):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id in ("int", "float")
+                        and len(sub.args) == 1
+                        and isinstance(sub.args[0], ast.Call)
+                        and isinstance(sub.args[0].func, ast.Attribute)
+                        and sub.args[0].func.attr in ("sum", "min", "max")
+                    ):
+                        yield self.finding(
+                            source, sub,
+                            f"{node.name}.{method_name} forces the aggregate "
+                            f"through {sub.func.id}(...), truncating float "
+                            "columns",
+                            fix_hint="use .item() — it preserves the column dtype",
+                            severity="warning",
+                        )
+
+
+# -------------------------------------------------------------- write-barrier
+@register
+class WriteBarrierRule(Rule):
+    """Index mutations in async serving code must flow through the
+    batcher's write barrier, never run inline on the loop."""
+
+    name = "write-barrier"
+    description = (
+        "async serve/ code must not call insert/insert_many/commit_merge "
+        "or poke .generation directly; wrap the mutation in a closure and "
+        "submit it via MicroBatcher.submit_write"
+    )
+    fix_hint = (
+        "wrap the mutation in a def write(): ... closure and "
+        "await batcher.submit_write(write)"
+    )
+
+    _MUTATORS = {"insert", "insert_many", "commit_merge"}
+
+    def check(self, source, project):
+        if not source.in_package("serve"):
+            return
+        graph = project.callgraph
+        for fn in graph.functions_in(source):
+            if not fn.is_async:
+                continue
+            for site in fn.calls:
+                if site.name not in self._MUTATORS or site.qualifier is None:
+                    continue
+                if "batcher" in site.qualifier:
+                    continue  # the barrier itself
+                yield self.finding(
+                    source, site,
+                    f"async {fn.display} calls .{site.name}() inline — the "
+                    "mutation races in-flight micro-batches on executor "
+                    "threads",
+                )
+            for node in walk_own(fn.node):
+                targets = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and target.attr == "generation":
+                        yield self.finding(
+                            source, node,
+                            f"async {fn.display} mutates .generation "
+                            "directly; generations only move through the "
+                            "index's own mutation methods",
+                        )

@@ -1,0 +1,161 @@
+"""Walk paths, run the rule registry, render text/JSON — the engine
+behind ``repro check``.
+
+Exit-code semantics (the CI contract):
+
+- ``0`` — clean: no active findings (suppressed ones are counted but do
+  not fail the check);
+- ``1`` — findings (including files that fail to parse, reported as
+  ``syntax-error`` findings);
+- ``2`` — usage error: a path that does not exist or an unknown rule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.core import Finding, Project, SourceFile, all_rules, get_rules
+from repro.errors import ReproError
+
+#: What ``repro check`` (and the CI gate) scans when no paths are given.
+DEFAULT_PATHS = ("src", "benchmarks")
+
+#: Bumped when the ``--format json`` schema changes shape.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class CheckReport:
+    """Everything one check run produced, renderable as text or JSON."""
+
+    paths: list[str]
+    rules: list[str]
+    files_checked: int
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def collect_files(paths) -> list[str]:
+    """Every ``.py`` file under ``paths`` (deterministic order), skipping
+    hidden directories and ``__pycache__``."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise ReproError(f"check path does not exist: {path}")
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def load_sources(files) -> tuple[list[SourceFile], list[Finding]]:
+    """Parse every file; unparsable ones become ``syntax-error`` findings
+    instead of aborting the whole check."""
+    sources: list[SourceFile] = []
+    errors: list[Finding] = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            sources.append(SourceFile(path, text))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            errors.append(
+                Finding(
+                    rule="syntax-error",
+                    path=path,
+                    line=int(line),
+                    col=int(getattr(exc, "offset", None) or 0),
+                    message=f"file cannot be analyzed: {exc}",
+                )
+            )
+    return sources, errors
+
+
+def run_check(paths=None, rule_names=None) -> CheckReport:
+    """Run the (selected) rules over ``paths`` (default: src + benchmarks)."""
+    chosen_paths = list(paths) if paths else list(DEFAULT_PATHS)
+    try:
+        rules = get_rules(rule_names) if rule_names else all_rules()
+    except KeyError as exc:
+        raise ReproError(str(exc.args[0])) from exc
+    files = collect_files(chosen_paths)
+    sources, parse_errors = load_sources(files)
+    findings, suppressed = Project(sources).run(rules)
+    findings = sorted(findings + parse_errors, key=Finding.sort_key)
+    return CheckReport(
+        paths=chosen_paths,
+        rules=[rule.name for rule in rules],
+        files_checked=len(files),
+        findings=findings,
+        suppressed=suppressed,
+    )
+
+
+def render_text(report: CheckReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+    lines.append(
+        f"repro check: {report.files_checked} files, {status}, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> dict:
+    """The stable ``--format json`` schema (see ``SCHEMA_VERSION``)."""
+    return {
+        "version": SCHEMA_VERSION,
+        "paths": list(report.paths),
+        "rules": list(report.rules),
+        "files_checked": report.files_checked,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "clean": report.clean,
+        },
+    }
+
+
+def describe_rules() -> str:
+    """``--list-rules`` output: one ``name: description`` block per rule."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.name} ({rule.severity}): {rule.description}")
+    return "\n".join(lines)
+
+
+def main_check(paths, fmt="text", rule_names=None, list_rules=False, out=print) -> int:
+    """The CLI body: run, render, map the result to an exit code."""
+    if list_rules:
+        out(describe_rules())
+        return 0
+    try:
+        report = run_check(paths, rule_names)
+    except ReproError as exc:
+        out(f"repro check: {exc}")
+        return 2
+    if fmt == "json":
+        out(json.dumps(render_json(report), indent=2, sort_keys=False))
+    else:
+        out(render_text(report))
+    return report.exit_code

@@ -1,0 +1,147 @@
+"""Runtime sanitizers: the dynamic half of ``repro check``.
+
+Static rules catch the patterns they know; these catch the rest at test
+time, cheaply enough to leave on:
+
+- :class:`LoopStallSanitizer` instruments the asyncio event loop and
+  records every callback that held it longer than a stall budget — so
+  every existing ``tests/serve`` scenario doubles as a
+  blocked-event-loop detector (wired in via an autouse fixture in
+  ``tests/serve/conftest.py``; ``REPRO_LOOP_STALL_BUDGET=0`` disables).
+- :class:`ShmLeakSanitizer` asserts shared-memory segment *balance*
+  across a block: whatever the block creates it must also retire,
+  replacing hand-rolled before/after ``owned_segment_names()``
+  comparisons in the leak tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LoopStall:
+    """One event-loop callback that exceeded the stall budget."""
+
+    callback: str
+    seconds: float
+
+    def render(self) -> str:
+        return f"{self.seconds * 1e3:.1f} ms on the loop: {self.callback}"
+
+
+def _describe_handle(handle) -> str:
+    callback = getattr(handle, "_callback", None)
+    return repr(callback if callback is not None else handle)[:200]
+
+
+class LoopStallSanitizer:
+    """Record asyncio callbacks that hold the event loop past ``budget``.
+
+    While active, ``asyncio.events.Handle._run`` (the single choke point
+    every loop callback — task steps included — goes through) is wrapped
+    with a timer. Use as a context manager around ``asyncio.run(...)``;
+    call :meth:`assert_clean` afterwards. Nesting is safe (the inner
+    instance restores whatever the outer installed).
+
+    Parameters
+    ----------
+    budget:
+        Seconds one callback may hold the loop before it is recorded as
+        a stall. Callbacks run between awaits, so this bounds the
+        longest await-free segment the serving code may execute.
+    """
+
+    def __init__(self, budget: float = 0.25):
+        if budget <= 0:
+            raise ValueError(f"stall budget must be > 0, got {budget}")
+        self.budget = float(budget)
+        self.stalls: list[LoopStall] = []
+        self._original = None
+
+    def __enter__(self) -> "LoopStallSanitizer":
+        import asyncio.events as events
+
+        original = events.Handle._run
+        budget = self.budget
+        stalls = self.stalls
+
+        def timed_run(handle):
+            start = time.perf_counter()
+            try:
+                return original(handle)
+            finally:
+                elapsed = time.perf_counter() - start
+                if elapsed >= budget:
+                    stalls.append(LoopStall(_describe_handle(handle), elapsed))
+
+        self._original = original
+        events.Handle._run = timed_run
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        import asyncio.events as events
+
+        events.Handle._run = self._original
+        self._original = None
+        return False
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` listing every recorded stall."""
+        if self.stalls:
+            details = "\n  ".join(stall.render() for stall in self.stalls)
+            raise AssertionError(
+                f"event loop stalled {len(self.stalls)} time(s) beyond "
+                f"{self.budget * 1e3:.0f} ms:\n  {details}\n"
+                "(move the work to loop.run_in_executor, or raise "
+                "REPRO_LOOP_STALL_BUDGET if the budget is too tight here)"
+            )
+
+
+class ShmLeakError(AssertionError):
+    """A block exited still owning shared-memory segments it created."""
+
+    def __init__(self, leaked):
+        self.leaked = list(leaked)
+        super().__init__(
+            f"{len(self.leaked)} shared-memory segment(s) created inside "
+            f"the sanitized block were never retired: {self.leaked} "
+            "(pair every from_table/attach/ProcessBackend with "
+            "unlink/shutdown — see the shm-lifecycle rule)"
+        )
+
+
+class ShmLeakSanitizer:
+    """Assert shared-memory segment balance across a ``with`` block.
+
+    On exit, any segment created inside the block and still owned raises
+    :class:`ShmLeakError`. :meth:`created` exposes the in-flight delta so
+    tests can also assert that segments *did* exist while in use. If the
+    block raises, the original exception propagates unmasked.
+    """
+
+    def __enter__(self) -> "ShmLeakSanitizer":
+        from repro.storage.shm import owned_segment_names
+
+        self._baseline = set(owned_segment_names())
+        return self
+
+    def created(self) -> list[str]:
+        """Segments created since entry and still owned, sorted."""
+        from repro.storage.shm import owned_segment_names
+
+        return sorted(set(owned_segment_names()) - self._baseline)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            return False  # never mask the block's own failure
+        leaked = self.created()
+        if leaked:
+            raise ShmLeakError(leaked)
+        return False
+
+
+def shm_leak_sanitizer() -> ShmLeakSanitizer:
+    """Factory alias reading naturally at ``with`` sites."""
+    return ShmLeakSanitizer()

@@ -33,6 +33,13 @@ Commands
     Compare this run's ``results/BENCH_*.json`` perf points against a
     previous run's artifact directory and flag >20% regressions —
     the CI trajectory check.
+``check``
+    Run the project's static invariant rules (loop-safety,
+    shm-lifecycle, generation-discipline, strict-json,
+    visitor-protocol, write-barrier) over ``src/`` + ``benchmarks/``
+    (or given paths); ``--format json`` for the machine-readable CI
+    gate, ``--list-rules`` to see what is enforced. Exit 0 clean,
+    1 findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -251,6 +258,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="all_rows",
         help="show every numeric leaf, not just throughput/time metrics",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="run the static invariant rules (AST checks) over the tree",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: src benchmarks)",
+    )
+    check.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="fmt",
+        help="output format (json is the stable CI schema)",
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with their descriptions and exit",
     )
     return parser
 
@@ -501,6 +537,17 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.analysis.runner import main_check
+
+    return main_check(
+        args.paths,
+        fmt=args.fmt,
+        rule_names=args.rules,
+        list_rules=args.list_rules,
+    )
+
+
 def _cmd_bench_diff(args) -> int:
     from repro.bench.diff import run_diff
 
@@ -552,6 +599,7 @@ def main(argv=None) -> int:
         "throughput": _cmd_throughput,
         "serve": _cmd_serve,
         "bench-diff": _cmd_bench_diff,
+        "check": _cmd_check,
     }[args.command]
     return handler(args)
 

@@ -8,6 +8,7 @@ so the output parses in *any* JSON implementation.
 
 from __future__ import annotations
 
+import json
 import math
 
 
@@ -26,3 +27,23 @@ def sanitize_json(value):
     if isinstance(value, (list, tuple)):
         return [sanitize_json(item) for item in value]
     return value
+
+
+def reject_nonfinite(name: str):
+    """``parse_constant`` hook: refuse the ``Infinity``/``NaN`` literals
+    Python's decoder accepts by default but RFC 8259 forbids."""
+    raise ValueError(f"non-finite number {name!r} is not valid JSON")
+
+
+def loads_strict(data):
+    """``json.loads`` that rejects ``Infinity``/``NaN`` literals — the
+    inbound half of the wire protocol's strict-JSON contract (enforced
+    by the ``strict-json`` rule of ``repro check``)."""
+    return json.loads(data, parse_constant=reject_nonfinite)
+
+
+def dumps_strict(payload) -> str:
+    """``json.dumps`` of the sanitized payload with ``allow_nan=False`` —
+    the outbound half of the strict-JSON contract: non-finite aggregates
+    become ``null``, and nothing non-JSON can reach the wire."""
+    return json.dumps(sanitize_json(payload), allow_nan=False)

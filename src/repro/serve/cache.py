@@ -83,12 +83,18 @@ class ResultCache:
         self.stats = CacheStats()
 
     # ----------------------------------------------------------------- keys
+
+    #: Sentinel distinguishing "omitted" from any real generation value.
+    _GENERATION_UNSET = object()
+
     @staticmethod
     def make_key(
         query: Query,
         agg: str = "count",
         dim: str | None = None,
-        generation: int = 0,
+        generation=_GENERATION_UNSET,
+        *,
+        index=None,
     ):
         """The canonical identity of a request: sorted ranges + aggregate
         + table generation.
@@ -105,8 +111,28 @@ class ResultCache:
         result by construction — old keys stop being produced, and their
         entries age out of the LRU — so a stale hit is impossible without
         any explicit flush hook.
+
+        Because a silently defaulted generation would quietly re-open the
+        stale-hit hole for mutable indexes, omitting it raises: pass
+        ``generation=...`` explicitly (``0`` for an immutable index) or
+        ``index=`` the served index to derive it (its missing
+        ``generation`` attribute then means immutable). The
+        generation-discipline rule of ``repro check`` enforces the same
+        contract statically.
         """
-        return (tuple(sorted(query.ranges.items())), agg, dim, generation)
+        if index is not None:
+            if generation is not ResultCache._GENERATION_UNSET:
+                raise QueryError(
+                    "make_key takes generation= or index=, not both"
+                )
+            generation = getattr(index, "generation", 0)
+        if generation is ResultCache._GENERATION_UNSET:
+            raise QueryError(
+                "make_key needs the index generation: pass "
+                "generation=index.generation (0 for an immutable index) "
+                "or index=<the served index> to derive it"
+            )
+        return (tuple(sorted(query.ranges.items())), agg, dim, int(generation))
 
     # --------------------------------------------------------------- access
     def get(self, key):

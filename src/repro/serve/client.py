@@ -21,6 +21,7 @@ import socket
 import time
 
 from repro.errors import QueryError
+from repro.jsonutil import loads_strict
 
 
 class ServerError(QueryError):
@@ -109,7 +110,15 @@ class FloodClient:
         line = self._file.readline()
         if not line:
             raise QueryError("server closed the connection")
-        return _check_reply(json.loads(line))
+        try:
+            # Strict inbound JSON: an Infinity/NaN literal in a reply is a
+            # protocol violation, not a value to silently adopt.
+            reply = loads_strict(line)
+            if not isinstance(reply, dict):
+                raise ValueError("reply is not a JSON object")
+        except ValueError as exc:
+            raise QueryError(f"malformed reply from server: {exc}") from exc
+        return _check_reply(reply)
 
     def query(self, ranges, agg: str = "count", dim: str | None = None):
         """Execute one range query; returns ``(result, stats_dict)``.
@@ -243,7 +252,7 @@ class AsyncFloodClient:
                 if not line:
                     break
                 try:
-                    reply = json.loads(line)
+                    reply = loads_strict(line)
                     if not isinstance(reply, dict):
                         raise ValueError("reply is not a JSON object")
                 except ValueError as exc:

@@ -202,6 +202,8 @@ class MutableController:
         """
         loop = asyncio.get_running_loop()
         index = self.index
+        prepared = None
+        swapped: dict[str, object] = {}
         try:
             if kind == "relayout":
                 retrains = getattr(index, "retrains", 0)
@@ -218,7 +220,7 @@ class MutableController:
                 return True
 
             def commit():
-                old = index.commit_merge(prepared)
+                swapped["old"] = index.commit_merge(prepared)
                 # The enumeration cache indexes the *old* clustered
                 # layout (cell starts, flattener); serving it against
                 # the new index would return wrong rows.
@@ -226,17 +228,37 @@ class MutableController:
                 if self.monitor is not None:
                     # Fresh baseline: "normal" means the new index.
                     self.monitor.reset()
-                return old
+                return swapped["old"]
 
-            old_inner = await self.batcher.submit_write(commit)
-            backend = getattr(old_inner, "_backend", None)
-            if backend is not None:
-                # Worker-pool join + shm unlink can block; keep it off-loop.
-                await loop.run_in_executor(None, backend.shutdown)
+            await self.batcher.submit_write(commit)
             return True
         except Exception:
             self.maintenance_failures += 1
             return False
+        finally:
+            # Retire whichever inner index lost the swap — the superseded
+            # one after a commit, the prepared one if the commit never
+            # happened (failure or cancellation between prepare and
+            # commit). Running this on *every* path is what guarantees
+            # the process backend's worker pool and shared-memory
+            # segments are released even on the exception edges (the
+            # shm-lifecycle rule of `repro check` guards exactly this).
+            current = getattr(index, "index", None)
+            losers = (
+                swapped.get("old"),
+                prepared.index if prepared is not None else None,
+            )
+            for loser in losers:
+                if loser is None or loser is current:
+                    continue
+                backend = getattr(loser, "_backend", None)
+                if backend is not None:
+                    # Worker-pool join + shm unlink can block; keep it
+                    # off-loop, and shield it so a cancelled maintenance
+                    # task still completes the retirement.
+                    await asyncio.shield(
+                        loop.run_in_executor(None, backend.shutdown)
+                    )
 
     # ------------------------------------------------------------- adaptive
     def note_query(self, query: Query, stats: QueryStats) -> None:

@@ -47,14 +47,13 @@ bounds.
 from __future__ import annotations
 
 import asyncio
-import json
 from dataclasses import asdict
 
 from repro.core.engine import BatchQueryEngine
 from repro.core.monitor import WorkloadMonitor
 from repro.core.protocol import supports_insert
 from repro.errors import OverloadedError, QueryError, ReproError
-from repro.jsonutil import sanitize_json
+from repro.jsonutil import dumps_strict, loads_strict
 from repro.query.predicate import Query
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
@@ -318,7 +317,7 @@ class FloodServer:
             # Python's json accepts Infinity/NaN literals by default;
             # those are not JSON, and letting them through would turn
             # into OverflowErrors deep inside query construction.
-            message = json.loads(line, parse_constant=_reject_constant)
+            message = loads_strict(line)
         except ValueError as exc:  # JSONDecodeError is a ValueError
             return _encode({"ok": False, "error": f"bad JSON: {exc}"}), False, None
         if not isinstance(message, dict):
@@ -437,9 +436,5 @@ class FloodServer:
         return payload
 
 
-def _reject_constant(name: str):
-    raise ValueError(f"non-finite number {name} is not valid JSON")
-
-
 def _encode(payload: dict) -> bytes:
-    return (json.dumps(sanitize_json(payload), allow_nan=False) + "\n").encode()
+    return (dumps_strict(payload) + "\n").encode()

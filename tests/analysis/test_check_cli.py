@@ -1,0 +1,146 @@
+"""End-to-end ``repro check`` CLI tests: exit codes, the JSON schema,
+rule selection, and suppression accounting, run against files on disk."""
+
+import json
+
+import pytest
+
+from repro.analysis.runner import SCHEMA_VERSION
+from repro.cli import main
+
+CLEAN = "def add(a, b):\n    return a + b\n"
+
+DIRTY_SERVE = (
+    "import json\n"
+    "import time\n"
+    "async def handler(s):\n"
+    "    time.sleep(1)\n"
+    "    return json.loads(s)\n"
+)
+
+SUPPRESSED_SERVE = (
+    "import json\n"
+    "def encode(x):\n"
+    "    return json.dumps(x)  # repro: allow(strict-json)\n"
+)
+
+
+def _tree(tmp_path, name, text):
+    """Write ``text`` under a serve/-shaped tree; returns the scan root."""
+    package = tmp_path / "src" / "repro" / "serve"
+    package.mkdir(parents=True, exist_ok=True)
+    (package / name).write_text(text)
+    return str(tmp_path / "src")
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = _tree(tmp_path, "ok.py", CLEAN)
+        assert main(["check", root]) == 0
+        out = capsys.readouterr().out
+        assert "1 files, clean, 0 suppressed" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        assert main(["check", root]) == 1
+        out = capsys.readouterr().out
+        assert "[loop-safety]" in out
+        assert "[strict-json]" in out
+        assert "fix:" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["check", "no/such/path"]) == 2
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        root = _tree(tmp_path, "ok.py", CLEAN)
+        assert main(["check", "--rule", "no-such-rule", root]) == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path, capsys):
+        root = _tree(tmp_path, "broken.py", "def broken(:\n")
+        assert main(["check", root]) == 1
+        assert "[syntax-error]" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def _run_json(self, capsys, argv):
+        code = main(argv)
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_schema_shape(self, tmp_path, capsys):
+        root = _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        code, payload = self._run_json(
+            capsys, ["check", "--format", "json", root]
+        )
+        assert code == 1
+        assert list(payload) == [
+            "version", "paths", "rules", "files_checked",
+            "findings", "suppressed", "summary",
+        ]
+        assert payload["version"] == SCHEMA_VERSION
+        assert payload["paths"] == [root]
+        assert payload["files_checked"] == 1
+        assert payload["summary"]["findings"] == len(payload["findings"])
+        assert payload["summary"]["clean"] is False
+
+    def test_finding_entries_have_stable_keys_and_anchor(self, tmp_path, capsys):
+        root = _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        _, payload = self._run_json(capsys, ["check", "--format", "json", root])
+        entry = payload["findings"][0]
+        assert list(entry) == [
+            "rule", "severity", "path", "line", "col",
+            "anchor", "message", "fix_hint",
+        ]
+        assert entry["anchor"] == f"{entry['path']}:{entry['line']}"
+
+    def test_suppressed_counted_but_clean(self, tmp_path, capsys):
+        root = _tree(tmp_path, "waived.py", SUPPRESSED_SERVE)
+        code, payload = self._run_json(
+            capsys, ["check", "--format", "json", root]
+        )
+        assert code == 0
+        assert payload["summary"] == {
+            "findings": 0, "suppressed": 1, "clean": True,
+        }
+        assert payload["suppressed"][0]["rule"] == "strict-json"
+
+
+class TestRuleSelection:
+    def test_single_rule_filter(self, tmp_path, capsys):
+        root = _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        assert main(["check", "--rule", "strict-json", root]) == 1
+        out = capsys.readouterr().out
+        assert "[strict-json]" in out
+        assert "[loop-safety]" not in out
+
+    def test_repeated_rule_flags_accumulate(self, tmp_path, capsys):
+        root = _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        code = main(
+            ["check", "--format", "json", "--rule", "strict-json",
+             "--rule", "loop-safety", root]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["rules"] == ["loop-safety", "strict-json"]
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "loop-safety", "shm-lifecycle", "generation-discipline",
+            "strict-json", "visitor-protocol", "write-barrier",
+        ):
+            assert name in out
+
+
+class TestSelfCheck:
+    def test_repo_sources_are_finding_clean(self, capsys):
+        """The shipped tree must pass its own checker — the CI gate."""
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        paths = [str(repo / "src"), str(repo / "benchmarks")]
+        assert main(["check", "--format", "json", *paths]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["clean"] is True

@@ -1,0 +1,142 @@
+"""Framework tests: findings, suppressions, source files, the registry."""
+
+import pytest
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    all_rules,
+    get_rules,
+    parse_suppressions,
+    register,
+)
+
+
+class TestFinding:
+    def _finding(self, **overrides):
+        base = dict(
+            rule="loop-safety",
+            path="src/repro/serve/mod.py",
+            line=12,
+            col=4,
+            message="async handler calls time.sleep on the event loop",
+            fix_hint="run it via loop.run_in_executor",
+        )
+        base.update(overrides)
+        return Finding(**base)
+
+    def test_anchor_is_clickable_path_line(self):
+        assert self._finding().anchor == "src/repro/serve/mod.py:12"
+
+    def test_to_dict_schema_is_stable(self):
+        payload = self._finding().to_dict()
+        assert list(payload) == [
+            "rule", "severity", "path", "line", "col",
+            "anchor", "message", "fix_hint",
+        ]
+        assert payload["severity"] == "error"
+        assert payload["anchor"] == "src/repro/serve/mod.py:12"
+
+    def test_render_includes_location_rule_and_hint(self):
+        text = self._finding().render()
+        assert text.startswith("src/repro/serve/mod.py:12:4: error: [loop-safety]")
+        assert "\n    fix: run it via loop.run_in_executor" in text
+
+    def test_render_without_hint_is_one_line(self):
+        assert "\n" not in self._finding(fix_hint="").render()
+
+    def test_sort_key_orders_by_location(self):
+        first = self._finding(line=3)
+        second = self._finding(line=40)
+        assert sorted([second, first], key=Finding.sort_key) == [first, second]
+
+
+class TestSuppressions:
+    def test_same_line_comment(self):
+        table = parse_suppressions("x = compute()  # repro: allow(shm-lifecycle)\n")
+        assert table == {1: frozenset({"shm-lifecycle"})}
+
+    def test_comment_only_line_covers_the_line_below(self):
+        text = "# repro: allow(loop-safety)\ntime.sleep(1)\n"
+        assert parse_suppressions(text) == {2: frozenset({"loop-safety"})}
+
+    def test_multiple_rules_one_comment(self):
+        table = parse_suppressions("y = f()  # repro: allow(a, b)\n")
+        assert table == {1: frozenset({"a", "b"})}
+
+    def test_star_wildcard(self):
+        source = SourceFile("m.py", "y = f()  # repro: allow(*)\n")
+        finding = Finding(rule="anything", path="m.py", line=1, col=0, message="x")
+        assert source.is_suppressed(finding)
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions("# not a directive\nx = 1  # plain\n") == {}
+
+    def test_suppression_only_covers_its_line(self):
+        source = SourceFile("m.py", "a = f()  # repro: allow(r)\nb = f()\n")
+        hit = Finding(rule="r", path="m.py", line=1, col=0, message="x")
+        miss = Finding(rule="r", path="m.py", line=2, col=0, message="x")
+        assert source.is_suppressed(hit)
+        assert not source.is_suppressed(miss)
+
+
+class TestSourceFile:
+    def test_in_package_matches_directories_not_filename(self):
+        source = SourceFile("src/repro/serve/server.py", "x = 1\n")
+        assert source.in_package("serve")
+        assert not source.in_package("core")
+        # A file *named* serve.py is not in the serve package.
+        assert not SourceFile("src/repro/serve.py", "x = 1\n").in_package("serve")
+
+    def test_unparsable_source_raises_syntax_error(self):
+        with pytest.raises(SyntaxError):
+            SourceFile("bad.py", "def broken(:\n")
+
+
+class TestRegistry:
+    def test_all_rules_cover_the_documented_set(self):
+        names = [rule.name for rule in all_rules()]
+        assert names == sorted(names)
+        for expected in (
+            "loop-safety", "shm-lifecycle", "generation-discipline",
+            "strict-json", "visitor-protocol", "write-barrier",
+        ):
+            assert expected in names
+
+    def test_get_rules_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no-such-rule"):
+            get_rules(["no-such-rule"])
+
+    def test_register_requires_a_name(self):
+        with pytest.raises(ValueError, match="rule name"):
+            @register
+            class Nameless(Rule):
+                pass
+
+    def test_register_rejects_bad_severity(self):
+        with pytest.raises(ValueError, match="severity"):
+            @register
+            class Loud(Rule):
+                name = "loud"
+                severity = "fatal"
+
+
+class TestProjectRun:
+    def test_suppressed_findings_split_out(self):
+        clean = "import json\n"
+        dirty = (
+            "import json\n"
+            "def encode(x):\n"
+            "    return json.dumps(x)  # repro: allow(strict-json)\n"
+            "def decode(s):\n"
+            "    return json.loads(s)\n"
+        )
+        project = Project([
+            SourceFile("src/repro/serve/a.py", dirty),
+            SourceFile("src/repro/serve/b.py", clean),
+        ])
+        active, suppressed = project.run(get_rules(["strict-json"]))
+        assert [f.line for f in active] == [5]
+        assert [f.line for f in suppressed] == [3]

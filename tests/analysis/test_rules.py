@@ -1,0 +1,370 @@
+"""Per-rule fixture tests: a positive, a negative, and a suppression for
+each invariant, using small in-memory sources placed at serve/-like paths."""
+
+import pytest
+
+from repro.analysis.core import Project, SourceFile, get_rules
+
+SERVE = "src/repro/serve/mod.py"
+CORE = "src/repro/core/mod.py"
+
+
+def check(rule_name, *sources):
+    """Run one rule over ``(path, text)`` sources; returns (active, suppressed)."""
+    project = Project([SourceFile(path, text) for path, text in sources])
+    return project.run(get_rules([rule_name]))
+
+
+def active(rule_name, *sources):
+    return check(rule_name, *sources)[0]
+
+
+class TestLoopSafety:
+    def test_direct_blocking_call_in_async_def(self):
+        found = active("loop-safety", (SERVE, (
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)\n"
+        )))
+        assert len(found) == 1
+        assert found[0].line == 3
+        assert "time.sleep" in found[0].message
+
+    def test_transitive_blocking_through_sync_helper(self):
+        found = active("loop-safety", (SERVE, (
+            "import time\n"
+            "def helper():\n"
+            "    time.sleep(1)\n"
+            "async def handler():\n"
+            "    helper()\n"
+        )))
+        assert len(found) == 1
+        # The reachability finding anchors at the async call site and
+        # names the synchronous chain that reaches the blocker.
+        assert found[0].line == 5
+        assert "helper" in found[0].message
+        assert "time.sleep" in found[0].message
+
+    def test_heavy_core_call_flagged(self):
+        found = active("loop-safety", (SERVE, (
+            "async def handler(index):\n"
+            "    index.prepare_merge()\n"
+        )))
+        assert len(found) == 1
+
+    def test_sync_executor_wait_flagged(self):
+        found = active("loop-safety", (SERVE, (
+            "async def handler(pool, fn):\n"
+            "    value = pool.submit(fn).result()\n"
+            "    return value\n"
+        )))
+        assert len(found) == 1
+
+    def test_executor_offload_is_clean(self):
+        found = active("loop-safety", (SERVE, (
+            "import asyncio\n"
+            "def work():\n"
+            "    pass\n"
+            "async def handler():\n"
+            "    await asyncio.sleep(0)\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, work)\n"
+        )))
+        assert found == []
+
+    def test_only_serve_package_is_scoped(self):
+        found = active("loop-safety", (CORE, (
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)\n"
+        )))
+        assert found == []
+
+    def test_suppression(self):
+        found, suppressed = check("loop-safety", (SERVE, (
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)  # repro: allow(loop-safety)\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1
+
+
+class TestShmLifecycle:
+    def test_discarded_producer_result(self):
+        found = active("shm-lifecycle", (CORE, (
+            "def publish(table):\n"
+            "    SharedMemoryTable.from_table(table)\n"
+        )))
+        assert len(found) == 1
+        assert "discarded" in found[0].message
+
+    def test_bound_but_never_retired(self):
+        found = active("shm-lifecycle", (CORE, (
+            "def publish(table):\n"
+            "    shm = SharedMemoryTable.from_table(table)\n"
+            "    return None\n"
+        )))
+        assert len(found) == 1
+        assert "never retired" in found[0].message
+
+    def test_missing_error_edge_retirement(self):
+        found = active("shm-lifecycle", (CORE, (
+            "def publish(table):\n"
+            "    try:\n"
+            "        shm = SharedMemoryTable.from_table(table)\n"
+            "        shm.close()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )))
+        assert len(found) == 1
+        assert "exception edges" in found[0].message
+
+    def test_finally_retirement_is_clean(self):
+        found = active("shm-lifecycle", (CORE, (
+            "def publish(table, work):\n"
+            "    shm = SharedMemoryTable.from_table(table)\n"
+            "    try:\n"
+            "        work(shm)\n"
+            "    finally:\n"
+            "        shm.close()\n"
+        )))
+        assert found == []
+
+    def test_ownership_handoff_is_clean(self):
+        found = active("shm-lifecycle", (CORE, (
+            "def make(table):\n"
+            "    return SharedMemoryTable.from_table(table)\n"
+            "class Holder:\n"
+            "    def adopt(self, table):\n"
+            "        self._shm = SharedMemoryTable.from_table(table)\n"
+            "def pooled(table):\n"
+            "    backend = ProcessBackend(table, workers=2)\n"
+            "    backend.shutdown()\n"
+        )))
+        assert found == []
+
+    def test_suppression(self):
+        found, suppressed = check("shm-lifecycle", (CORE, (
+            "def publish(table):\n"
+            "    # repro: allow(shm-lifecycle)\n"
+            "    SharedMemoryTable.from_table(table)\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1
+
+
+class TestGenerationDiscipline:
+    def test_make_key_without_generation(self):
+        found = active("generation-discipline", (SERVE, (
+            "def key_for(cache, query):\n"
+            "    return cache.make_key(query, 'count', None)\n"
+        )))
+        assert len(found) == 1
+        assert "stale" in found[0].message
+
+    def test_generation_kwarg_is_clean(self):
+        found = active("generation-discipline", (SERVE, (
+            "def key_for(cache, query, index):\n"
+            "    a = cache.make_key(query, generation=index.generation)\n"
+            "    b = cache.make_key(query, index=index)\n"
+            "    c = cache.make_key(query, 'count', None, 3)\n"
+            "    return a, b, c\n"
+        )))
+        assert found == []
+
+    def test_hand_built_cache_key_tuple_warns(self):
+        found = active("generation-discipline", (SERVE, (
+            "def remember(self, query, value):\n"
+            "    self.cache.put((query, 'count'), value)\n"
+        )))
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_put_of_prebuilt_key_is_clean(self):
+        found = active("generation-discipline", (SERVE, (
+            "def remember(self, key, value):\n"
+            "    self.cache.put(key, value)\n"
+        )))
+        assert found == []
+
+    def test_suppression(self):
+        found, suppressed = check("generation-discipline", (SERVE, (
+            "def key_for(cache, query):\n"
+            "    return cache.make_key(query)  # repro: allow(generation-discipline)\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1
+
+
+class TestStrictJson:
+    def test_bare_dumps_and_loads_flagged(self):
+        found = active("strict-json", (SERVE, (
+            "import json\n"
+            "def encode(x):\n"
+            "    return json.dumps(x)\n"
+            "def decode(s):\n"
+            "    return json.loads(s)\n"
+        )))
+        assert [f.line for f in found] == [3, 5]
+
+    def test_explicit_allow_nan_true_still_flagged(self):
+        found = active("strict-json", (SERVE, (
+            "import json\n"
+            "def encode(x):\n"
+            "    return json.dumps(x, allow_nan=True)\n"
+        )))
+        assert len(found) == 1
+
+    def test_strict_call_forms_are_clean(self):
+        found = active("strict-json", (SERVE, (
+            "import json\n"
+            "def encode(x):\n"
+            "    return json.dumps(x, allow_nan=False)\n"
+            "def decode(s, reject):\n"
+            "    return json.loads(s, parse_constant=reject)\n"
+        )))
+        assert found == []
+
+    def test_only_serve_package_is_scoped(self):
+        found = active("strict-json", (CORE, (
+            "import json\n"
+            "def encode(x):\n"
+            "    return json.dumps(x)\n"
+        )))
+        assert found == []
+
+    def test_suppression(self):
+        found, suppressed = check("strict-json", (SERVE, (
+            "import json\n"
+            "def encode(x):\n"
+            "    return json.dumps(x)  # repro: allow(strict-json)\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1
+
+
+VISITOR_BASE = (
+    "class Visitor:\n"
+    "    pass\n"
+)
+
+
+class TestVisitorProtocol:
+    def test_fresh_without_merge(self):
+        found = active("visitor-protocol", (CORE, VISITOR_BASE + (
+            "class Partial(Visitor):\n"
+            "    def fresh(self):\n"
+            "        return Partial()\n"
+        )))
+        assert len(found) == 1
+        assert "not merge" in found[0].message
+
+    def test_merge_without_fresh(self):
+        found = active("visitor-protocol", (CORE, VISITOR_BASE + (
+            "class Partial(Visitor):\n"
+            "    def merge(self, other):\n"
+            "        pass\n"
+        )))
+        assert len(found) == 1
+        assert "not fresh" in found[0].message
+
+    def test_required_init_args_need_fresh_and_reset_overrides(self):
+        found = active("visitor-protocol", (CORE, VISITOR_BASE + (
+            "class CountVisitor(Visitor):\n"
+            "    def fresh(self):\n"
+            "        return CountVisitor()\n"
+            "    def merge(self, other):\n"
+            "        pass\n"
+            "class WindowedVisitor(CountVisitor):\n"
+            "    def __init__(self, width):\n"
+            "        self.width = width\n"
+        )))
+        messages = " | ".join(f.message for f in found)
+        assert len(found) == 2
+        assert "reset()" in messages and "fresh()" in messages
+
+    def test_dtype_truncation_warns(self):
+        found = active("visitor-protocol", (CORE, VISITOR_BASE + (
+            "class SumVisitor(Visitor):\n"
+            "    def fresh(self):\n"
+            "        return SumVisitor()\n"
+            "    def merge(self, other):\n"
+            "        self.total += other.total\n"
+            "    def visit(self, values):\n"
+            "        self.total += int(values.sum())\n"
+        )))
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+        assert ".item()" in found[0].fix_hint
+
+    def test_complete_protocol_is_clean(self):
+        found = active("visitor-protocol", (CORE, VISITOR_BASE + (
+            "class SumVisitor(Visitor):\n"
+            "    def __init__(self, dim='x'):\n"
+            "        self.dim = dim\n"
+            "        self.total = 0\n"
+            "    def fresh(self):\n"
+            "        return SumVisitor(self.dim)\n"
+            "    def merge(self, other):\n"
+            "        self.total += other.total\n"
+            "    def visit(self, values):\n"
+            "        self.total += values.sum().item()\n"
+        )))
+        assert found == []
+
+    def test_suppression(self):
+        found, suppressed = check("visitor-protocol", (CORE, VISITOR_BASE + (
+            "# repro: allow(visitor-protocol)\n"
+            "class Partial(Visitor):\n"
+            "    def fresh(self):\n"
+            "        return Partial()\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1
+
+
+class TestWriteBarrier:
+    def test_inline_insert_in_async_def(self):
+        found = active("write-barrier", (SERVE, (
+            "async def handle(self, row):\n"
+            "    self.index.insert(row)\n"
+        )))
+        assert len(found) == 1
+        assert "insert" in found[0].message
+
+    def test_direct_generation_poke(self):
+        found = active("write-barrier", (SERVE, (
+            "async def bump(index):\n"
+            "    index.generation += 1\n"
+        )))
+        assert len(found) == 1
+        assert "generation" in found[0].message
+
+    def test_barrier_closure_is_clean(self):
+        found = active("write-barrier", (SERVE, (
+            "async def handle(self, row):\n"
+            "    index = self.index\n"
+            "    def write():\n"
+            "        index.insert(row)\n"
+            "    await self.batcher.submit_write(write)\n"
+        )))
+        assert found == []
+
+    def test_sync_code_and_other_packages_unscoped(self):
+        found = active("write-barrier", (CORE, (
+            "async def handle(self, row):\n"
+            "    self.index.insert(row)\n"
+        )), (SERVE, (
+            "def handle(self, row):\n"
+            "    self.index.insert(row)\n"
+        )))
+        assert found == []
+
+    def test_suppression(self):
+        found, suppressed = check("write-barrier", (SERVE, (
+            "async def handle(self, row):\n"
+            "    self.index.insert(row)  # repro: allow(write-barrier)\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1

@@ -1,0 +1,120 @@
+"""Runtime sanitizer tests: loop-stall detection and shm leak balance."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.analysis.sanitizers import (
+    LoopStallSanitizer,
+    ShmLeakError,
+    shm_leak_sanitizer,
+)
+
+
+class TestLoopStallSanitizer:
+    def test_blocking_callback_is_recorded(self):
+        async def main():
+            time.sleep(0.05)  # deliberately holds the loop
+            await asyncio.sleep(0)
+
+        with LoopStallSanitizer(budget=0.02) as sanitizer:
+            asyncio.run(main())
+        assert sanitizer.stalls
+        assert sanitizer.stalls[0].seconds >= 0.02
+        with pytest.raises(AssertionError, match="event loop stalled"):
+            sanitizer.assert_clean()
+
+    def test_well_behaved_loop_is_clean(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            await asyncio.sleep(0)
+            # Blocking work on an executor thread never holds the loop.
+            await loop.run_in_executor(None, time.sleep, 0.05)
+
+        with LoopStallSanitizer(budget=0.02) as sanitizer:
+            asyncio.run(main())
+        sanitizer.assert_clean()
+
+    def test_error_message_names_the_budget_override(self):
+        # Inject a stall record directly to pin the message shape.
+        from repro.analysis.sanitizers import LoopStall
+
+        sanitizer = LoopStallSanitizer(budget=0.01)
+        sanitizer.stalls.append(LoopStall("cb", 0.5))
+        with pytest.raises(AssertionError, match="REPRO_LOOP_STALL_BUDGET"):
+            sanitizer.assert_clean()
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            LoopStallSanitizer(budget=0)
+
+    def test_handle_run_is_restored_after_exit(self):
+        import asyncio.events as events
+
+        original = events.Handle._run
+        with LoopStallSanitizer(budget=1.0):
+            assert events.Handle._run is not original
+        assert events.Handle._run is original
+
+
+class _FakeRegistry:
+    """Stand-in for the shm ownership registry."""
+
+    def __init__(self):
+        self.owned = set()
+
+    def names(self):
+        return sorted(self.owned)
+
+
+@pytest.fixture
+def registry(monkeypatch):
+    fake = _FakeRegistry()
+    monkeypatch.setattr(
+        "repro.storage.shm.owned_segment_names", fake.names
+    )
+    return fake
+
+
+class TestShmLeakSanitizer:
+    def test_balanced_block_passes(self, registry):
+        with shm_leak_sanitizer() as probe:
+            registry.owned.add("seg-a")
+            assert probe.created() == ["seg-a"]
+            registry.owned.discard("seg-a")
+        assert probe.created() == []
+
+    def test_leak_raises_with_segment_names(self, registry):
+        with pytest.raises(ShmLeakError) as info:
+            with shm_leak_sanitizer():
+                registry.owned.add("seg-a")
+                registry.owned.add("seg-b")
+        assert info.value.leaked == ["seg-a", "seg-b"]
+        assert "shm-lifecycle" in str(info.value)
+
+    def test_preexisting_segments_are_not_blamed(self, registry):
+        registry.owned.add("older")
+        with shm_leak_sanitizer() as probe:
+            assert probe.created() == []
+
+    def test_block_exception_is_never_masked(self, registry):
+        with pytest.raises(RuntimeError, match="boom"):
+            with shm_leak_sanitizer():
+                registry.owned.add("seg-a")  # leaks, but the error wins
+                raise RuntimeError("boom")
+
+    def test_real_segment_roundtrip(self):
+        """End to end against the real registry: create, use, retire."""
+        np = pytest.importorskip("numpy")
+        from repro.storage.shm import SharedMemoryTable
+        from repro.storage.table import Table
+
+        table = Table({"x": np.arange(64)})
+        with shm_leak_sanitizer() as probe:
+            shm = SharedMemoryTable.from_table(table)
+            try:
+                assert probe.created()
+                assert shm.values("x").sum() == table.values("x").sum()
+            finally:
+                shm.unlink()

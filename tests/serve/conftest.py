@@ -1,0 +1,35 @@
+"""Serving-test fixtures: the loop-stall sanitizer tier.
+
+Every test in this package runs under
+:class:`repro.analysis.sanitizers.LoopStallSanitizer` — any event-loop
+callback that holds the loop longer than the budget fails the test.
+This is the *runtime* half of the ``loop-safety`` static rule: the rule
+catches blocking calls reachable from ``serve/`` coroutines at analysis
+time, the sanitizer catches whatever slips past it (C extensions,
+dynamic dispatch, plain slow Python) at test time.
+
+The budget is generous (0.5 s) because it bounds *loop callbacks*, not
+tests: every deliberately slow piece of serving work (merge prepare,
+engine batches, backend shutdown) runs on executor threads, so a healthy
+loop never holds a callback anywhere near that long even on a loaded CI
+runner. Tune with ``REPRO_LOOP_STALL_BUDGET`` (seconds); ``0`` disables
+the sanitizer entirely.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.sanitizers import LoopStallSanitizer
+
+_BUDGET = float(os.environ.get("REPRO_LOOP_STALL_BUDGET", "0.5"))
+
+
+@pytest.fixture(autouse=True)
+def loop_stall_guard():
+    if _BUDGET <= 0:
+        yield
+        return
+    with LoopStallSanitizer(budget=_BUDGET) as sanitizer:
+        yield
+    sanitizer.assert_clean()

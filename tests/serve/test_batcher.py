@@ -504,7 +504,7 @@ class TestResultCacheIntegration:
             batcher = MicroBatcher(counting, max_batch=4, max_delay=0.0, cache=cache)
             await batcher.start()
             query = _queries(engine, 1, seed=18)[0]
-            key = ResultCache.make_key(query)
+            key = ResultCache.make_key(query, generation=0)
             first, first_stats = await batcher.submit(query, CountVisitor, key)
             runs_after_first = counting.runs
             second, second_stats = await batcher.submit(query, CountVisitor, key)
@@ -527,7 +527,7 @@ class TestResultCacheIntegration:
             batcher = MicroBatcher(engine, max_batch=4, max_delay=0.0, cache=cache)
             await batcher.start()
             query = _queries(engine, 1, seed=19)[0]
-            key = ResultCache.make_key(query)
+            key = ResultCache.make_key(query, generation=0)
             _, miss_stats = await batcher.submit(query, CountVisitor, key)
             miss_stats.points_matched = -999  # hostile caller
             _, hit_stats = await batcher.submit(query, CountVisitor, key)
@@ -563,12 +563,12 @@ class TestResultCacheIntegration:
             await batcher.start()
             query = _queries(engine, 1, seed=21)[0]
             count, _ = await batcher.submit(
-                query, CountVisitor, ResultCache.make_key(query)
+                query, CountVisitor, ResultCache.make_key(query, generation=0)
             )
             total, _ = await batcher.submit(
                 query,
                 lambda: SumVisitor("y"),
-                ResultCache.make_key(query, "sum", "y"),
+                ResultCache.make_key(query, "sum", "y", generation=0),
             )
             await batcher.stop()
             expected = SumVisitor("y")

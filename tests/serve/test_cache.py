@@ -24,25 +24,59 @@ class TestMakeKey:
     def test_range_order_is_canonical(self):
         a = Query({"x": (0, 10), "y": (5, 9)})
         b = Query({"y": (5, 9), "x": (0, 10)})
-        assert ResultCache.make_key(a) == ResultCache.make_key(b)
+        assert ResultCache.make_key(a, generation=0) == ResultCache.make_key(
+            b, generation=0
+        )
 
     def test_aggregate_and_dim_distinguish(self):
         query = Query({"x": (0, 10)})
         keys = {
-            ResultCache.make_key(query),
-            ResultCache.make_key(query, "sum", "y"),
-            ResultCache.make_key(query, "sum", "z"),
-            ResultCache.make_key(query, "min", "y"),
+            ResultCache.make_key(query, generation=0),
+            ResultCache.make_key(query, "sum", "y", generation=0),
+            ResultCache.make_key(query, "sum", "z", generation=0),
+            ResultCache.make_key(query, "min", "y", generation=0),
         }
         assert len(keys) == 4
 
     def test_different_bounds_differ(self):
-        assert ResultCache.make_key(Query({"x": (0, 10)})) != ResultCache.make_key(
-            Query({"x": (0, 11)})
-        )
+        assert ResultCache.make_key(
+            Query({"x": (0, 10)}), generation=0
+        ) != ResultCache.make_key(Query({"x": (0, 11)}), generation=0)
 
     def test_key_is_hashable(self):
-        hash(ResultCache.make_key(Query({"x": (0, 10)}), "avg", "y"))
+        hash(ResultCache.make_key(Query({"x": (0, 10)}), "avg", "y", generation=0))
+
+    def test_omitted_generation_raises(self):
+        """Silently defaulting the generation would re-open the stale-hit
+        hole for mutable indexes; omission must fail loudly."""
+        with pytest.raises(QueryError, match="generation"):
+            ResultCache.make_key(Query({"x": (0, 10)}))
+
+    def test_index_derives_generation(self):
+        class _Mutable:
+            generation = 7
+
+        class _Immutable:
+            pass
+
+        query = Query({"x": (0, 10)})
+        assert ResultCache.make_key(query, index=_Mutable()) == ResultCache.make_key(
+            query, generation=7
+        )
+        # No generation attribute = immutable = fixed at 0.
+        assert ResultCache.make_key(query, index=_Immutable()) == ResultCache.make_key(
+            query, generation=0
+        )
+
+    def test_generation_and_index_together_rejected(self):
+        with pytest.raises(QueryError, match="not both"):
+            ResultCache.make_key(Query({"x": (0, 10)}), generation=1, index=object())
+
+    def test_generation_distinguishes(self):
+        query = Query({"x": (0, 10)})
+        assert ResultCache.make_key(query, generation=1) != ResultCache.make_key(
+            query, generation=2
+        )
 
 
 class TestBounds:

@@ -192,6 +192,55 @@ class TestNonFiniteRequestPayloads:
         assert asyncio.run(scenario()) == 42
 
 
+def _nonfinite_reply(line: bytes) -> bytes:
+    """A reply carrying the non-RFC-8259 ``Infinity`` literal."""
+    request = json.loads(line)
+    return (
+        '{"id": %d, "ok": true, "result": Infinity, "stats": {}}\n'
+        % request["id"]
+    ).encode()
+
+
+class TestNonFiniteReplies:
+    def test_blocking_client_rejects_infinity_reply(self):
+        """Regression for the strict-json finding on FloodClient._roundtrip:
+        a bare ``json.loads`` silently adopted an ``Infinity`` literal from
+        the wire; strict parsing must reject it as a malformed reply."""
+
+        async def scenario():
+            server, host, port = await _serve_lines(
+                lambda n, line: _nonfinite_reply(line)
+            )
+
+            def client_part():
+                with FloodClient(host, port) as client:
+                    with pytest.raises(QueryError, match="malformed reply"):
+                        client.query({"x": [0, 10]})
+
+            await asyncio.get_running_loop().run_in_executor(None, client_part)
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_async_client_rejects_infinity_reply(self):
+        """Same contract on the async dispatch loop: an Infinity reply is
+        a protocol violation, not a float('inf') result."""
+
+        async def scenario():
+            server, host, port = await _serve_lines(
+                lambda n, line: _nonfinite_reply(line)
+            )
+            client = await AsyncFloodClient().connect(host, port)
+            with pytest.raises(QueryError, match="malformed reply"):
+                await asyncio.wait_for(client.query({"x": [0, 10]}), timeout=5)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
 class TestRetryPolicy:
     def test_blocking_client_retries_until_admitted(self):
         async def scenario():

@@ -31,6 +31,7 @@ from repro.errors import QueryError
 from repro.serve.batcher import MicroBatcher
 from repro.serve.client import AsyncFloodClient, FloodClient, ServerError
 from repro.serve.server import FloodServer
+from repro.analysis.sanitizers import shm_leak_sanitizer
 from repro.storage.shm import owned_segment_names
 from repro.storage.table import Table
 
@@ -294,31 +295,77 @@ class TestConcurrentMutateQuery:
         """Each merge rebuilds the table; the superseded inner index's
         shared-memory segments must be unlinked, not accumulated."""
         data = _make_data(2500, seed=32)
-        delta = _build_delta(data, num_shards=2, backend="process")
 
-        async def scenario(server, host, port):
-            client = await AsyncFloodClient().connect(host, port)
-            # Resolve the backend (first parallel scan creates the pool).
-            await client.query({"x": [0, 1000]})
-            segments_before = len(owned_segment_names())
-            for i in range(25):
-                await client.insert({"x": i, "y": i, "z": i})
-            await client.merge()
-            count, _ = await client.query({"x": [0, 1000]})
-            await server.mutable.drain()
-            segments_after = len(owned_segment_names())
-            await client.close()
-            return segments_before, segments_after, count
+        with shm_leak_sanitizer() as probe:
+            delta = _build_delta(data, num_shards=2, backend="process")
 
-        segments_before, segments_after, count = _run_with_server(
-            delta, scenario, merge_threshold=0
-        )
-        assert count == 2525
-        # The new table's segments replaced the old ones 1:1 (the old
-        # pool's segments were unlinked after the swap).
-        assert segments_after == segments_before
-        delta.shutdown()
-        assert len(owned_segment_names()) == 0
+            async def scenario(server, host, port):
+                client = await AsyncFloodClient().connect(host, port)
+                # Resolve the backend (first parallel scan creates the pool).
+                await client.query({"x": [0, 1000]})
+                assert probe.created()  # segments exist while serving
+                segments_before = len(owned_segment_names())
+                for i in range(25):
+                    await client.insert({"x": i, "y": i, "z": i})
+                await client.merge()
+                count, _ = await client.query({"x": [0, 1000]})
+                await server.mutable.drain()
+                segments_after = len(owned_segment_names())
+                await client.close()
+                return segments_before, segments_after, count
+
+            segments_before, segments_after, count = _run_with_server(
+                delta, scenario, merge_threshold=0
+            )
+            assert count == 2525
+            # The new table's segments replaced the old ones 1:1 (the old
+            # pool's segments were unlinked after the swap).
+            assert segments_after == segments_before
+        # Leaving the sanitizer proves _run_with_server's delta.shutdown()
+        # released every segment this test created.
+
+    def test_failed_commit_retires_superseded_backend(self):
+        """Regression for the shm-lifecycle finding in
+        MutableController._run_maintenance: a maintenance job that fails
+        *after* the swap committed used to leak the superseded inner
+        index's worker pool and shared-memory segments — the error path
+        only counted the failure. Retirement must run on every exit edge."""
+        data = _make_data(2000, seed=33)
+
+        with shm_leak_sanitizer() as probe:
+            delta = _build_delta(data, num_shards=2, backend="process")
+
+            async def scenario(server, host, port):
+                client = await AsyncFloodClient().connect(host, port)
+                await client.query({"x": [0, 1000]})  # resolve the pool
+                assert probe.created()
+                for i in range(10):
+                    await client.insert({"x": i, "y": i, "z": i})
+                batcher = server.mutable.batcher
+                real_submit_write = batcher.submit_write
+
+                async def poisoned(fn):
+                    # The commit itself lands; the failure hits the
+                    # maintenance task on its way out.
+                    await real_submit_write(fn)
+                    raise RuntimeError("post-commit failure")
+
+                batcher.submit_write = poisoned
+                try:
+                    await client.merge()
+                    await server.mutable.drain()
+                finally:
+                    batcher.submit_write = real_submit_write
+                count, _ = await client.query({"x": [0, 1000]})
+                failures = server.mutable.maintenance_failures
+                await client.close()
+                return failures, count
+
+            failures, count = _run_with_server(delta, scenario, merge_threshold=0)
+            assert failures == 1
+            assert count == 2010  # the swap committed before the failure
+        # Sanitizer exit: the pre-merge backend's segments were retired on
+        # the failure edge, and shutdown released the committed index's.
 
 
 class TestMidMergeResponsiveness:
