@@ -1,0 +1,210 @@
+"""Durability-tier costs: recovery time vs WAL length, insert rate vs
+fsync policy.
+
+Two measurements over the TPC-H durable delta index (the stack
+``repro serve --index delta --data-dir`` runs):
+
+1. **Recovery sweep** — restart-recovery time as a function of the WAL
+   tail length (0 / 2 000 / 8 000 unmerged rows). Identity is asserted
+   unconditionally: the recovered index must report exactly the logged
+   rows, match a brute-force numpy oracle on count probes, and a second
+   recovery must reproduce the first (idempotence). The wall-clock
+   ceiling assert is demoted to a report with
+   ``REPRO_REQUIRE_RECOVERY_SPEED=0`` (shared CI runners).
+
+2. **Fsync-policy sweep** — acknowledged-insert rate under ``always`` /
+   ``batch`` / ``never``, for single-row and batched appends. No
+   ordering assert (an fsync can be *fast* on some filesystems);
+   the numbers are the documented tradeoff, persisted for the CI perf
+   trajectory as ``results/BENCH_recovery.json`` (``repro bench-diff``
+   compares across runs).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import build_flood
+from repro.bench.report import write_json_result
+from repro.core.cost import AnalyticCostModel
+from repro.core.durable import DurableDeltaFlood
+from repro.datasets import load
+from repro.storage.visitor import CountVisitor
+
+ROWS = 40_000
+#: Shared between the two tests so the JSON result holds both sweeps.
+_RESULTS = {}
+WAL_LENGTHS = (0, 2_000, 8_000)
+INSERTS_PER_POLICY = 1_500
+BATCH_ROWS = 2_000
+#: Generous ceiling: recovering the largest WAL tail must beat this by a
+#: wide margin on any real machine; the gate exists to catch recovery
+#: accidentally regenerating the dataset or re-learning the layout.
+RECOVERY_CEILING_SECONDS = 30.0
+REQUIRE_SPEED = os.environ.get("REPRO_REQUIRE_RECOVERY_SPEED", "1") != "0"
+
+
+@pytest.fixture(scope="module")
+def recovery_setup():
+    bundle = load("tpch", n=ROWS, num_queries=40, seed=7)
+    _, opt = build_flood(
+        bundle.table, bundle.train, cost_model=AnalyticCostModel(),
+        max_cells=8192, seed=7,
+    )
+    return bundle, opt.layout
+
+
+def _wal_rows(table, k, seed):
+    rng = np.random.default_rng(seed)
+    return {
+        dim: rng.integers(*table.min_max(dim), size=k, endpoint=True)
+        for dim in table.dims
+    }
+
+
+def _oracle_count(columns, ranges) -> int:
+    mask = np.ones(len(next(iter(columns.values()))), dtype=bool)
+    for dim, (low, high) in ranges.items():
+        mask &= (columns[dim] >= low) & (columns[dim] <= high)
+    return int(mask.sum())
+
+
+def _count(index, query) -> int:
+    visitor = CountVisitor()
+    index.query(query, visitor)
+    return visitor.result
+
+
+# -------------------------------------------- 1. recovery vs WAL length
+def test_recovery_time_vs_wal_length(recovery_setup, tmp_path):
+    bundle, layout = recovery_setup
+    table = bundle.table
+    probes = bundle.test[:10]
+    sweep = []
+    for wal_rows in WAL_LENGTHS:
+        data_dir = str(tmp_path / f"wal{wal_rows}")
+        index = DurableDeltaFlood(
+            layout, data_dir, fsync="never", merge_threshold=None
+        ).build(table)
+        inserted = _wal_rows(table, wal_rows, seed=21) if wal_rows else None
+        if inserted is not None:
+            index.insert_many(inserted)
+        wal_bytes = index.durability_stats()["wal_bytes"]
+        index.close()  # crash-equivalent: no shutdown checkpoint
+
+        start = time.perf_counter()
+        recovered = DurableDeltaFlood.open(
+            data_dir, fsync="never", merge_threshold=None
+        )
+        seconds = time.perf_counter() - start
+
+        # Identity, unconditionally: exactly the logged rows came back.
+        assert recovered.recovered_rows == wal_rows
+        assert recovered.buffered_rows == wal_rows
+        columns = {
+            dim: np.concatenate([table.values(dim), inserted[dim]])
+            if inserted is not None
+            else table.values(dim)
+            for dim in table.dims
+        }
+        for query in probes:
+            assert _count(recovered, query) == _oracle_count(
+                columns, query.ranges
+            ), query
+        state = (recovered.generation, recovered.buffered_rows)
+        recovered.close()
+        again = DurableDeltaFlood.open(
+            data_dir, fsync="never", merge_threshold=None
+        )
+        assert (again.generation, again.buffered_rows) == state  # idempotent
+        again.close()
+        sweep.append(
+            {
+                "wal_rows": wal_rows,
+                "wal_bytes": wal_bytes,
+                "recovery_seconds": seconds,
+                "rows_per_second": (wal_rows / seconds) if wal_rows else None,
+            }
+        )
+
+    print(f"\n{'wal rows':>8s} {'wal bytes':>10s} {'recovery':>9s}")
+    for row in sweep:
+        print(
+            f"{row['wal_rows']:8d} {row['wal_bytes']:10d} "
+            f"{row['recovery_seconds']:8.3f}s"
+        )
+    slowest = max(row["recovery_seconds"] for row in sweep)
+    message = (
+        f"recovery took {slowest:.2f}s (> {RECOVERY_CEILING_SECONDS}s): is "
+        "the warm path regenerating the dataset or re-learning the layout?"
+    )
+    if REQUIRE_SPEED:
+        assert slowest < RECOVERY_CEILING_SECONDS, message
+    elif slowest >= RECOVERY_CEILING_SECONDS:
+        print(f"  WARNING (not asserted): {message}")
+    _RESULTS["recovery_sweep"] = sweep
+
+
+# --------------------------------------------- 2. insert rate vs fsync
+def test_insert_rate_vs_fsync_policy(recovery_setup, tmp_path):
+    bundle, layout = recovery_setup
+    table = bundle.table
+    columns = _wal_rows(table, INSERTS_PER_POLICY, seed=31)
+    single = [
+        {dim: int(values[i]) for dim, values in columns.items()}
+        for i in range(INSERTS_PER_POLICY)
+    ]
+    batch = _wal_rows(table, BATCH_ROWS, seed=32)
+    policies = []
+    for policy in ("always", "batch", "never"):
+        data_dir = str(tmp_path / f"fsync-{policy}")
+        index = DurableDeltaFlood(
+            layout, data_dir, fsync=policy, merge_threshold=None
+        ).build(table)
+        start = time.perf_counter()
+        for row in single:
+            index.insert(row)
+        single_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        index.insert_many(batch)
+        batch_seconds = time.perf_counter() - start
+        stats = index.durability_stats()
+        assert stats["rows_logged"] == INSERTS_PER_POLICY + BATCH_ROWS
+        # Nothing silently lost: a crash-equivalent reopen replays all.
+        index.close()
+        recovered = DurableDeltaFlood.open(
+            data_dir, fsync=policy, merge_threshold=None
+        )
+        assert recovered.recovered_rows == INSERTS_PER_POLICY + BATCH_ROWS
+        recovered.close()
+        policies.append(
+            {
+                "fsync": policy,
+                "single_inserts_per_second": INSERTS_PER_POLICY / single_seconds,
+                "batch_rows_per_second": BATCH_ROWS / batch_seconds,
+                "wal_bytes": stats["wal_bytes"],
+            }
+        )
+
+    print(f"\n{'fsync':>7s} {'single/s':>10s} {'batch rows/s':>13s}")
+    for row in policies:
+        print(
+            f"{row['fsync']:>7s} {row['single_inserts_per_second']:10.0f} "
+            f"{row['batch_rows_per_second']:13.0f}"
+        )
+    write_json_result(
+        "BENCH_recovery",
+        {
+            "rows": ROWS,
+            "recovery_sweep": _RESULTS.get("recovery_sweep", []),
+            "fsync_policies": policies,
+        },
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

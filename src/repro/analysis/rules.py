@@ -525,3 +525,74 @@ class WriteBarrierRule(Rule):
                             "directly; generations only move through the "
                             "index's own mutation methods",
                         )
+
+
+# ------------------------------------------------------------- durability-ack
+@register
+class DurabilityAckRule(Rule):
+    """An insert's wire ack must come *after* the write that logs it —
+    a client holding an ack for a row the WAL never saw is exactly the
+    data loss the durability tier exists to rule out."""
+
+    name = "durability-ack"
+    description = (
+        "async serve/ code must not send a reply before the insert "
+        "mutation (WAL append + buffer apply) on the same path: apply "
+        "the write first, ack second"
+    )
+    fix_hint = (
+        "move the send after the awaited mutation (see "
+        "FloodServer._handle_write: the reply is built from "
+        "apply_insert's result, which resolves only after the write "
+        "closure — WAL append included — ran)"
+    )
+
+    #: Wire-ack emitters: raw socket sends, and the StreamWriter pair.
+    _SENDERS = {"send", "sendall"}
+    _WRITER_SENDERS = {"write", "drain"}
+    #: Calls that (transitively) perform the logged mutation.
+    _MUTATORS = {"insert", "insert_many", "apply_insert", "submit_write"}
+
+    def _is_sender(self, site) -> bool:
+        if site.name in self._SENDERS:
+            return True
+        # `writer.write(...)` / `writer.drain()` — but not e.g. a WAL's
+        # `self.write(...)` or a file handle's: require a writer-ish
+        # receiver so the storage layer's own writes never match.
+        return (
+            site.name in self._WRITER_SENDERS
+            and site.qualifier is not None
+            and "writer" in site.qualifier
+        )
+
+    def check(self, source, project):
+        if not source.in_package("serve"):
+            return
+        graph = project.callgraph
+        for fn in graph.functions_in(source):
+            if not fn.is_async:
+                continue
+            senders = [s for s in fn.calls if self._is_sender(s)]
+            mutators = [s for s in fn.calls if s.name in self._MUTATORS]
+            if not senders or not mutators:
+                continue
+            for ack in senders:
+                before = [
+                    mut
+                    for mut in mutators
+                    if (ack.lineno, ack.col_offset)
+                    < (mut.lineno, mut.col_offset)
+                    # `await send(await apply_insert(...))` evaluates the
+                    # mutation first even though the send's position is
+                    # earlier — a nested mutator is not ack-before-log.
+                    and not any(n is mut.node for n in ast.walk(ack.node))
+                ]
+                if before:
+                    mut = before[0]
+                    yield self.finding(
+                        source, ack,
+                        f"async {fn.display} sends a reply before the "
+                        f".{mut.name}() on line {mut.lineno} — an ack must "
+                        "never precede the write (WAL append) it "
+                        "acknowledges",
+                    )

@@ -28,7 +28,11 @@ Commands
     ``--index delta`` serves a mutable delta-buffered index accepting
     wire ``insert`` ops, with off-loop merges at ``--merge-threshold``
     buffered rows (0 = never) and, with ``--adaptive``, live layout
-    replacement when the workload shifts.
+    replacement when the workload shifts. ``--data-dir PATH`` makes the
+    mutable index durable: every insert is WAL-appended before its ack
+    (``--fsync always|batch|never``), merges snapshot the clustered
+    table, and a restart on the same PATH recovers warm — snapshot plus
+    WAL tail, no dataset regeneration or layout re-learning.
 ``bench-diff``
     Compare this run's ``results/BENCH_*.json`` perf points against a
     previous run's artifact directory and flag >20% regressions —
@@ -36,7 +40,8 @@ Commands
 ``check``
     Run the project's static invariant rules (loop-safety,
     shm-lifecycle, generation-discipline, strict-json,
-    visitor-protocol, write-barrier) over ``src/`` + ``benchmarks/``
+    visitor-protocol, write-barrier, durability-ack) over
+    ``src/`` + ``benchmarks/``
     (or given paths); ``--format json`` for the machine-readable CI
     gate, ``--list-rules`` to see what is enforced. Exit 0 clean,
     1 findings, 2 usage error.
@@ -225,6 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="monitor served query times and replace the layout off-loop "
         "when the workload shifts (paper §8; needs --index delta)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="PATH",
+        help="durable serving: WAL-append every insert before its ack and "
+        "snapshot the clustered table after each merge under PATH; if PATH "
+        "already holds a snapshot the server warm-restarts from it (plus "
+        "the WAL tail) instead of regenerating the dataset and re-learning "
+        "the layout (needs --index delta)",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=["always", "batch", "never"],
+        default="batch",
+        help="WAL durability policy with --data-dir: 'always' fsyncs every "
+        "append (durable against OS/power loss, slowest), 'batch' (default) "
+        "flushes per append and fsyncs periodically (durable against "
+        "process crash per acknowledged row), 'never' only flushes "
+        "(fastest, same process-crash guarantee, unbounded OS-crash window)",
     )
     serve.add_argument("--seed", type=int, default=7)
 
@@ -423,34 +448,67 @@ def _cmd_serve(args) -> int:
     if args.merge_threshold < 0:
         print("serve needs --merge-threshold >= 0 (0 = never)", file=sys.stderr)
         return 2
-    if args.index != "delta" and (args.merge_threshold or args.adaptive):
+    if args.index != "delta" and (
+        args.merge_threshold or args.adaptive or args.data_dir
+    ):
         print(
-            "--merge-threshold/--adaptive need --index delta", file=sys.stderr
+            "--merge-threshold/--adaptive/--data-dir need --index delta",
+            file=sys.stderr,
         )
         return 2
-    print(f"Loading {args.dataset} at {args.rows} rows...")
-    bundle = load(args.dataset, n=args.rows, num_queries=50, seed=args.seed)
-    # Learn the layout first, then build the served index exactly once
-    # (a mutable or grid-scaled index must not pay for a throwaway build).
-    cost_model = default_cost_model()
-    opt = find_optimal_layout(
-        bundle.table, bundle.train, cost_model, seed=args.seed
+    from repro.core.durable import DurableDeltaFlood
+
+    # Warm restart: a data dir with a snapshot already holds the
+    # clustered table AND the learned layout — skip the dataset
+    # regeneration and the layout search entirely.
+    recovering = bool(args.data_dir) and DurableDeltaFlood.has_state(
+        args.data_dir
     )
-    layout = opt.layout
-    if args.grid_scale != 1.0:
-        layout = layout.scaled(args.grid_scale)
+    cost_model = None
+    if not recovering:
+        print(f"Loading {args.dataset} at {args.rows} rows...")
+        bundle = load(args.dataset, n=args.rows, num_queries=50, seed=args.seed)
+        # Learn the layout first, then build the served index exactly once
+        # (a mutable or grid-scaled index must not pay for a throwaway
+        # build).
+        cost_model = default_cost_model()
+        opt = find_optimal_layout(
+            bundle.table, bundle.train, cost_model, seed=args.seed
+        )
+        layout = opt.layout
+        if args.grid_scale != 1.0:
+            layout = layout.scaled(args.grid_scale)
     scan_backend = None
     if args.index == "delta":
         from repro.core.delta import DeltaBufferedFlood
 
         # The controller owns the merge threshold (merges must run
         # off-loop), so the index's own blocking auto-merge stays off.
-        flood = DeltaBufferedFlood(
-            layout,
+        delta_kwargs = dict(
             merge_threshold=None,
             num_shards=None if args.shards == 1 else args.shards,
             backend=None if args.shards == 1 else args.backend,
-        ).build(bundle.table)
+        )
+        if recovering:
+            flood = DurableDeltaFlood.open(
+                args.data_dir, fsync=args.fsync, **delta_kwargs
+            )
+            layout = flood.layout
+            print(
+                f"Recovered from {args.data_dir}: {len(flood.table)} merged "
+                f"+ {flood.recovered_rows} replayed rows, "
+                f"generation {flood.generation} (fsync {args.fsync})",
+                flush=True,
+            )
+        elif args.data_dir:
+            flood = DurableDeltaFlood(
+                layout, args.data_dir, fsync=args.fsync, **delta_kwargs
+            ).build(bundle.table)
+            print(f"Durable data dir: {args.data_dir} (fsync {args.fsync})")
+        else:
+            flood = DeltaBufferedFlood(layout, **delta_kwargs).build(
+                bundle.table
+            )
         inner = flood.index
         if args.shards != 1:
             print(

@@ -25,8 +25,10 @@
 
 Extensions the paper sketches (Sections 6 and 8) are implemented too:
 :mod:`repro.core.knn` (nearest-neighbor search over the grid),
-:mod:`repro.core.delta` (inserts via a delta buffer), and
-:mod:`repro.core.monitor` (workload-shift detection + auto-retraining).
+:mod:`repro.core.delta` (inserts via a delta buffer),
+:mod:`repro.core.durable` (the delta buffer made crash-safe: WAL +
+snapshots + warm restart), and :mod:`repro.core.monitor` (workload-shift
+detection + auto-retraining).
 """
 
 from repro.core.backends import (
@@ -39,6 +41,7 @@ from repro.core.backends import (
 from repro.core.calibration import calibrate, generate_training_examples
 from repro.core.cost import AnalyticCostModel, CostModel, LearnedCostModel, QueryFeatures
 from repro.core.delta import DeltaBufferedFlood
+from repro.core.durable import DurableDeltaFlood
 from repro.core.engine import BatchQueryEngine, BatchResult
 from repro.core.flatten import Flattener
 from repro.core.index import FloodIndex, QueryPlan
@@ -66,6 +69,7 @@ __all__ = [
     "ProcessBackend",
     "resolve_backend",
     "DeltaBufferedFlood",
+    "DurableDeltaFlood",
     "KNNSearcher",
     "knn",
     "AdaptiveFlood",

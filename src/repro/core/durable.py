@@ -1,0 +1,450 @@
+"""Durable mutable serving: WAL + snapshots around the delta buffer.
+
+:class:`DurableDeltaFlood` wraps a
+:class:`~repro.core.delta.DeltaBufferedFlood` (plain or sharded) and
+implements the PR-5 :class:`~repro.core.protocol.MutableIndex` protocol,
+so the whole engine/batcher/server stack serves it unchanged — but every
+acknowledged insert now survives a crash:
+
+- **Log before ack.** :meth:`insert` / :meth:`insert_many` append a
+  framed record to the :class:`~repro.storage.wal.WriteAheadLog`
+  *before* touching the in-memory buffer; the method only returns (and
+  the wire ack only goes out) once the record is at least in the kernel
+  (``fsync`` policy ``batch``/``never``) or on stable storage
+  (``always``). A WAL failure raises a structured
+  :class:`~repro.errors.DurabilityError` and leaves the buffer
+  untouched — the client is never acked for a row the log may not hold.
+- **Checkpoint after merge.** :meth:`commit_merge` swaps the prepared
+  index in (cheap, runs through the serving write barrier), rotates the
+  WAL to a fresh segment, and captures an immutable checkpoint state;
+  :meth:`checkpoint` — run *off* the event loop by the serving layer —
+  then writes the atomic snapshot and prunes every WAL segment the
+  snapshot covers. Rows inserted mid-merge sit in the pre-rotation
+  segment and are retained until a later checkpoint covers them.
+- **Warm restart.** :meth:`open` loads the snapshot (clustered table +
+  learned layout + counters), rebuilds the inner index from it — no
+  dataset regeneration, no layout re-learning — and replays the WAL
+  tail into the delta buffer. Replay filters on each record's absolute
+  ``row_start`` against the snapshot's ``rows_merged_total``, so
+  already-merged rows are skipped exactly, even when a merge boundary
+  split a batch record in half. Recovery never writes new log records
+  (beyond repairing a torn tail), which is what makes it idempotent:
+  crash *during* recovery, recover again, same index.
+
+Failure ordering note: the WAL append precedes the buffer apply, so the
+only possible divergence is a logged-but-unacked row (append succeeded,
+ack never sent because the process died first). Recovery resurrects such
+rows — "every acknowledged insert survives" holds with recovered ⊇
+acked, the only side clients can reason about.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.delta import DeltaBufferedFlood, PreparedMerge
+from repro.core.layout import GridLayout
+from repro.errors import DurabilityError, SchemaError
+from repro.query.predicate import Query
+from repro.query.stats import QueryStats
+from repro.storage.snapshot import (
+    has_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.storage.table import Table
+from repro.storage.visitor import Visitor
+from repro.storage.wal import (
+    KIND_INSERT,
+    KIND_INSERT_MANY,
+    StorageIO,
+    WriteAheadLog,
+    list_segments,
+    scan_records,
+)
+
+
+class DurableDeltaFlood:
+    """A delta-buffered Flood index whose inserts survive crashes.
+
+    Parameters
+    ----------
+    layout:
+        Grid layout for the inner index (ignored by :meth:`open`, which
+        restores the layout from the snapshot).
+    data_dir:
+        Directory holding ``snapshot.bin`` + ``wal-*.log``; created by
+        :meth:`build` if missing.
+    fsync:
+        WAL durability policy: ``always`` / ``batch`` / ``never`` (see
+        :mod:`repro.storage.wal`).
+    merge_threshold:
+        Auto-merge (blocking, library use) once the buffer holds this
+        many rows; ``None``/``0`` disables — the serving layer disables
+        it and runs merges off-loop through its own threshold.
+    io:
+        The :class:`~repro.storage.wal.StorageIO` seam; the fault-
+        injection tests substitute a failing implementation.
+    delta_kwargs:
+        Passed through to :class:`~repro.core.delta.DeltaBufferedFlood`
+        (``num_shards``, ``backend``, flood kwargs, ...).
+    """
+
+    name = "Flood-delta-durable"
+
+    def __init__(
+        self,
+        layout: GridLayout,
+        data_dir: str,
+        fsync: str = "batch",
+        merge_threshold: int | None = 4096,
+        io: StorageIO | None = None,
+        **delta_kwargs,
+    ):
+        self._delta = DeltaBufferedFlood(
+            layout, merge_threshold=None, **delta_kwargs
+        )
+        self.data_dir = str(data_dir)
+        self.fsync = fsync
+        self.merge_threshold = merge_threshold
+        self._io = io or StorageIO()
+        self._wal: WriteAheadLog | None = None
+        #: Rows ever appended to the WAL (the next record's row_start).
+        self._rows_logged = 0
+        #: Rows (cumulative) folded into the clustered table by merges.
+        self._rows_merged_total = 0
+        #: Immutable state captured at the last commit, awaiting its
+        #: snapshot; written and cleared by :meth:`checkpoint`.
+        self._checkpoint_state: dict | None = None
+        self.checkpoints = 0
+        self.last_checkpoint_seconds = 0.0
+        self.recovered = False
+        self.recovered_rows = 0
+        self.recovery_clean = True
+        self.recovery_reason: str | None = None
+
+    # ------------------------------------------------------------------ build
+    @staticmethod
+    def has_state(data_dir: str) -> bool:
+        """Whether ``data_dir`` holds a recoverable snapshot."""
+        return has_snapshot(data_dir)
+
+    def build(self, table: Table) -> "DurableDeltaFlood":
+        """Build fresh over ``table`` and persist the initial snapshot.
+
+        Refuses a data dir that already holds a snapshot (use
+        :meth:`open`) or WAL segments with logged rows — overwriting
+        either would silently drop durable data.
+        """
+        if has_snapshot(self.data_dir):
+            raise DurabilityError(
+                f"{self.data_dir} already holds a snapshot; open() it "
+                "instead of build()ing over it"
+            )
+        os.makedirs(self.data_dir, exist_ok=True)
+        for _, path in list_segments(self.data_dir):
+            # Leftovers from a crash before the initial snapshot landed
+            # hold no inserts (build is synchronous before serving) —
+            # but verify that before deleting anything.
+            with self._io.open(path, "rb") as handle:
+                result = scan_records(handle.read())
+            if any(record.rows for record in result.records):
+                raise DurabilityError(
+                    f"{self.data_dir} has WAL segments with logged rows "
+                    "but no snapshot; refusing to build over possible "
+                    "data loss (inspect or clear the directory first)"
+                )
+            self._io.remove(path)
+        self._delta.build(table)
+        self._wal = WriteAheadLog(self.data_dir, fsync=self.fsync, io=self._io)
+        # The initial snapshot: a crash at any later point recovers warm
+        # (snapshot + WAL tail) instead of re-learning from the dataset.
+        write_snapshot(
+            self.data_dir,
+            table=self._delta.table,
+            layout=self._delta.layout,
+            generation=self._delta.generation,
+            merges=self._delta.merges,
+            retrains=self._delta.retrains,
+            rows_merged_total=0,
+            io=self._io,
+        )
+        self.checkpoints += 1
+        return self
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        fsync: str = "batch",
+        merge_threshold: int | None = 4096,
+        io: StorageIO | None = None,
+        **delta_kwargs,
+    ) -> "DurableDeltaFlood":
+        """Recover a warm index: snapshot + WAL-tail replay.
+
+        Read-only with respect to durable state (modulo torn-tail
+        repair), so recovery is idempotent — opening the same directory
+        twice yields the same generation and row count.
+        """
+        snap = load_snapshot(data_dir, io=io)
+        if snap is None:
+            raise DurabilityError(
+                f"{data_dir} holds no snapshot; build() a fresh index "
+                "(or check the path)"
+            )
+        layout = GridLayout(snap.layout_order, snap.layout_columns)
+        self = cls(
+            layout,
+            data_dir,
+            fsync=fsync,
+            merge_threshold=merge_threshold,
+            io=io,
+            **delta_kwargs,
+        )
+        inner = self._delta
+        inner.build(Table(snap.columns, compress=snap.compressed))
+        inner.generation = snap.generation
+        inner.merges = snap.merges
+        inner.retrains = snap.retrains
+        self._rows_merged_total = snap.rows_merged_total
+        self._wal = WriteAheadLog(data_dir, fsync=fsync, io=self._io)
+        self.recovery_clean = self._wal.recovery_clean
+        self.recovery_reason = self._wal.recovery_reason
+        base = snap.rows_merged_total
+        replayed = 0
+        for record in self._wal.recovered:
+            if not record.rows or record.row_end <= base:
+                continue  # truncate marker, or fully merged already
+            skip = max(0, base - record.row_start)
+            rows = (
+                {dim: values[skip:] for dim, values in record.rows.items()}
+                if skip
+                else record.rows
+            )
+            if record.kind == KIND_INSERT and not skip:
+                inner.insert(
+                    {dim: values[0] for dim, values in rows.items()}
+                )
+            else:
+                inner.insert_many(rows)
+            replayed += record.row_end - record.row_start - skip
+        self._rows_logged = max(self._wal.next_row, base)
+        self.recovered = True
+        self.recovered_rows = replayed
+        return self
+
+    # ------------------------------------------------------------ delegation
+    @property
+    def table(self) -> Table:
+        return self._delta.table
+
+    @property
+    def index(self):
+        """The current inner clustered index (replaced by every merge)."""
+        return self._delta.index
+
+    @property
+    def layout(self) -> GridLayout:
+        return self._delta.layout
+
+    @property
+    def generation(self) -> int:
+        return self._delta.generation
+
+    @property
+    def merges(self) -> int:
+        return self._delta.merges
+
+    @property
+    def retrains(self) -> int:
+        return self._delta.retrains
+
+    @property
+    def last_merge_seconds(self) -> float:
+        return self._delta.last_merge_seconds
+
+    @property
+    def buffered_rows(self) -> int:
+        return self._delta.buffered_rows
+
+    def query(
+        self, query: Query, visitor: Visitor, enum_cache: dict | None = None
+    ) -> QueryStats:
+        return self._delta.query(query, visitor, enum_cache=enum_cache)
+
+    def query_percell(self, query: Query, visitor: Visitor) -> QueryStats:
+        return self._delta.query_percell(query, visitor)
+
+    def size_bytes(self) -> int:
+        return self._delta.size_bytes()
+
+    # ----------------------------------------------------------------- insert
+    def _require_wal(self) -> WriteAheadLog:
+        if self._wal is None:
+            raise DurabilityError(
+                f"{self.name} used before build()/open() attached its WAL"
+            )
+        return self._wal
+
+    def _coerce(self, rows: dict, batch: bool) -> dict:
+        """Validate dims and coerce values to the table's column dtypes
+        (the same coercion the buffer applies, so the logged bytes equal
+        what a replay will re-insert)."""
+        inner = self._delta
+        if not inner._dims:
+            raise DurabilityError(f"{self.name} used before build()/open()")
+        if set(rows) != set(inner._dims):
+            raise SchemaError(
+                f"row dims {sorted(rows)} do not match table dims "
+                f"{sorted(inner._dims)}"
+            )
+        out = {}
+        for dim in inner._dims:
+            values = np.atleast_1d(np.asarray(rows[dim]))
+            out[dim] = values.astype(inner._dtypes[dim])
+        if batch and len({len(v) for v in out.values()}) != 1:
+            raise SchemaError("batch columns disagree on length")
+        return out
+
+    def insert(self, row: dict) -> None:
+        """WAL-append one row, then buffer it. Raises
+        :class:`~repro.errors.DurabilityError` (row NOT applied, NOT to
+        be acked) if the log write fails."""
+        cols = self._coerce(row, batch=False)
+        wal = self._require_wal()
+        wal.append(KIND_INSERT, cols, self._rows_logged)
+        self._rows_logged += 1
+        self._delta.insert(row)
+        self._maybe_auto_merge()
+
+    def insert_many(self, rows: dict) -> None:
+        """WAL-append a column-oriented batch, then buffer it."""
+        cols = self._coerce(rows, batch=True)
+        wal = self._require_wal()
+        nrows = len(next(iter(cols.values())))
+        wal.append(KIND_INSERT_MANY, cols, self._rows_logged)
+        self._rows_logged += nrows
+        self._delta.insert_many(rows)
+        self._maybe_auto_merge()
+
+    def _maybe_auto_merge(self) -> None:
+        if (
+            self.merge_threshold is not None
+            and self.merge_threshold > 0
+            and self.buffered_rows >= self.merge_threshold
+        ):
+            self.merge()
+
+    # ------------------------------------------------------------------ merge
+    def prepare_merge(self) -> PreparedMerge | None:
+        return self._delta.prepare_merge()
+
+    def prepare_relayout(self, queries, cost_model=None, seed: int = 0):
+        return self._delta.prepare_relayout(
+            queries, cost_model=cost_model, seed=seed
+        )
+
+    def commit_merge(self, prepared: PreparedMerge | None):
+        """Swap the prepared index in, rotate the WAL, and capture the
+        checkpoint state; returns the old inner index (for backend
+        retirement), exactly like the plain delta index.
+
+        Kept cheap deliberately: this runs through the serving write
+        barrier (on the event loop). The heavy half — snapshot write +
+        segment pruning — is :meth:`checkpoint`, which the serving layer
+        runs on an executor thread right after.
+        """
+        old = self._delta.commit_merge(prepared)
+        if prepared is not None:
+            self._rows_merged_total += prepared.rows_merged
+            self._require_wal().rotate()
+            # Capture *immutable* state now (the table never mutates, a
+            # layout is frozen): checkpoint() can serialize it off-loop
+            # while inserts keep landing in the new WAL segment.
+            self._checkpoint_state = {
+                "table": self._delta.table,
+                "layout": self._delta.layout,
+                "generation": self._delta.generation,
+                "merges": self._delta.merges,
+                "retrains": self._delta.retrains,
+                "rows_merged_total": self._rows_merged_total,
+            }
+        return old
+
+    def checkpoint(self) -> bool:
+        """Write the pending snapshot and prune covered WAL segments.
+
+        Heavy (serializes the whole clustered table, fsyncs): the
+        serving layer runs it off the event loop after each commit; the
+        library-use :meth:`merge` calls it inline. Returns False when no
+        commit is pending. On failure the pending state is kept, the
+        previous snapshot stays valid, and the WAL still covers every
+        row — recovery replays the merged rows back into the buffer, so
+        nothing is lost, just not yet compacted.
+        """
+        state = self._checkpoint_state
+        if state is None:
+            return False
+        start = time.perf_counter()
+        write_snapshot(
+            self.data_dir,
+            table=state["table"],
+            layout=state["layout"],
+            generation=state["generation"],
+            merges=state["merges"],
+            retrains=state["retrains"],
+            rows_merged_total=state["rows_merged_total"],
+            io=self._io,
+        )
+        self._checkpoint_state = None
+        self.checkpoints += 1
+        self.last_checkpoint_seconds = time.perf_counter() - start
+        self._require_wal().prune(state["rows_merged_total"])
+        return True
+
+    def merge(self) -> None:
+        """Blocking merge + checkpoint (the library-use path)."""
+        self.commit_merge(self.prepare_merge())
+        self.checkpoint()
+
+    # ------------------------------------------------------------------ stats
+    def durability_stats(self) -> dict:
+        """The ``durability`` block of the serving ``stats`` op."""
+        wal = self._wal
+        return {
+            "data_dir": self.data_dir,
+            "fsync": self.fsync,
+            "wal_segments": wal.segment_count if wal is not None else 0,
+            "wal_bytes": wal.size_bytes() if wal is not None else 0,
+            "wal_records": wal.records_appended if wal is not None else 0,
+            "rows_logged": self._rows_logged,
+            "rows_merged_total": self._rows_merged_total,
+            "checkpoints": self.checkpoints,
+            "last_checkpoint_seconds": self.last_checkpoint_seconds,
+            "checkpoint_pending": self._checkpoint_state is not None,
+            "recovered": self.recovered,
+            "recovered_rows": self.recovered_rows,
+            "recovery_clean": self.recovery_clean,
+        }
+
+    # --------------------------------------------------------------- teardown
+    def close(self) -> None:
+        """Close the WAL without checkpointing (crash-equivalent state on
+        disk, modulo the final flush); used by recovery tests that need
+        the un-compacted directory preserved."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def shutdown(self) -> None:
+        """Best-effort final checkpoint, then retire WAL + scan backend."""
+        try:
+            self.checkpoint()
+        except DurabilityError:
+            pass  # recovery still replays the WAL; nothing is lost
+        if self._wal is not None:
+            self._wal.close()
+        self._delta.shutdown()

@@ -31,3 +31,15 @@ class OverloadedError(QueryError):
 
 class NotFittedError(ReproError):
     """A model was used before being fitted."""
+
+
+class DurabilityError(ReproError):
+    """A durability operation (WAL append/fsync, snapshot write/rename,
+    recovery) failed or found inconsistent on-disk state.
+
+    Raised *instead of* acknowledging a write: the serving layer maps it
+    to an error reply, so a client never holds an ack for a row whose
+    log record may not exist. Failures are fail-stop on the WAL append
+    path — after an append or fsync error the log refuses further
+    writes rather than risking a corrupt frame mid-file.
+    """

@@ -33,6 +33,17 @@ Generation-keyed cache invalidation needs no extra wiring here: every
 insert and every swap bumps ``index.generation``, the server folds the
 generation into result-cache keys, so a pre-mutation entry can never be
 served post-mutation.
+
+Durability composes the same way (``repro serve --data-dir``): when the
+served index is a :class:`~repro.core.durable.DurableDeltaFlood`, its
+``insert``/``insert_many`` append to the write-ahead log *inside* the
+write closure — i.e. before :meth:`MicroBatcher.submit_write` resolves
+and therefore strictly before the wire ack — and its ``commit_merge``
+rotates the WAL inside the commit barrier. The controller then runs the
+heavy half, ``checkpoint()`` (snapshot write + WAL prune), on an
+executor thread after the swap, and surfaces a ``durability`` block in
+the ``stats`` payload. A non-durable index has no ``checkpoint``
+attribute and nothing here changes.
 """
 
 from __future__ import annotations
@@ -231,6 +242,15 @@ class MutableController:
                 return swapped["old"]
 
             await self.batcher.submit_write(commit)
+            # Durable indexes split their post-commit work: commit_merge
+            # rotated the WAL (cheap, inside the barrier above); the
+            # snapshot write + segment prune serialize the whole
+            # clustered table and fsync, so they run off-loop here. A
+            # crash in the gap is safe — the previous snapshot plus the
+            # retained WAL segments still cover every row.
+            checkpoint = getattr(index, "checkpoint", None)
+            if checkpoint is not None:
+                await loop.run_in_executor(None, checkpoint)
             return True
         except Exception:
             self.maintenance_failures += 1
@@ -273,13 +293,17 @@ class MutableController:
     # ---------------------------------------------------------------- stats
     def stats_payload(self) -> dict:
         """The ``stats``-op mutable block (also embedded in insert acks)."""
-        return {
+        payload = {
             **mutable_stats(self.index),
             "merge_threshold": self.merge_threshold,
             "merge_running": self.merge_running,
             "adaptive": self.monitor is not None,
             "maintenance_failures": self.maintenance_failures,
         }
+        durability = getattr(self.index, "durability_stats", None)
+        if durability is not None:
+            payload["durability"] = durability()
+        return payload
 
     async def drain(self) -> None:
         """Await in-flight (and chained) maintenance; server shutdown path."""

@@ -52,7 +52,7 @@ from dataclasses import asdict
 from repro.core.engine import BatchQueryEngine
 from repro.core.monitor import WorkloadMonitor
 from repro.core.protocol import supports_insert
-from repro.errors import OverloadedError, QueryError, ReproError
+from repro.errors import DurabilityError, OverloadedError, QueryError, ReproError
 from repro.jsonutil import dumps_strict, loads_strict
 from repro.query.predicate import Query
 from repro.serve.batcher import MicroBatcher
@@ -344,6 +344,13 @@ class FloodServer:
         return await self._handle_query(message, client)
 
     async def _handle_write(self, message: dict) -> bytes:
+        """One write op. Ack ordering is the durability contract: the
+        ``ok: true`` reply is only built after ``apply_insert`` resolves,
+        which in turn resolves only after the write closure — WAL append
+        first, buffer apply second for a durable index — ran to
+        completion inside the batcher's write barrier. A client holding
+        an ack therefore holds a logged row (the ``durability-ack``
+        rule of ``repro check`` pins this ordering statically)."""
         request_id = message.get("id")
         try:
             if self.mutable is None:
@@ -355,6 +362,17 @@ class FloodServer:
                 payload = await self.mutable.merge_now()
             else:
                 payload = await self.mutable.apply_insert(message)
+        except DurabilityError as exc:
+            # Structured, never silent: the row was NOT applied and must
+            # not be retried against a log that is now fail-stop.
+            return _encode(
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": str(exc),
+                    "durability": True,
+                }
+            )
         except (ReproError, TypeError, ValueError, OverflowError) as exc:
             return _encode({"id": request_id, "ok": False, "error": str(exc)})
         except Exception as exc:  # last resort: an error reply beats a hang

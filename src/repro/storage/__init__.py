@@ -20,6 +20,11 @@ column store and using the same optimizations where applicable"):
   exact-range optimization that skips per-value checks.
 - :mod:`repro.storage.shm` -- the table mirrored into
   ``multiprocessing.shared_memory`` so worker processes scan zero-copy.
+- :mod:`repro.storage.wal` -- the segmented, CRC-framed write-ahead log
+  the durability tier appends every insert to before acknowledging it.
+- :mod:`repro.storage.snapshot` -- atomic (write-tmp-then-rename)
+  snapshots of the clustered table + learned layout, taken after each
+  committed merge so restarts are warm.
 """
 
 from repro.storage.column import CompressedColumn, BLOCK_SIZE
@@ -27,7 +32,15 @@ from repro.storage.dictionary import DictionaryEncoder
 from repro.storage.scaling import DecimalScaler
 from repro.storage.scan import scan_range
 from repro.storage.shm import SharedMemoryTable, ShmTableHandle
+from repro.storage.snapshot import Snapshot, has_snapshot, load_snapshot, write_snapshot
 from repro.storage.table import Table
+from repro.storage.wal import (
+    StorageIO,
+    WalRecord,
+    WriteAheadLog,
+    encode_record,
+    scan_records,
+)
 from repro.storage.visitor import (
     AvgVisitor,
     CollectVisitor,
@@ -47,6 +60,15 @@ __all__ = [
     "Table",
     "SharedMemoryTable",
     "ShmTableHandle",
+    "StorageIO",
+    "WriteAheadLog",
+    "WalRecord",
+    "encode_record",
+    "scan_records",
+    "Snapshot",
+    "has_snapshot",
+    "load_snapshot",
+    "write_snapshot",
     "Visitor",
     "CountVisitor",
     "SumVisitor",

@@ -1,0 +1,208 @@
+"""Atomic snapshots of the clustered table + learned layout.
+
+The checkpoint half of the durability tier: after each committed merge
+(and at the initial build) the whole clustered table, the learned
+:class:`~repro.core.layout.GridLayout`, and the mutation counters are
+written to ``snapshot.bin`` under the data directory. Recovery loads the
+snapshot, rebuilds the index from it, and replays the WAL tail — so a
+restart is warm: no dataset regeneration, no layout re-learning.
+
+Writes are crash-atomic the classic way: serialize to ``snapshot.tmp``,
+flush, fsync, then ``rename(2)`` over the final name and fsync the
+directory. A crash at any point leaves either the old complete snapshot
+or the new complete snapshot — never a torn one — and a stale ``.tmp``
+is ignored (and overwritten) by the next checkpoint.
+
+On-disk format (single file)::
+
+    magic (8 bytes) | u32 header length | JSON header | column bytes | u32 crc32
+
+The JSON header carries dims, dtypes, row count, compression flag, the
+layout (order + column counts), and the counters (``generation``,
+``merges``, ``retrains``, ``rows_merged_total`` — the recovery LSN the
+WAL replay filters against). Column data is raw little-endian int64 /
+float64, concatenated in header order. The trailing CRC32 covers
+everything before it; a mismatch raises a structured
+:class:`~repro.errors.DurabilityError` instead of silently serving a
+half-written table (rename atomicity makes this unreachable in normal
+operation, but the contract is enforced, not assumed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DurabilityError
+from repro.storage.wal import StorageIO
+
+SNAPSHOT_MAGIC = b"RSNP\x01\n\x00\x00"
+SNAPSHOT_NAME = "snapshot.bin"
+_TMP_NAME = "snapshot.tmp"
+_U32 = struct.Struct("<I")
+
+_DTYPE_TAGS = {"i8": np.dtype("<i8"), "f8": np.dtype("<f8")}
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A loaded snapshot: everything needed to rebuild the served index."""
+
+    columns: dict
+    compressed: bool
+    layout_order: tuple
+    layout_columns: tuple
+    generation: int
+    merges: int
+    retrains: int
+    #: Rows (cumulative, since the data dir was created) folded into the
+    #: clustered table — WAL replay applies only rows at or past this.
+    rows_merged_total: int
+
+    @property
+    def num_rows(self) -> int:
+        return len(next(iter(self.columns.values()))) if self.columns else 0
+
+
+def snapshot_path(directory: str) -> str:
+    return os.path.join(directory, SNAPSHOT_NAME)
+
+
+def has_snapshot(directory: str) -> bool:
+    return os.path.exists(snapshot_path(directory))
+
+
+def _dtype_tag(dtype: np.dtype) -> str:
+    if np.issubdtype(dtype, np.floating):
+        return "f8"
+    return "i8"
+
+
+def write_snapshot(
+    directory: str,
+    *,
+    table,
+    layout,
+    generation: int,
+    merges: int,
+    retrains: int,
+    rows_merged_total: int,
+    io: StorageIO | None = None,
+) -> str:
+    """Atomically persist ``table`` + ``layout`` + counters; returns the
+    final path. Any I/O failure raises
+    :class:`~repro.errors.DurabilityError` and leaves the previous
+    snapshot (if any) untouched.
+    """
+    io = io or StorageIO()
+    dims = list(table.dims)
+    header = {
+        "version": 1,
+        "dims": dims,
+        "dtypes": {},
+        "num_rows": len(table),
+        "compressed": bool(table.compressed),
+        "layout": {
+            "order": list(layout.order),
+            "columns": list(layout.columns),
+        },
+        "generation": int(generation),
+        "merges": int(merges),
+        "retrains": int(retrains),
+        "rows_merged_total": int(rows_merged_total),
+    }
+    bodies = []
+    for dim in dims:
+        values = np.ascontiguousarray(table.values(dim))
+        tag = _dtype_tag(values.dtype)
+        header["dtypes"][dim] = tag
+        bodies.append(values.astype(_DTYPE_TAGS[tag], copy=False).tobytes())
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    payload = b"".join(
+        [SNAPSHOT_MAGIC, _U32.pack(len(header_bytes)), header_bytes, *bodies]
+    )
+    crc = _U32.pack(zlib.crc32(payload))
+    tmp = os.path.join(directory, _TMP_NAME)
+    final = snapshot_path(directory)
+    try:
+        handle = io.open(tmp, "wb")
+        try:
+            io.write(handle, payload)
+            io.write(handle, crc)
+            io.flush(handle)
+            io.fsync(handle)
+        finally:
+            handle.close()
+        io.replace(tmp, final)
+        io.fsync_dir(directory)
+    except OSError as exc:
+        try:  # best-effort: do not leave a half-written tmp around
+            io.remove(tmp)
+        except OSError:
+            pass
+        raise DurabilityError(
+            f"snapshot write failed ({exc}); the previous snapshot (if "
+            "any) is intact and the WAL still covers every row"
+        ) from exc
+    return final
+
+
+def load_snapshot(directory: str, io: StorageIO | None = None) -> Snapshot | None:
+    """Load and CRC-verify the snapshot under ``directory``.
+
+    Returns ``None`` when no snapshot exists (a fresh data dir). A
+    snapshot that exists but fails validation raises
+    :class:`~repro.errors.DurabilityError` — a corrupt snapshot means
+    potential data loss, and silently rebuilding from scratch would hide
+    it.
+    """
+    io = io or StorageIO()
+    path = snapshot_path(directory)
+    if not os.path.exists(path):
+        return None
+    with io.open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < len(SNAPSHOT_MAGIC) + _U32.size * 2:
+        raise DurabilityError(f"snapshot {path} is truncated")
+    if data[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise DurabilityError(f"snapshot {path} has a bad magic header")
+    payload, crc_bytes = data[: -_U32.size], data[-_U32.size :]
+    if zlib.crc32(payload) != _U32.unpack(crc_bytes)[0]:
+        raise DurabilityError(f"snapshot {path} failed its CRC check")
+    off = len(SNAPSHOT_MAGIC)
+    (header_len,) = _U32.unpack_from(payload, off)
+    off += _U32.size
+    try:
+        header = json.loads(payload[off : off + header_len].decode("utf-8"))
+    except ValueError as exc:
+        raise DurabilityError(f"snapshot {path} header is unreadable") from exc
+    off += header_len
+    columns: dict = {}
+    num_rows = int(header["num_rows"])
+    for dim in header["dims"]:
+        dtype = _DTYPE_TAGS[header["dtypes"][dim]]
+        nbytes = num_rows * dtype.itemsize
+        if off + nbytes > len(payload):
+            raise DurabilityError(f"snapshot {path} column data is short")
+        columns[dim] = np.frombuffer(
+            payload[off : off + nbytes], dtype=dtype
+        ).copy()
+        off += nbytes
+    if off != len(payload):
+        raise DurabilityError(f"snapshot {path} has trailing bytes")
+    layout = header["layout"]
+    return Snapshot(
+        columns=columns,
+        compressed=bool(header["compressed"]),
+        layout_order=tuple(layout["order"]),
+        layout_columns=tuple(layout["columns"]),
+        generation=int(header["generation"]),
+        merges=int(header["merges"]),
+        retrains=int(header["retrains"]),
+        rows_merged_total=int(header["rows_merged_total"]),
+    )

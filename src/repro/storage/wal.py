@@ -1,0 +1,555 @@
+"""The write-ahead log: length+CRC32-framed binary records on disk.
+
+Durability for the delta buffer (ROADMAP "durability tier"): every
+insert is appended here *before* it is acknowledged, so a crash loses
+nothing a client was told succeeded. The log is the classic ARIES shape
+specialized to this engine's three mutations:
+
+- ``KIND_INSERT`` / ``KIND_INSERT_MANY`` — one row / a column-oriented
+  batch, stored as typed little-endian column arrays;
+- ``KIND_TRUNCATE`` — a logical truncation marker written at the head of
+  every segment: rows before its ``row_start`` live in segments before
+  this one (or in a snapshot), making each segment self-describing.
+
+Every record carries an absolute ``row_start`` (rows ever logged before
+it), the recovery LSN: replay applies exactly the rows *after* the
+snapshot's merged-row count, even when a merge boundary splits a batch
+record in half. Records are framed ``u32 payload length | u32 crc32 |
+payload``, so replay tolerates exactly the failure modes a torn write
+produces: a truncated tail or a corrupt record terminates replay at the
+last intact frame — never an exception, never a phantom row.
+
+The log is *segmented*: appends go to the highest-numbered
+``wal-NNNNNNNN.log``; :meth:`WriteAheadLog.rotate` starts a fresh
+segment at each merge commit (cheap — one small file create), and
+:meth:`WriteAheadLog.prune` deletes closed segments once a snapshot
+covers their rows. Rotation instead of in-place truncation is what lets
+the snapshot be written *off the event loop* while inserts keep landing:
+mid-merge rows sit in the old segment, which is simply retained until a
+later checkpoint covers it.
+
+Fsync policy (``repro serve --fsync``):
+
+- ``always`` — fsync after every append: durable against OS/power loss
+  per acknowledged row (slowest).
+- ``batch`` (default) — flush to the kernel per append, fsync every
+  ``batch_bytes`` and at rotation: durable against *process* crash
+  (kill -9) per acknowledged row; an OS crash can lose the tail of the
+  current batch window.
+- ``never`` — flush to the kernel per append, never fsync: same process-
+  crash guarantee, no bound on the OS-crash window (fastest).
+
+All OS calls go through a :class:`StorageIO` seam so the fault-injection
+test tier (``tests/storage/fault.py``) can fail or "crash" any write,
+fsync, or rename; injected failures surface as structured
+:class:`~repro.errors.DurabilityError`\\ s, and the append path is
+fail-stop — after one failed append the log refuses further writes
+rather than risking a half-written frame mid-file.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DurabilityError
+
+#: Segment file header; a file not starting with this is not a WAL segment.
+WAL_MAGIC = b"RWAL\x01\n\x00\x00"
+#: Frame header: payload length, crc32(payload).
+_FRAME = struct.Struct("<II")
+#: Payload header: record kind, absolute row_start.
+_HEAD = struct.Struct("<BQ")
+_DIM = struct.Struct("<H")
+_COL = struct.Struct("<BI")
+
+KIND_INSERT = 1
+KIND_INSERT_MANY = 2
+KIND_TRUNCATE = 3
+
+#: Anything above this is a corrupt length field, not a real record.
+MAX_PAYLOAD = 1 << 30
+
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: Column dtype codes; everything this engine stores is 8 bytes wide.
+_CODE_FOR = {np.dtype("<i8"): 0, np.dtype("<f8"): 1}
+_DTYPE_FOR = {0: np.dtype("<i8"), 1: np.dtype("<f8")}
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+class StorageIO:
+    """The OS-call seam for WAL and snapshot I/O.
+
+    Production uses this default implementation; the fault-injection
+    layer (``tests/storage/fault.py``) subclasses it to fail or crash at
+    chosen write/fsync/rename points. Keeping the seam this narrow is
+    what makes the crash tests honest: every byte the durability tier
+    moves goes through one of these methods.
+    """
+
+    def open(self, path: str, mode: str):
+        return open(path, mode)
+
+    def write(self, handle, data: bytes) -> None:
+        handle.write(data)
+
+    def flush(self, handle) -> None:
+        handle.flush()
+
+    def fsync(self, handle) -> None:
+        os.fsync(handle.fileno())
+
+    def truncate(self, handle, size: int) -> None:
+        handle.truncate(size)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def fsync_dir(self, path: str) -> None:
+        """Persist a directory entry (rename/create); best-effort on
+        platforms without directory fds."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record."""
+
+    kind: int
+    #: Rows ever logged before this record (the recovery LSN).
+    row_start: int
+    #: Column name -> typed value array (empty for ``KIND_TRUNCATE``).
+    rows: dict
+
+    @property
+    def num_rows(self) -> int:
+        return len(next(iter(self.rows.values()))) if self.rows else 0
+
+    @property
+    def row_end(self) -> int:
+        return self.row_start + self.num_rows
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What one segment scan recovered.
+
+    ``clean`` is False when the scan stopped early — a truncated tail,
+    a corrupt frame, or a bad header; ``valid_bytes`` is the offset of
+    the last intact frame (the repair point), and ``reason`` says why.
+    """
+
+    records: list
+    clean: bool
+    reason: str | None
+    valid_bytes: int
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """One record as a framed byte string (frame header + payload)."""
+    parts = [_HEAD.pack(record.kind, record.row_start)]
+    parts.append(_DIM.pack(len(record.rows)))
+    for name, values in record.rows.items():
+        raw = name.encode("utf-8")
+        values = np.ascontiguousarray(values)
+        code = _CODE_FOR[np.dtype(values.dtype.str.replace(">", "<"))]
+        parts.append(_DIM.pack(len(raw)))
+        parts.append(raw)
+        parts.append(_COL.pack(code, len(values)))
+        parts.append(values.astype(_DTYPE_FOR[code], copy=False).tobytes())
+    payload = b"".join(parts)
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> WalRecord:
+    """Decode one CRC-verified payload; raises ``ValueError`` on any
+    structural mismatch (caller maps that to a corrupt frame)."""
+    if len(payload) < _HEAD.size + _DIM.size:
+        raise ValueError("short payload")
+    kind, row_start = _HEAD.unpack_from(payload, 0)
+    if kind not in (KIND_INSERT, KIND_INSERT_MANY, KIND_TRUNCATE):
+        raise ValueError(f"unknown record kind {kind}")
+    off = _HEAD.size
+    (ndims,) = _DIM.unpack_from(payload, off)
+    off += _DIM.size
+    rows: dict = {}
+    for _ in range(ndims):
+        (name_len,) = _DIM.unpack_from(payload, off)
+        off += _DIM.size
+        name = payload[off : off + name_len].decode("utf-8")
+        off += name_len
+        code, count = _COL.unpack_from(payload, off)
+        off += _COL.size
+        dtype = _DTYPE_FOR[code]  # KeyError -> ValueError via caller
+        nbytes = count * dtype.itemsize
+        if off + nbytes > len(payload):
+            raise ValueError("column data overruns payload")
+        rows[name] = np.frombuffer(payload[off : off + nbytes], dtype=dtype).copy()
+        off += nbytes
+    if off != len(payload):
+        raise ValueError("trailing bytes in payload")
+    if rows and len({len(v) for v in rows.values()}) != 1:
+        raise ValueError("columns disagree on length")
+    return WalRecord(kind=kind, row_start=row_start, rows=rows)
+
+
+def scan_records(data: bytes) -> ReplayResult:
+    """Parse one segment's bytes, tolerating a damaged tail.
+
+    Replay semantics (the property the codec tests pin): for *any*
+    byte-truncation and for any single corrupted record, the result is
+    exactly the prefix of intact records before the damage — no
+    exception, no partially decoded row. Records after a corrupt frame
+    are unreachable (framing can no longer be trusted) and are dropped.
+    """
+    records: list[WalRecord] = []
+    if len(data) < len(WAL_MAGIC):
+        return ReplayResult(records, False, "short or missing header", 0)
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        return ReplayResult(records, False, "bad magic", 0)
+    off = len(WAL_MAGIC)
+    while off < len(data):
+        if off + _FRAME.size > len(data):
+            return ReplayResult(records, False, "truncated frame header", off)
+        length, crc = _FRAME.unpack_from(data, off)
+        if length > MAX_PAYLOAD:
+            return ReplayResult(records, False, "implausible record length", off)
+        start = off + _FRAME.size
+        if start + length > len(data):
+            return ReplayResult(records, False, "truncated record payload", off)
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != crc:
+            return ReplayResult(records, False, "crc mismatch", off)
+        try:
+            records.append(_decode_payload(payload))
+        except ValueError as exc:
+            return ReplayResult(records, False, f"undecodable record: {exc}", off)
+        off = start + length
+    return ReplayResult(records, True, None, off)
+
+
+def segment_path(directory: str, segment_id: int) -> str:
+    return os.path.join(directory, f"wal-{segment_id:08d}.log")
+
+
+def list_segments(directory: str) -> list[tuple[int, str]]:
+    """``(segment_id, path)`` for every WAL segment, in id order."""
+    found = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        match = _SEGMENT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(found)
+
+
+class WriteAheadLog:
+    """A segmented, CRC-framed append log under one directory.
+
+    Opening scans every existing segment (crash recovery): intact
+    records across segments become :attr:`recovered`, a torn tail of the
+    last segment is repaired by truncating to the last intact frame, and
+    a corrupt *earlier* segment terminates replay there — later segments
+    are unreachable and deleted so the on-disk state always equals what
+    replay returned (``recovery_clean`` / ``recovery_reason`` report
+    this; nothing is dropped silently).
+
+    Parameters
+    ----------
+    directory:
+        Holds the ``wal-NNNNNNNN.log`` segments (created by the caller).
+    fsync:
+        ``always`` / ``batch`` / ``never`` — see the module docstring.
+    io:
+        The :class:`StorageIO` seam (tests inject faults here).
+    batch_bytes:
+        Under the ``batch`` policy, fsync once this many bytes have been
+        appended since the last sync.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "batch",
+        io: StorageIO | None = None,
+        batch_bytes: int = 256 * 1024,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES}"
+            )
+        self.directory = str(directory)
+        self.fsync_policy = fsync
+        self.batch_bytes = int(batch_bytes)
+        self._io = io or StorageIO()
+        self._file = None
+        self._failed: str | None = None
+        self._unsynced = 0
+        self.records_appended = 0
+        #: Intact records found at open, across all surviving segments.
+        self.recovered: list[WalRecord] = []
+        self.recovery_clean = True
+        self.recovery_reason: str | None = None
+        #: (segment_id, path, last row_end) for closed (non-active) segments.
+        self._closed: list[tuple[int, str, int]] = []
+        self.next_row = 0
+        try:
+            self._open_segments()
+        except OSError as exc:
+            raise DurabilityError(
+                f"could not open write-ahead log in {directory}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ open
+    def _open_segments(self) -> None:
+        segments = list_segments(self.directory)
+        if not segments:
+            self._active_id = 1
+            self._create_segment(self._active_id, row_start=0)
+            return
+        surviving: list[tuple[int, str, int]] = []  # id, path, last row_end
+        stop_at = None
+        for i, (seg_id, path) in enumerate(segments):
+            with self._io.open(path, "rb") as handle:
+                data = handle.read()
+            result = scan_records(data)
+            self.recovered.extend(result.records)
+            last_end = self.next_row
+            for record in result.records:
+                last_end = max(last_end, record.row_end, record.row_start)
+            self.next_row = last_end
+            if not result.clean:
+                self.recovery_clean = False
+                self.recovery_reason = (
+                    f"{os.path.basename(path)}: {result.reason}"
+                )
+                # Repair: cut the damaged tail so appends resume after
+                # the last intact frame instead of behind a torn one.
+                with self._io.open(path, "r+b") as handle:
+                    self._io.truncate(handle, result.valid_bytes)
+                    self._io.flush(handle)
+                    if self.fsync_policy != "never":
+                        self._io.fsync(handle)
+                surviving.append((seg_id, path, last_end))
+                stop_at = i
+                break
+            surviving.append((seg_id, path, last_end))
+        if stop_at is not None:
+            # Segments past a corrupt frame are unreachable by replay;
+            # delete them so disk state equals the recovered state.
+            for seg_id, path in segments[stop_at + 1 :]:
+                self._io.remove(path)
+        self._active_id, active_path, _ = surviving[-1]
+        self._closed = surviving[:-1]
+        self._file = self._io.open(active_path, "ab")
+
+    def _create_segment(self, segment_id: int, row_start: int) -> None:
+        path = segment_path(self.directory, segment_id)
+        handle = self._io.open(path, "wb")
+        try:
+            self._io.write(handle, WAL_MAGIC)
+            self._io.write(
+                handle,
+                encode_record(
+                    WalRecord(kind=KIND_TRUNCATE, row_start=row_start, rows={})
+                ),
+            )
+            self._io.flush(handle)
+            if self.fsync_policy == "always":
+                self._io.fsync(handle)
+        except BaseException:
+            handle.close()
+            raise
+        self._file = handle
+        self._io.fsync_dir(self.directory)
+
+    # ---------------------------------------------------------------- append
+    def append(self, kind: int, rows: dict, row_start: int) -> None:
+        """Frame and append one record; durability per the fsync policy.
+
+        Raises :class:`~repro.errors.DurabilityError` on any I/O
+        failure. The log is then fail-stop: a failed write may have left
+        a partial frame (repair is attempted by truncating back to the
+        pre-append offset), and rather than gamble on the repair every
+        subsequent append refuses until the process restarts — recovery
+        replay tolerates the torn frame either way.
+        """
+        if self._failed is not None:
+            raise DurabilityError(
+                f"write-ahead log disabled after earlier failure: {self._failed}"
+            )
+        if self._file is None:
+            raise DurabilityError("write-ahead log is closed")
+        frame = encode_record(
+            WalRecord(kind=kind, row_start=row_start, rows=rows)
+        )
+        offset = self._file.tell()
+        try:
+            self._io.write(self._file, frame)
+            self._io.flush(self._file)
+            if self.fsync_policy == "always":
+                self._io.fsync(self._file)
+            elif self.fsync_policy == "batch":
+                self._unsynced += len(frame)
+                if self._unsynced >= self.batch_bytes:
+                    self._io.fsync(self._file)
+                    self._unsynced = 0
+        except OSError as exc:
+            self._failed = f"append: {exc}"
+            try:  # best-effort: cut any partial frame back out
+                self._io.truncate(self._file, offset)
+                self._io.flush(self._file)
+            except OSError:
+                pass
+            raise DurabilityError(
+                f"write-ahead log append failed ({exc}); the row was NOT "
+                "acknowledged and the log is now fail-stop"
+            ) from exc
+        self.records_appended += 1
+        self.next_row = max(self.next_row, row_start + _count_rows(rows))
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment (any policy)."""
+        if self._file is None:
+            return
+        try:
+            self._io.fsync(self._file)
+        except OSError as exc:
+            self._failed = f"sync: {exc}"
+            raise DurabilityError(f"write-ahead log fsync failed: {exc}") from exc
+        self._unsynced = 0
+
+    # --------------------------------------------------------------- rotate
+    def rotate(self) -> int:
+        """Close the active segment and start the next one.
+
+        Called at each merge commit (through the write barrier), so it is
+        deliberately cheap: one small file create plus, under ``batch``,
+        an fsync of the finished segment (its rows must not be lost to an
+        OS crash *after* the snapshot that will cover them is taken from
+        memory). Returns the new active segment id.
+        """
+        if self._failed is not None:
+            raise DurabilityError(
+                f"write-ahead log disabled after earlier failure: {self._failed}"
+            )
+        try:
+            if self._file is not None:
+                self._io.flush(self._file)
+                if self.fsync_policy != "never":
+                    self._io.fsync(self._file)
+                self._file.close()
+        except OSError as exc:
+            self._failed = f"rotate: {exc}"
+            raise DurabilityError(
+                f"write-ahead log rotation failed: {exc}"
+            ) from exc
+        self._closed.append(
+            (
+                self._active_id,
+                segment_path(self.directory, self._active_id),
+                self.next_row,
+            )
+        )
+        self._active_id += 1
+        self._unsynced = 0
+        try:
+            self._create_segment(self._active_id, row_start=self.next_row)
+        except OSError as exc:
+            self._failed = f"rotate: {exc}"
+            self._file = None
+            raise DurabilityError(
+                f"write-ahead log rotation failed: {exc}"
+            ) from exc
+        return self._active_id
+
+    def prune(self, rows_covered: int) -> int:
+        """Delete closed segments whose rows a snapshot now covers.
+
+        A segment is removable only when *every* row it holds is
+        ``< rows_covered`` — a segment holding even one unmerged row is
+        retained (mid-merge inserts land in the pre-rotation segment and
+        stay recoverable until a later checkpoint). Returns the number
+        of segments deleted; deletion failures raise, but the log stays
+        usable (stale segments are re-skipped by replay's LSN filter).
+        """
+        kept: list[tuple[int, str, int]] = []
+        removed = 0
+        errors: list[str] = []
+        for seg_id, path, last_end in self._closed:
+            if last_end <= rows_covered:
+                try:
+                    self._io.remove(path)
+                    removed += 1
+                except OSError as exc:
+                    errors.append(f"{os.path.basename(path)}: {exc}")
+                    kept.append((seg_id, path, last_end))
+            else:
+                kept.append((seg_id, path, last_end))
+        self._closed = kept
+        if errors:
+            raise DurabilityError(
+                f"could not prune WAL segment(s): {'; '.join(errors)} "
+                "(harmless for recovery — replay skips covered rows — "
+                "but disk is not being reclaimed)"
+            )
+        return removed
+
+    # ----------------------------------------------------------------- state
+    @property
+    def segment_count(self) -> int:
+        return len(self._closed) + (1 if self._file is not None else 0)
+
+    def size_bytes(self) -> int:
+        """Total bytes across live segments (active file included)."""
+        total = 0
+        for _, path, _ in self._closed:
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        if self._file is not None:
+            try:
+                total += self._file.tell()
+            except (OSError, ValueError):
+                pass
+        return total
+
+    def close(self) -> None:
+        """Flush (and, unless ``never``, fsync) and close the active
+        segment; idempotent."""
+        if self._file is None:
+            return
+        try:
+            self._io.flush(self._file)
+            if self.fsync_policy != "never":
+                self._io.fsync(self._file)
+        except OSError:
+            pass  # closing: recovery tolerates an unsynced tail
+        finally:
+            self._file.close()
+            self._file = None
+
+
+def _count_rows(rows: dict) -> int:
+    return len(next(iter(rows.values()))) if rows else 0

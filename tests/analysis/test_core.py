@@ -102,6 +102,7 @@ class TestRegistry:
         for expected in (
             "loop-safety", "shm-lifecycle", "generation-discipline",
             "strict-json", "visitor-protocol", "write-barrier",
+            "durability-ack",
         ):
             assert expected in names
 

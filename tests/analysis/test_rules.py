@@ -368,3 +368,67 @@ class TestWriteBarrier:
         )))
         assert found == []
         assert len(suppressed) == 1
+
+
+class TestDurabilityAck:
+    def test_ack_before_insert_flagged(self):
+        found = active("durability-ack", (SERVE, (
+            "async def handle(self, writer, row, reply):\n"
+            "    writer.write(reply)\n"
+            "    await writer.drain()\n"
+            "    self.index.insert(row)\n"
+        )))
+        # Both the write and the drain precede the mutation.
+        assert len(found) == 2
+        assert found[0].line == 2
+        assert "ack" in found[0].message
+
+    def test_ack_before_submit_write_flagged(self):
+        found = active("durability-ack", (SERVE, (
+            "async def handle(self, sock, write, reply):\n"
+            "    sock.sendall(reply)\n"
+            "    await self.batcher.submit_write(write)\n"
+        )))
+        assert len(found) == 1
+        assert "submit_write" in found[0].message
+
+    def test_write_then_ack_is_clean(self):
+        found = active("durability-ack", (SERVE, (
+            "async def handle(self, writer, row, reply):\n"
+            "    self.index.insert(row)\n"
+            "    writer.write(reply)\n"
+            "    await writer.drain()\n"
+        )))
+        assert found == []
+
+    def test_nested_mutation_inside_send_is_clean(self):
+        # await send(await self._handle_request(...)) positions the send
+        # first textually, but the mutation resolves before the send runs.
+        found = active("durability-ack", (SERVE, (
+            "async def serve_query(self, send, message):\n"
+            "    await send(await self.mutable.apply_insert(message))\n"
+        )))
+        assert found == []
+
+    def test_storage_layer_writes_unscoped(self):
+        # A WAL handle's .write() is not a wire ack; only writer-ish
+        # receivers and socket sends count as acks.
+        found = active("durability-ack", (SERVE, (
+            "async def handle(self, handle, row):\n"
+            "    self.io.write(handle, b'frame')\n"
+            "    self.index.insert(row)\n"
+        )), (CORE, (
+            "async def handle(self, writer, row, reply):\n"
+            "    writer.write(reply)\n"
+            "    self.index.insert(row)\n"
+        )))
+        assert found == []
+
+    def test_suppression(self):
+        found, suppressed = check("durability-ack", (SERVE, (
+            "async def handle(self, writer, row, reply):\n"
+            "    writer.write(reply)  # repro: allow(durability-ack)\n"
+            "    self.index.insert(row)\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1

@@ -1,0 +1,111 @@
+"""Fault injection for the durability tier's I/O seam.
+
+:class:`FaultyIO` subclasses the production :class:`repro.storage.wal.StorageIO`
+and fails (or "crashes") at chosen operations, so the WAL / snapshot /
+recovery tests can prove two things the happy path cannot:
+
+- an injected write/fsync/rename failure surfaces as a structured
+  :class:`~repro.errors.DurabilityError` — never silent data loss;
+- a simulated crash (an exception *mid-operation*, after some bytes may
+  already be on disk) leaves on-disk state that recovery handles.
+
+Two mechanisms, composable:
+
+``fail``
+    ``FaultyIO(fail={"fsync": 2})`` lets the first fsync through and
+    raises ``OSError`` on the second. ``{"write": 1}`` fails the first
+    write, and so on, per operation name.
+``crash_at``
+    ``FaultyIO(crash_at=("write", 3))`` raises :class:`CrashPoint` *on*
+    the third write — before its bytes land, like power loss between two
+    ``write(2)`` calls. ``CrashPoint`` derives from ``BaseException`` so
+    no library ``except Exception`` / ``except OSError`` handler can
+    swallow it: the test harness is the only thing allowed to catch a
+    crash, exactly like a real ``kill -9``.
+
+Every operation is also appended to :attr:`FaultyIO.calls` (op name +
+basename), so tests can assert ordering properties — e.g. that the WAL
+append's write happened before the ack path ran at all.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.wal import StorageIO
+
+
+class CrashPoint(BaseException):
+    """Simulated process death at an exact I/O operation.
+
+    BaseException on purpose: production code catching ``Exception`` (or
+    ``OSError``) must not be able to "handle" a crash — only the test
+    that injected it may catch it.
+    """
+
+
+class FaultyIO(StorageIO):
+    """A :class:`StorageIO` that fails or crashes on cue.
+
+    Parameters
+    ----------
+    fail:
+        ``{op_name: nth_call}`` — raise ``OSError`` on the nth call (1-
+        based) of that operation. Each trigger fires once.
+    crash_at:
+        ``(op_name, nth_call)`` — raise :class:`CrashPoint` on the nth
+        call of that operation, before it executes.
+    """
+
+    def __init__(self, fail: dict | None = None, crash_at: tuple | None = None):
+        self.fail = dict(fail or {})
+        self.crash_at = crash_at
+        self.counts: dict[str, int] = {}
+        #: ``(op, target)`` log of every operation that was attempted.
+        self.calls: list[tuple[str, str]] = []
+
+    def _gate(self, op: str, target: str) -> None:
+        self.counts[op] = self.counts.get(op, 0) + 1
+        self.calls.append((op, os.path.basename(target)))
+        if self.crash_at is not None and (op, self.counts[op]) == tuple(
+            self.crash_at
+        ):
+            raise CrashPoint(f"injected crash at {op} #{self.counts[op]}")
+        if self.fail.get(op) == self.counts[op]:
+            raise OSError(f"injected {op} failure #{self.counts[op]}")
+
+    @staticmethod
+    def _name_of(handle) -> str:
+        return getattr(handle, "name", "<handle>")
+
+    def open(self, path: str, mode: str):
+        self._gate("open", path)
+        return super().open(path, mode)
+
+    def write(self, handle, data: bytes) -> None:
+        self._gate("write", self._name_of(handle))
+        super().write(handle, data)
+
+    def flush(self, handle) -> None:
+        self._gate("flush", self._name_of(handle))
+        super().flush(handle)
+
+    def fsync(self, handle) -> None:
+        self._gate("fsync", self._name_of(handle))
+        super().fsync(handle)
+
+    def truncate(self, handle, size: int) -> None:
+        self._gate("truncate", self._name_of(handle))
+        super().truncate(handle, size)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._gate("replace", dst)
+        super().replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        self._gate("remove", path)
+        super().remove(path)
+
+    def fsync_dir(self, path: str) -> None:
+        self._gate("fsync_dir", path)
+        super().fsync_dir(path)

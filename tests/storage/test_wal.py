@@ -1,0 +1,314 @@
+"""WAL codec + lifecycle tests.
+
+The property tests pin the replay contract the durability tier stands
+on: for *any* byte-truncation and any single-bit corruption of a
+segment, replay recovers exactly the undamaged prefix of records — no
+exception, no phantom row, no partially decoded record.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DurabilityError
+from repro.storage.wal import (
+    KIND_INSERT,
+    KIND_INSERT_MANY,
+    KIND_TRUNCATE,
+    WAL_MAGIC,
+    WalRecord,
+    WriteAheadLog,
+    encode_record,
+    list_segments,
+    scan_records,
+    segment_path,
+)
+from tests.storage.fault import CrashPoint, FaultyIO
+
+_DIM_NAMES = ("a", "b", "shipdate", "x0")
+
+
+@st.composite
+def wal_records(draw):
+    """A batch of records with consistent cumulative row_starts."""
+    num = draw(st.integers(min_value=0, max_value=5))
+    records, row_start = [], 0
+    for _ in range(num):
+        dims = draw(
+            st.lists(
+                st.sampled_from(_DIM_NAMES), min_size=1, max_size=3, unique=True
+            )
+        )
+        n = draw(st.integers(min_value=1, max_value=4))
+        rows = {}
+        for dim in dims:
+            if draw(st.booleans()):
+                values = draw(
+                    st.lists(
+                        st.integers(min_value=-(2**62), max_value=2**62),
+                        min_size=n,
+                        max_size=n,
+                    )
+                )
+                rows[dim] = np.array(values, dtype="<i8")
+            else:
+                values = draw(
+                    st.lists(
+                        st.floats(allow_nan=False, allow_infinity=False, width=64),
+                        min_size=n,
+                        max_size=n,
+                    )
+                )
+                rows[dim] = np.array(values, dtype="<f8")
+        kind = KIND_INSERT if n == 1 else KIND_INSERT_MANY
+        records.append(WalRecord(kind=kind, row_start=row_start, rows=rows))
+        row_start += n
+    return records
+
+
+def _segment_bytes(records):
+    return WAL_MAGIC + b"".join(encode_record(r) for r in records)
+
+
+def _assert_same_records(got, expected):
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert g.kind == e.kind
+        assert g.row_start == e.row_start
+        assert set(g.rows) == set(e.rows)
+        for dim in e.rows:
+            assert g.rows[dim].dtype == e.rows[dim].dtype
+            assert np.array_equal(g.rows[dim], e.rows[dim])
+
+
+class TestCodecProperties:
+    @given(wal_records())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, records):
+        result = scan_records(_segment_bytes(records))
+        assert result.clean
+        assert result.reason is None
+        _assert_same_records(result.records, records)
+
+    @given(wal_records())
+    @settings(max_examples=15, deadline=None)
+    def test_every_truncation_recovers_the_undamaged_prefix(self, records):
+        data = _segment_bytes(records)
+        # Frame boundaries: records[:i] survives truncation to >= ends[i].
+        ends, off = [len(WAL_MAGIC)], len(WAL_MAGIC)
+        for record in records:
+            off += len(encode_record(record))
+            ends.append(off)
+        for cut in range(len(data) + 1):
+            result = scan_records(data[:cut])
+            intact = max(i for i, end in enumerate(ends) if end <= cut) if (
+                cut >= len(WAL_MAGIC)
+            ) else 0
+            _assert_same_records(result.records, records[:intact])
+            if cut >= len(WAL_MAGIC) and cut in ends:
+                # A cut exactly on a frame boundary is indistinguishable
+                # from a shorter-but-complete log: clean by design.
+                assert result.clean
+            else:
+                assert not result.clean
+                # The repair point is the last intact frame boundary —
+                # re-scanning the repaired prefix must be clean.
+                repaired = scan_records(data[: result.valid_bytes])
+                assert repaired.clean or result.valid_bytes == 0
+
+    @given(wal_records(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_single_bit_flip_recovers_a_prefix(self, records, data_strategy):
+        data = bytearray(_segment_bytes(records))
+        bit = data_strategy.draw(
+            st.integers(min_value=0, max_value=len(data) * 8 - 1)
+        )
+        data[bit // 8] ^= 1 << (bit % 8)
+        result = scan_records(bytes(data))
+        # Never an exception; recovered records are a *prefix* of the
+        # originals (no phantom rows, no reordering) ...
+        _assert_same_records(result.records, records[: len(result.records)])
+        # ... and every record framed entirely before the damaged byte
+        # is recovered.
+        off, guaranteed = len(WAL_MAGIC), 0
+        for record in records:
+            off += len(encode_record(record))
+            if off <= bit // 8:
+                guaranteed += 1
+        assert len(result.records) >= guaranteed
+
+    def test_bad_magic_and_empty_input(self):
+        assert scan_records(b"").clean is False
+        assert scan_records(b"junkjunk").records == []
+        assert scan_records(WAL_MAGIC).clean is True
+
+    def test_implausible_length_field_stops_scan(self):
+        record = WalRecord(KIND_INSERT, 0, {"a": np.array([1], dtype="<i8")})
+        data = _segment_bytes([record]) + b"\xff\xff\xff\x7f" + b"\x00" * 4
+        result = scan_records(data)
+        assert not result.clean
+        assert "implausible" in result.reason
+        _assert_same_records(result.records, [record])
+
+
+class TestWriteAheadLog:
+    def _rows(self, n, base=0):
+        return {
+            "a": np.arange(base, base + n, dtype="<i8"),
+            "b": np.arange(base, base + n, dtype="<i8") * 2,
+        }
+
+    def test_append_and_reopen_replays(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync="batch")
+        wal.append(KIND_INSERT_MANY, self._rows(3), row_start=0)
+        wal.append(KIND_INSERT_MANY, self._rows(2, base=3), row_start=3)
+        assert wal.next_row == 5
+        wal.close()
+
+        reopened = WriteAheadLog(str(tmp_path), fsync="batch")
+        assert reopened.recovery_clean
+        inserts = [r for r in reopened.recovered if r.rows]
+        assert [r.row_start for r in inserts] == [0, 3]
+        assert reopened.next_row == 5
+        reopened.close()
+
+    def test_torn_tail_is_repaired_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync="always")
+        wal.append(KIND_INSERT_MANY, self._rows(3), row_start=0)
+        wal.close()
+        path = segment_path(str(tmp_path), 1)
+        size = os.path.getsize(path)
+        with open(path, "ab") as fh:
+            fh.write(b"\x99" * 7)  # torn partial frame
+
+        reopened = WriteAheadLog(str(tmp_path), fsync="always")
+        assert not reopened.recovery_clean
+        assert len([r for r in reopened.recovered if r.rows]) == 1
+        # Repair truncated the torn bytes; appends land cleanly after.
+        assert os.path.getsize(path) == size
+        reopened.append(KIND_INSERT_MANY, self._rows(1, base=3), row_start=3)
+        reopened.close()
+        final = WriteAheadLog(str(tmp_path), fsync="always")
+        assert final.recovery_clean
+        assert final.next_row == 4
+        final.close()
+
+    def test_rotate_starts_new_segment_and_prune_reclaims(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync="batch")
+        wal.append(KIND_INSERT_MANY, self._rows(4), row_start=0)
+        assert wal.rotate() == 2
+        wal.append(KIND_INSERT_MANY, self._rows(2, base=4), row_start=4)
+        assert wal.segment_count == 2
+        # Snapshot covering 3 of segment 1's 4 rows: nothing prunable.
+        assert wal.prune(rows_covered=3) == 0
+        assert wal.segment_count == 2
+        # Covering all 4 reclaims the closed segment, never the active.
+        assert wal.prune(rows_covered=4) == 1
+        assert wal.segment_count == 1
+        assert [sid for sid, _ in list_segments(str(tmp_path))] == [2]
+        wal.close()
+
+    def test_corrupt_middle_segment_drops_unreachable_tail(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync="batch")
+        wal.append(KIND_INSERT_MANY, self._rows(2), row_start=0)
+        wal.rotate()
+        wal.append(KIND_INSERT_MANY, self._rows(2, base=2), row_start=2)
+        wal.rotate()
+        wal.append(KIND_INSERT_MANY, self._rows(2, base=4), row_start=4)
+        wal.close()
+        # Corrupt segment 2's first insert frame (flip a payload byte).
+        path = segment_path(str(tmp_path), 2)
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+
+        reopened = WriteAheadLog(str(tmp_path), fsync="batch")
+        assert not reopened.recovery_clean
+        assert "wal-00000002" in reopened.recovery_reason
+        # Rows from segments 1 and 2's intact prefix survive; segment 3
+        # was unreachable and is gone from disk.
+        assert reopened.next_row == 2
+        assert [sid for sid, _ in list_segments(str(tmp_path))] == [1, 2]
+        reopened.close()
+
+    def test_fsync_policy_call_counts(self, tmp_path):
+        for policy, expect_per_append in (("always", 1), ("never", 0)):
+            io = FaultyIO()
+            (tmp_path / policy).mkdir()
+            wal = WriteAheadLog(
+                str(tmp_path / policy), fsync=policy, io=io
+            )
+            base = io.counts.get("fsync", 0)
+            wal.append(KIND_INSERT_MANY, self._rows(1), row_start=0)
+            wal.append(KIND_INSERT_MANY, self._rows(1, 1), row_start=1)
+            assert io.counts.get("fsync", 0) - base == 2 * expect_per_append
+            wal.close()
+
+    def test_batch_policy_fsyncs_at_byte_threshold(self, tmp_path):
+        io = FaultyIO()
+        wal = WriteAheadLog(str(tmp_path), fsync="batch", io=io, batch_bytes=64)
+        base = io.counts.get("fsync", 0)
+        wal.append(KIND_INSERT_MANY, self._rows(1), row_start=0)  # < 64B? no:
+        # two i8 columns of 1 row + framing is ~60B; the second append
+        # must cross the 64-byte window and trigger exactly one fsync.
+        wal.append(KIND_INSERT_MANY, self._rows(1, 1), row_start=1)
+        assert io.counts.get("fsync", 0) > base
+        wal.close()
+
+    def test_failed_append_is_fail_stop_and_structured(self, tmp_path):
+        io = FaultyIO(fail={"write": 3})  # magic, truncate-marker, then boom
+        wal = WriteAheadLog(str(tmp_path), fsync="never", io=io)
+        with pytest.raises(DurabilityError, match="NOT"):
+            wal.append(KIND_INSERT_MANY, self._rows(1), row_start=0)
+        # Fail-stop: subsequent appends refuse without touching disk.
+        with pytest.raises(DurabilityError, match="disabled"):
+            wal.append(KIND_INSERT_MANY, self._rows(1), row_start=0)
+        wal.close()
+        # The failed append left nothing behind: replay sees zero rows.
+        reopened = WriteAheadLog(str(tmp_path), fsync="never")
+        assert reopened.next_row == 0
+        reopened.close()
+
+    def test_failed_fsync_surfaces_structured(self, tmp_path):
+        # fsync #1 happens at segment creation (always policy); #2 is
+        # the first append's — the one whose failure must not be silent.
+        io = FaultyIO(fail={"fsync": 2})
+        wal = WriteAheadLog(str(tmp_path), fsync="always", io=io)
+        with pytest.raises(DurabilityError):
+            wal.append(KIND_INSERT_MANY, self._rows(1), row_start=0)
+        wal.close()
+
+    def test_failed_open_surfaces_structured(self, tmp_path):
+        with pytest.raises(DurabilityError, match="could not open"):
+            WriteAheadLog(
+                str(tmp_path), fsync="always", io=FaultyIO(fail={"fsync": 1})
+            )
+
+    def test_crash_point_is_not_swallowed(self, tmp_path):
+        io = FaultyIO(crash_at=("write", 3))
+        wal = WriteAheadLog(str(tmp_path), fsync="never", io=io)
+        with pytest.raises(CrashPoint):
+            wal.append(KIND_INSERT_MANY, self._rows(1), row_start=0)
+        # Crash-equivalent state on disk: reopen replays zero rows, clean
+        # (no bytes of the frame landed) — never an exception.
+        reopened = WriteAheadLog(str(tmp_path), fsync="never")
+        assert reopened.next_row == 0
+        reopened.close()
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(DurabilityError, match="policy"):
+            WriteAheadLog(str(tmp_path), fsync="sometimes")
+
+    def test_segment_head_marker_carries_row_position(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync="batch")
+        wal.append(KIND_INSERT_MANY, self._rows(5), row_start=0)
+        wal.rotate()
+        wal.close()
+        data = open(segment_path(str(tmp_path), 2), "rb").read()
+        result = scan_records(data)
+        assert result.clean
+        assert result.records[0].kind == KIND_TRUNCATE
+        assert result.records[0].row_start == 5
