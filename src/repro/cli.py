@@ -500,6 +500,14 @@ def _cmd_serve(args) -> int:
                 f"generation {flood.generation} (fsync {args.fsync})",
                 flush=True,
             )
+            if not flood.recovery_clean:
+                print(
+                    "WARNING: recovery was unclean "
+                    f"({flood.recovery_reason}); a torn WAL tail was "
+                    "repaired, and rows unsynced at the crash (possible "
+                    "under fsync batch/never) may be absent",
+                    flush=True,
+                )
         elif args.data_dir:
             flood = DurableDeltaFlood(
                 layout, args.data_dir, fsync=args.fsync, **delta_kwargs

@@ -36,6 +36,17 @@ only possible divergence is a logged-but-unacked row (append succeeded,
 ack never sent because the process died first). Recovery resurrects such
 rows — "every acknowledged insert survives" holds with recovered ⊇
 acked, the only side clients can reason about.
+
+Latency note (a deliberate trade-off): WAL appends run synchronously
+inside the serving write barrier on the event loop — including the
+per-insert ``fsync`` under the ``always`` policy and the rotation fsync
+inside :meth:`DurableDeltaFlood.commit_merge` — so every concurrent
+query stalls for the duration of each disk sync. This keeps the
+log-before-ack ordering trivially correct; ``batch`` (the default)
+bounds the stall to a kernel-buffer flush. The known remedy, if the
+``always`` policy ever matters for throughput, is group commit: buffer
+frames, fsync once per micro-batch off the loop, and only then resolve
+the acks — same ordering contract, readers unblocked.
 """
 
 from __future__ import annotations
@@ -429,6 +440,7 @@ class DurableDeltaFlood:
             "recovered": self.recovered,
             "recovered_rows": self.recovered_rows,
             "recovery_clean": self.recovery_clean,
+            "recovery_reason": self.recovery_reason,
         }
 
     # --------------------------------------------------------------- teardown

@@ -267,12 +267,16 @@ class WriteAheadLog:
     """A segmented, CRC-framed append log under one directory.
 
     Opening scans every existing segment (crash recovery): intact
-    records across segments become :attr:`recovered`, a torn tail of the
-    last segment is repaired by truncating to the last intact frame, and
-    a corrupt *earlier* segment terminates replay there — later segments
-    are unreachable and deleted so the on-disk state always equals what
-    replay returned (``recovery_clean`` / ``recovery_reason`` report
-    this; nothing is dropped silently).
+    records across segments become :attr:`recovered`, and a torn tail of
+    the *last* segment is repaired — truncated to the last intact frame,
+    or, when the 8-byte magic header itself is torn (a crash during
+    segment creation), rewritten as a fresh header so later appends stay
+    decodable (``recovery_clean`` / ``recovery_reason`` report this;
+    nothing is dropped silently). A corrupt *closed* segment is a
+    different animal: it cannot be a torn tail, and the later segments
+    are still fully decodable, so recovery fail-stops with a
+    :class:`~repro.errors.DurabilityError` naming the damaged file
+    rather than discarding durable rows the operator could inspect.
 
     Parameters
     ----------
@@ -328,11 +332,25 @@ class WriteAheadLog:
             self._create_segment(self._active_id, row_start=0)
             return
         surviving: list[tuple[int, str, int]] = []  # id, path, last row_end
-        stop_at = None
+        last = len(segments) - 1
         for i, (seg_id, path) in enumerate(segments):
             with self._io.open(path, "rb") as handle:
                 data = handle.read()
             result = scan_records(data)
+            if not result.clean and i != last:
+                # Only the active (last) segment can have a torn tail;
+                # damage in a *closed* segment is real corruption, and
+                # the later segments still parse cleanly — each carries
+                # its own magic and absolute row_starts. Deleting or
+                # silently skipping them would destroy durable rows, so
+                # fail stop and let the operator inspect.
+                raise DurabilityError(
+                    f"WAL segment {os.path.basename(path)} is corrupt "
+                    f"({result.reason}) but {last - i} later segment(s) "
+                    "exist; refusing to recover past it — inspect the "
+                    "damaged segment (later segments are untouched and "
+                    "still decodable)"
+                )
             self.recovered.extend(result.records)
             last_end = self.next_row
             for record in result.records:
@@ -343,25 +361,45 @@ class WriteAheadLog:
                 self.recovery_reason = (
                     f"{os.path.basename(path)}: {result.reason}"
                 )
-                # Repair: cut the damaged tail so appends resume after
-                # the last intact frame instead of behind a torn one.
-                with self._io.open(path, "r+b") as handle:
-                    self._io.truncate(handle, result.valid_bytes)
-                    self._io.flush(handle)
-                    if self.fsync_policy != "never":
-                        self._io.fsync(handle)
-                surviving.append((seg_id, path, last_end))
-                stop_at = i
-                break
+                self._repair_tail(path, result.valid_bytes)
             surviving.append((seg_id, path, last_end))
-        if stop_at is not None:
-            # Segments past a corrupt frame are unreachable by replay;
-            # delete them so disk state equals the recovered state.
-            for seg_id, path in segments[stop_at + 1 :]:
-                self._io.remove(path)
         self._active_id, active_path, _ = surviving[-1]
         self._closed = surviving[:-1]
         self._file = self._io.open(active_path, "ab")
+
+    def _repair_tail(self, path: str, valid_bytes: int) -> None:
+        """Repair the active segment after an unclean scan.
+
+        A damaged tail is truncated back to the last intact frame. When
+        even the 8-byte magic is torn (``valid_bytes`` below the header
+        size — a crash during segment creation left a short or garbage
+        header), truncation alone would leave a magic-less file whose
+        future appends every later recovery rejects wholesale ("bad
+        magic"), silently losing acknowledged rows; instead the file is
+        rewritten as a fresh, well-formed segment headed by a
+        ``KIND_TRUNCATE`` marker at the current :attr:`next_row`.
+        """
+        if valid_bytes >= len(WAL_MAGIC):
+            with self._io.open(path, "r+b") as handle:
+                self._io.truncate(handle, valid_bytes)
+                self._io.flush(handle)
+                if self.fsync_policy != "never":
+                    self._io.fsync(handle)
+            return
+        with self._io.open(path, "wb") as handle:
+            self._io.write(handle, WAL_MAGIC)
+            self._io.write(
+                handle,
+                encode_record(
+                    WalRecord(
+                        kind=KIND_TRUNCATE, row_start=self.next_row, rows={}
+                    )
+                ),
+            )
+            self._io.flush(handle)
+            if self.fsync_policy != "never":
+                self._io.fsync(handle)
+        self._io.fsync_dir(self.directory)
 
     def _create_segment(self, segment_id: int, row_start: int) -> None:
         path = segment_path(self.directory, segment_id)

@@ -96,6 +96,21 @@ class TestRecovery:
         assert recovered.merges == index.merges
         recovered.close()
 
+    def test_unclean_recovery_surfaces_reason_in_stats(self, tmp_path):
+        index = _build(tmp_path)
+        index.insert_many({"x": [1, 2, 3], "y": [1, 2, 3]})
+        index.close()
+        _, active = list_segments(str(tmp_path))[-1]
+        with open(active, "ab") as fh:
+            fh.write(b"\x99" * 5)  # torn partial frame
+
+        recovered = DurableDeltaFlood.open(str(tmp_path))
+        assert recovered.recovered_rows == 3  # the tear cost no rows
+        stats = recovered.durability_stats()
+        assert stats["recovery_clean"] is False
+        assert "wal-" in stats["recovery_reason"]
+        recovered.close()
+
     def test_recovery_is_idempotent(self, tmp_path):
         index = _build(tmp_path)
         index.insert_many({"x": np.arange(20), "y": np.arange(20)})

@@ -211,7 +211,7 @@ class TestWriteAheadLog:
         assert [sid for sid, _ in list_segments(str(tmp_path))] == [2]
         wal.close()
 
-    def test_corrupt_middle_segment_drops_unreachable_tail(self, tmp_path):
+    def test_corrupt_closed_segment_fails_stop_without_deleting(self, tmp_path):
         wal = WriteAheadLog(str(tmp_path), fsync="batch")
         wal.append(KIND_INSERT_MANY, self._rows(2), row_start=0)
         wal.rotate()
@@ -219,20 +219,71 @@ class TestWriteAheadLog:
         wal.rotate()
         wal.append(KIND_INSERT_MANY, self._rows(2, base=4), row_start=4)
         wal.close()
-        # Corrupt segment 2's first insert frame (flip a payload byte).
+        before = {
+            path: open(path, "rb").read()
+            for _, path in list_segments(str(tmp_path))
+        }
+        # Corrupt segment 2's last insert frame (flip a payload byte).
         path = segment_path(str(tmp_path), 2)
-        data = bytearray(open(path, "rb").read())
+        data = bytearray(before[path])
         data[-1] ^= 0xFF
         open(path, "wb").write(bytes(data))
 
+        # A damaged *closed* segment cannot be a torn tail, and segment
+        # 3 still decodes — recovery must fail stop, not repair the
+        # damage or delete the intact later segment.
+        with pytest.raises(DurabilityError, match="wal-00000002"):
+            WriteAheadLog(str(tmp_path), fsync="batch")
+        assert [sid for sid, _ in list_segments(str(tmp_path))] == [1, 2, 3]
+        for seg_path, original in before.items():
+            expected = bytes(data) if seg_path == path else original
+            assert open(seg_path, "rb").read() == expected
+
+    def test_crash_during_segment_creation_rebuilds_header(self, tmp_path):
+        # Writes 1-2 are segment 1's magic + truncate marker, 3 is the
+        # append; write 4 is the rotation's new-segment magic — crash
+        # there, so segment 2 exists as a zero-byte (magic-less) file.
+        io = FaultyIO(crash_at=("write", 4))
+        wal = WriteAheadLog(str(tmp_path), fsync="always", io=io)
+        wal.append(KIND_INSERT_MANY, self._rows(3), row_start=0)
+        with pytest.raises(CrashPoint):
+            wal.rotate()
+        assert os.path.getsize(segment_path(str(tmp_path), 2)) == 0
+
+        # Restart: the torn header must be rebuilt, not just truncated —
+        # appends into a magic-less file would all be dropped as "bad
+        # magic" by the *next* recovery.
+        wal2 = WriteAheadLog(str(tmp_path), fsync="always")
+        assert not wal2.recovery_clean
+        assert "wal-00000002" in wal2.recovery_reason
+        assert wal2.next_row == 3
+        wal2.append(KIND_INSERT_MANY, self._rows(2, base=3), row_start=3)
+        wal2.close()
+
+        # Second restart: every acknowledged row from both lives
+        # survives, and the rebuilt segment scans clean.
+        wal3 = WriteAheadLog(str(tmp_path), fsync="always")
+        assert wal3.recovery_clean
+        assert wal3.next_row == 5
+        inserts = [r for r in wal3.recovered if r.rows]
+        assert [r.row_start for r in inserts] == [0, 3]
+        wal3.close()
+
+    def test_garbage_header_in_sole_segment_is_rebuilt(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), fsync="batch")
+        wal.close()
+        path = segment_path(str(tmp_path), 1)
+        open(path, "wb").write(b"\x13\x37")  # torn mid-magic
+
         reopened = WriteAheadLog(str(tmp_path), fsync="batch")
         assert not reopened.recovery_clean
-        assert "wal-00000002" in reopened.recovery_reason
-        # Rows from segments 1 and 2's intact prefix survive; segment 3
-        # was unreachable and is gone from disk.
-        assert reopened.next_row == 2
-        assert [sid for sid, _ in list_segments(str(tmp_path))] == [1, 2]
+        assert reopened.next_row == 0
+        reopened.append(KIND_INSERT_MANY, self._rows(2), row_start=0)
         reopened.close()
+        final = WriteAheadLog(str(tmp_path), fsync="batch")
+        assert final.recovery_clean
+        assert final.next_row == 2
+        final.close()
 
     def test_fsync_policy_call_counts(self, tmp_path):
         for policy, expect_per_append in (("always", 1), ("never", 0)):
