@@ -1,0 +1,362 @@
+"""Per-function control-flow graphs for the path-sensitive rules.
+
+The call graph answers *what* a function invokes; it cannot answer in
+*which order* along *which paths*. The bug classes PR 6's linter missed —
+state mutated across an ``await``, an fsync skipped on one branch, a
+resource leaked on the exception edge — are ordering properties, so the
+dataflow rules need a CFG, not a syntax tree.
+
+Design choices, tuned for a project linter rather than a compiler:
+
+- **Statement-level nodes.** One node per simple statement; compound
+  statements (``if``/``while``/``for``/``with``/``try``) contribute only
+  their *header* expressions to their node — the bodies become separate
+  nodes wired by edges. That keeps node count small while preserving the
+  facts the rules read (reads/writes/awaits per node).
+- **Two edge kinds.** ``normal`` and ``exception``. Any node whose own
+  expressions contain a call, ``await``, ``raise``, or ``assert`` is
+  assumed able to raise; its exception edges run to the innermost
+  enclosing handlers (and ultimately to a synthetic ``raise_exit``).
+  Rules that exempt failure paths (dir-fsync after rename) key off the
+  edge kind.
+- **``finally`` built per route.** The finally body is instantiated
+  twice: a normal-route copy that continues to the following statement,
+  and an exceptional-route copy whose exits re-raise to the enclosing
+  exception target. Sharing one copy would merge the two routes' facts
+  and poison *must* analyses (the exceptional route reaching a rename
+  without its fsync would erase the fact the normal route established).
+  ``return`` inside a ``try`` threads through every pending finally
+  body before reaching the exit; ``break``/``continue`` through a
+  ``finally`` is approximated as jumping directly (rare enough in this
+  codebase not to matter).
+- **Nested scopes opaque.** A nested ``def``/``lambda`` is deferred
+  execution: it becomes one definition statement here and gets its own
+  CFG if a rule wants one (mirrors ``callgraph.walk_own``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+#: Statement types whose node carries the whole statement's expressions.
+_SIMPLE = (
+    ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Return,
+    ast.Raise, ast.Assert, ast.Delete, ast.Pass, ast.Break, ast.Continue,
+    ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal,
+)
+
+
+def header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The AST parts evaluated *at* this statement's node (bodies of
+    compound statements are separate nodes and excluded here)."""
+    if isinstance(stmt, _SIMPLE):
+        return [stmt]
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return list(stmt.items)
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    # Try headers, nested def/class definitions: nothing evaluated here
+    # beyond decorators/defaults, which the rules do not need.
+    return []
+
+
+def _iter_own(parts) -> list[ast.AST]:
+    """Walk ``parts`` without descending into nested function/class
+    scopes or lambdas (their execution is deferred elsewhere)."""
+    out: list[ast.AST] = []
+    stack = [p for p in parts if p is not None]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+    return out
+
+
+@dataclass(eq=False)
+class Node:
+    """One CFG node: a statement (or synthetic entry/exit) plus the
+    control and concurrency facts the dataflow rules consume.
+
+    Identity equality (``eq=False``): nodes are graph vertices, and the
+    generated field-wise ``__eq__`` would recurse through edge lists."""
+
+    index: int
+    stmt: ast.stmt | None          #: None for synthetic entry/exit nodes
+    label: str                     #: "entry" / "exit" / "raise" / "stmt"
+    is_suspension: bool = False    #: own exprs await or yield
+    can_raise: bool = False
+    succs: list[tuple["Node", str]] = field(default_factory=list)
+    preds: list[tuple["Node", str]] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def own_nodes(self) -> list[ast.AST]:
+        """Every AST node evaluated at this CFG node (own scope only)."""
+        if self.stmt is None:
+            return []
+        return _iter_own(header_exprs(self.stmt))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.index} {self.label} line={self.lineno}>"
+
+
+class CFG:
+    """A per-function graph with one entry and two exits (normal/raise)."""
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        self.nodes: list[Node] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.raise_exit = self._new(None, "raise")
+
+    def _new(self, stmt: ast.stmt | None, label: str) -> Node:
+        node = Node(index=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(node)
+        return node
+
+    def edge(self, src: Node, dst: Node, kind: str = NORMAL) -> None:
+        if (dst, kind) not in src.succs:
+            src.succs.append((dst, kind))
+            dst.preds.append((src, kind))
+
+    def statement_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+
+def _contains(parts, types) -> bool:
+    return any(isinstance(n, types) for n in parts)
+
+
+@dataclass
+class _LoopFrame:
+    continue_target: Node
+    break_joins: list[Node] = field(default_factory=list)
+
+
+class _Builder:
+    """Recursive-descent CFG construction over one function body.
+
+    ``_block`` threads a frontier of dangling nodes through a statement
+    list; ``_exc_targets`` is the stack-shaped answer to "where does an
+    exception raised here go first" (innermost handlers, then outward,
+    ending at ``raise_exit``).
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.loop_stack: list[_LoopFrame] = []
+        # The nodes a raise inside the current context reaches first
+        # (innermost handlers, or a finally's exceptional-route entry).
+        self.exc_stack: list[list[Node]] = []
+        # Pending finalbody statement lists (innermost last): a return
+        # inside a try must execute these before reaching the exit.
+        self.finally_stack: list[list] = []
+
+    # -- exception wiring ------------------------------------------------
+    def _exc_targets(self) -> list[Node]:
+        if self.exc_stack:
+            return self.exc_stack[-1]
+        return [self.cfg.raise_exit]
+
+    def _wire_raise(self, node: Node) -> None:
+        if not node.can_raise:
+            return
+        for target in self._exc_targets():
+            self.cfg.edge(node, target, EXCEPTION)
+
+    # -- node construction -----------------------------------------------
+    def _stmt_node(self, stmt: ast.stmt) -> Node:
+        node = self.cfg._new(stmt, "stmt")
+        own = node.own_nodes()
+        node.is_suspension = (
+            _contains(own, (ast.Await, ast.Yield, ast.YieldFrom))
+            or isinstance(stmt, (ast.AsyncFor, ast.AsyncWith))
+        )
+        node.can_raise = node.is_suspension or _contains(
+            own, (ast.Call, ast.Raise, ast.Assert)
+        )
+        self._wire_raise(node)
+        return node
+
+    def _join(self, frontier: list[Node], node: Node) -> None:
+        for src in frontier:
+            self.cfg.edge(src, node, NORMAL)
+
+    # -- statement dispatch ------------------------------------------------
+    def build(self) -> None:
+        body = getattr(self.cfg.func, "body", [])
+        frontier = self._block(body, [self.cfg.entry])
+        self._join(frontier, self.cfg.exit)
+
+    def _block(self, stmts, frontier: list[Node]) -> list[Node]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable tail (after return/raise on all paths)
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: list[Node]) -> list[Node]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        node = self._stmt_node(stmt)
+        self._join(frontier, node)
+        if isinstance(stmt, ast.Return):
+            tail = self._run_finallys([node])
+            self._join(tail, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            # already wired to exc targets via can_raise
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                self.loop_stack[-1].break_joins.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.loop_stack:
+                self.cfg.edge(node, self.loop_stack[-1].continue_target, NORMAL)
+            return []
+        return [node]
+
+    def _if(self, stmt: ast.If, frontier: list[Node]) -> list[Node]:
+        test = self._stmt_node(stmt)
+        self._join(frontier, test)
+        then_out = self._block(stmt.body, [test])
+        else_out = self._block(stmt.orelse, [test]) if stmt.orelse else [test]
+        return then_out + else_out
+
+    def _loop(self, stmt, frontier: list[Node]) -> list[Node]:
+        head = self._stmt_node(stmt)
+        self._join(frontier, head)
+        frame = _LoopFrame(continue_target=head)
+        self.loop_stack.append(frame)
+        body_out = self._block(stmt.body, [head])
+        self.loop_stack.pop()
+        self._join(body_out, head)  # back edge
+        # loop exit: condition false / iterator exhausted, plus breaks
+        exits = [head] + frame.break_joins
+        if stmt.orelse:
+            exits = self._block(stmt.orelse, [head]) + frame.break_joins
+        return exits
+
+    def _with(self, stmt, frontier: list[Node]) -> list[Node]:
+        head = self._stmt_node(stmt)
+        self._join(frontier, head)
+        return self._block(stmt.body, [head])
+
+    def _match(self, stmt: ast.Match, frontier: list[Node]) -> list[Node]:
+        head = self._stmt_node(stmt)
+        self._join(frontier, head)
+        outs: list[Node] = [head]  # no case may match
+        for case in stmt.cases:
+            outs.extend(self._block(case.body, [head]))
+        return outs
+
+    def _run_finallys(self, frontier: list[Node]) -> list[Node]:
+        """Thread ``frontier`` through every pending finalbody, innermost
+        first — the route a ``return`` takes out of nested ``try``s. Each
+        finalbody is built with the frames *outside* it active, so its
+        own statements do not re-enter it."""
+        stack = self.finally_stack
+        for depth in range(len(stack) - 1, -1, -1):
+            if not frontier:
+                break
+            self.finally_stack = stack[:depth]
+            frontier = self._block(stack[depth], frontier)
+            self.finally_stack = stack
+        return frontier
+
+    def _try(self, stmt: ast.Try, frontier: list[Node]) -> list[Node]:
+        handler_heads: list[Node] = []
+        handler_nodes: list[tuple[ast.ExceptHandler, Node]] = []
+        for handler in stmt.handlers:
+            head = self.cfg._new(handler, "stmt")
+            handler_heads.append(head)
+            handler_nodes.append((handler, head))
+
+        # Exceptions inside the body dispatch to the handlers; if there
+        # are none (try/finally), they go straight to the exceptional-
+        # route finally copy.
+        finally_exc_entry: Node | None = None
+        if stmt.finalbody:
+            finally_exc_entry = self.cfg._new(None, "finally")
+            self.finally_stack.append(stmt.finalbody)
+
+        body_targets = handler_heads or (
+            [finally_exc_entry] if finally_exc_entry is not None
+            else self._exc_targets()
+        )
+        self.exc_stack.append(body_targets)
+        body_out = self._block(stmt.body, frontier)
+        self.exc_stack.pop()
+
+        # else runs only when the body completed without raising
+        if stmt.orelse:
+            body_out = self._block(stmt.orelse, body_out)
+
+        # Handlers: their own raises (and unmatched exceptions, which we
+        # over-approximate as flowing through every handler head) go to
+        # the finally route or outward.
+        handler_exc = (
+            [finally_exc_entry] if finally_exc_entry is not None
+            else self._exc_targets()
+        )
+        handler_out: list[Node] = []
+        for handler, head in handler_nodes:
+            # A handler head can re-raise outward when no clause matches.
+            for target in handler_exc:
+                self.cfg.edge(head, target, EXCEPTION)
+            self.exc_stack.append(handler_exc)
+            handler_out.extend(self._block(handler.body, [head]))
+            self.exc_stack.pop()
+
+        normal_out = body_out + handler_out
+
+        if not stmt.finalbody:
+            return normal_out
+
+        # Two finally copies: the normal-route one continues to the next
+        # statement; the exceptional-route one re-raises outward. Keeping
+        # the routes separate keeps must-facts (fsync-before-rename)
+        # established on the normal route intact through the finally.
+        assert finally_exc_entry is not None
+        self.finally_stack.pop()
+        fin_normal_out = self._block(stmt.finalbody, normal_out)
+        fin_exc_out = self._block(stmt.finalbody, [finally_exc_entry])
+        for node in fin_exc_out:
+            for target in self._exc_targets():
+                self.cfg.edge(node, target, EXCEPTION)
+        return fin_normal_out
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """The CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    cfg = CFG(func)
+    _Builder(cfg).build()
+    return cfg

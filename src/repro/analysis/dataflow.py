@@ -1,0 +1,210 @@
+"""Worklist dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A small forward framework, just enough for the three path-sensitive rule
+families:
+
+- **may** analyses (join = union): "does an unreleased resource / an
+  un-synced rename *possibly* reach this point on some path" — used by
+  resource-release and the dir-fsync obligation.
+- **must** analyses (join = intersection): "has ``fsync`` *definitely*
+  run on every path before this rename" — used by fsync-before-rename
+  and snapshot-before-prune.
+
+Facts are ``frozenset`` instances. Transfer functions may return either
+one fact (same state continues on normal and exception edges) or a
+``(normal, exception)`` pair when the two routes differ — e.g. a
+discharge call that may itself raise discharges only on its normal exit.
+
+Unreached predecessors contribute nothing: in-facts start as ``None``
+("bottom"), and :func:`run` joins only computed predecessor facts, so
+intersection joins are not poisoned by paths that cannot execute.
+"""
+
+from __future__ import annotations
+
+import ast
+from repro.analysis.cfg import CFG, EXCEPTION, NORMAL, Node
+
+MAY = "may"
+MUST = "must"
+
+
+class Analysis:
+    """One forward dataflow problem. Subclasses set :attr:`mode` and
+    implement :meth:`initial` and :meth:`transfer`."""
+
+    mode: str = MAY
+
+    def initial(self) -> frozenset:
+        """The fact at function entry."""
+        return frozenset()
+
+    def transfer(self, node: Node, fact: frozenset):
+        """``fact`` flowing *into* ``node`` -> fact(s) flowing out.
+
+        Return a single frozenset, or ``(normal_fact, exception_fact)``.
+        """
+        raise NotImplementedError
+
+    def join(self, facts: list[frozenset]) -> frozenset:
+        if not facts:
+            return frozenset()
+        if self.mode == MAY:
+            out = facts[0]
+            for fact in facts[1:]:
+                out = out | fact
+            return out
+        out = facts[0]
+        for fact in facts[1:]:
+            out = out & fact
+        return out
+
+
+class Result:
+    """Per-node in/out facts after :func:`run` converges."""
+
+    def __init__(self):
+        self.in_facts: dict[int, frozenset] = {}
+        self.out_normal: dict[int, frozenset] = {}
+        self.out_exception: dict[int, frozenset] = {}
+
+    def at(self, node: Node) -> frozenset:
+        """The fact flowing into ``node`` (empty when unreachable)."""
+        return self.in_facts.get(node.index, frozenset())
+
+
+def run(cfg: CFG, analysis: Analysis) -> Result:
+    """Iterate ``analysis`` over ``cfg`` to a fixed point (worklist)."""
+    result = Result()
+    result.in_facts[cfg.entry.index] = analysis.initial()
+
+    worklist: list[Node] = [cfg.entry]
+    queued = {cfg.entry.index}
+    while worklist:
+        node = worklist.pop(0)
+        queued.discard(node.index)
+
+        if node is not cfg.entry:
+            incoming: list[frozenset] = []
+            for pred, kind in node.preds:
+                table = (
+                    result.out_exception if kind == EXCEPTION
+                    else result.out_normal
+                )
+                fact = table.get(pred.index)
+                if fact is not None:
+                    incoming.append(fact)
+            if not incoming:
+                continue  # not yet reachable
+            in_fact = analysis.join(incoming)
+            if result.in_facts.get(node.index) == in_fact:
+                # Converged for this node — but only skip recomputation
+                # if outputs exist (first visit must still transfer).
+                if node.index in result.out_normal:
+                    continue
+            result.in_facts[node.index] = in_fact
+        in_fact = result.in_facts[node.index]
+
+        out = analysis.transfer(node, in_fact)
+        if isinstance(out, tuple):
+            normal_out, exc_out = out
+        else:
+            normal_out = exc_out = out
+        changed = (
+            result.out_normal.get(node.index) != normal_out
+            or result.out_exception.get(node.index) != exc_out
+        )
+        result.out_normal[node.index] = normal_out
+        result.out_exception[node.index] = exc_out
+        if changed:
+            for succ, _kind in node.succs:
+                if succ.index not in queued:
+                    worklist.append(succ)
+                    queued.add(succ.index)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Stock analyses
+
+
+class ReachingDefinitions(Analysis):
+    """Which ``(name, lineno)`` assignments may reach each node.
+
+    Classic may-analysis over simple-name targets; used by the framework
+    tests and as the template the rule-specific analyses follow.
+    """
+
+    mode = MAY
+
+    def transfer(self, node: Node, fact: frozenset):
+        defs = self.defs_at(node)
+        if not defs:
+            return fact
+        killed = {name for name, _ in defs}
+        out = frozenset(
+            (name, line) for name, line in fact if name not in killed
+        )
+        return out | defs
+
+    @staticmethod
+    def defs_at(node: Node) -> frozenset:
+        stmt = node.stmt
+        names: set[str] = set()
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.update(_simple_names(target))
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            names.update(_simple_names(stmt.target))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            names.update(_simple_names(stmt.target))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    names.update(_simple_names(item.optional_vars))
+        if not names:
+            return frozenset()
+        return frozenset((name, node.lineno) for name in names)
+
+
+def _simple_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out |= _simple_names(elt)
+        return out
+    if isinstance(target, ast.Starred):
+        return _simple_names(target.value)
+    return set()
+
+
+class SuspensionCrossing(Analysis):
+    """Which facts survive across a suspension point.
+
+    Facts are ``(tag, payload, crossed)`` triples. Each node's transfer
+    runs in three phases: :meth:`gen` adds facts produced *before* any
+    suspension in the statement (e.g. attribute reads), then every live
+    fact is marked ``crossed=True`` if the node suspends, then
+    :meth:`use` consumes facts *after* the suspension (e.g. attribute
+    writes) — so ``self.x = await f(self.x)`` correctly sees its own
+    read as having crossed the await.
+    """
+
+    mode = MAY
+
+    def gen(self, node: Node, fact: frozenset) -> frozenset:
+        """Facts produced at ``node``, pre-suspension."""
+        return fact
+
+    def use(self, node: Node, fact: frozenset) -> frozenset:
+        """Facts consumed/killed at ``node``, post-suspension. The
+        ``crossed`` flag on each fact is authoritative here."""
+        return fact
+
+    def transfer(self, node: Node, fact: frozenset):
+        fact = self.gen(node, fact)
+        if node.is_suspension:
+            fact = frozenset((tag, payload, True) for tag, payload, _ in fact)
+        return self.use(node, fact)

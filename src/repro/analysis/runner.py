@@ -1,19 +1,27 @@
-"""Walk paths, run the rule registry, render text/JSON — the engine
-behind ``repro check``.
+"""Walk paths, run the rule registry, render text/JSON/SARIF — the
+engine behind ``repro check``.
 
 Exit-code semantics (the CI contract):
 
-- ``0`` — clean: no active findings (suppressed ones are counted but do
-  not fail the check);
+- ``0`` — clean: no active findings (suppressed ones and findings
+  waived by ``--baseline`` are counted but do not fail the check);
 - ``1`` — findings (including files that fail to parse, reported as
   ``syntax-error`` findings);
-- ``2`` — usage error: a path that does not exist or an unknown rule.
+- ``2`` — usage error: a path that does not exist, an unknown rule, or
+  an unreadable baseline file.
+
+Large trees can spread rule execution over a process pool (``--jobs``).
+Each worker re-parses the *whole* project — the call-graph and CFG rules
+need cross-file context — but runs the rules over only its slice of the
+files, so the speedup applies to the expensive half (rule execution)
+while parsing stays embarrassingly duplicated and cheap.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.core import Finding, Project, SourceFile, all_rules, get_rules
@@ -23,7 +31,11 @@ from repro.errors import ReproError
 DEFAULT_PATHS = ("src", "benchmarks")
 
 #: Bumped when the ``--format json`` schema changes shape.
-SCHEMA_VERSION = 1
+#: 2: added ``baselined`` findings and the ``summary.baselined`` count.
+SCHEMA_VERSION = 2
+
+#: Baseline-file schema (independent of the report schema).
+BASELINE_VERSION = 1
 
 
 @dataclass
@@ -35,6 +47,11 @@ class CheckReport:
     files_checked: int
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
+    #: Findings waived because their fingerprint appears in the
+    #: ``--baseline`` file: known debt, reported but not failing.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Rule name -> cumulative seconds spent executing it (``--stats``).
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -89,33 +106,171 @@ def load_sources(files) -> tuple[list[SourceFile], list[Finding]]:
     return sources, errors
 
 
-def run_check(paths=None, rule_names=None) -> CheckReport:
-    """Run the (selected) rules over ``paths`` (default: src + benchmarks)."""
+def _run_rules(project: Project, rules, sources=None):
+    """Project.run with per-rule wall-clock timing; ``sources`` restricts
+    which files findings are *reported* for (the project still provides
+    full cross-file context)."""
+    chosen = sources if sources is not None else project.sources
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    timings: dict[str, float] = {}
+    for rule in rules:
+        start = time.perf_counter()
+        for source in chosen:
+            for finding in rule.check(source, project):
+                bucket = (
+                    suppressed if source.is_suppressed(finding) else active
+                )
+                bucket.append(finding)
+        timings[rule.name] = timings.get(rule.name, 0.0) + (
+            time.perf_counter() - start
+        )
+    return active, suppressed, timings
+
+
+def _check_chunk(files, lo, hi, rule_names):
+    """Process-pool worker: full-project parse, findings for one slice.
+
+    Parse errors are attributed to the worker that owns the failing file
+    so the merged report sees each exactly once.
+    """
+    rules = get_rules(rule_names) if rule_names else all_rules()
+    sources, parse_errors = load_sources(files)
+    chunk_paths = set(files[lo:hi])
+    chunk_sources = [s for s in sources if s.path in chunk_paths]
+    chunk_errors = [e for e in parse_errors if e.path in chunk_paths]
+    project = Project(sources)
+    active, suppressed, timings = _run_rules(project, rules, chunk_sources)
+    return active, suppressed, chunk_errors, timings
+
+
+def _chunk_bounds(count: int, jobs: int) -> list[tuple[int, int]]:
+    """Split ``count`` items into ``jobs`` contiguous near-equal slices."""
+    jobs = max(1, min(jobs, count))
+    base, extra = divmod(count, jobs)
+    bounds = []
+    lo = 0
+    for i in range(jobs):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def run_check(paths=None, rule_names=None, jobs: int = 1) -> CheckReport:
+    """Run the (selected) rules over ``paths`` (default: src + benchmarks).
+
+    ``jobs > 1`` fans rule execution out over a process pool; results are
+    identical to a serial run (workers differ only in which files they
+    report on), so it is purely a wall-clock knob.
+    """
     chosen_paths = list(paths) if paths else list(DEFAULT_PATHS)
     try:
         rules = get_rules(rule_names) if rule_names else all_rules()
     except KeyError as exc:
         raise ReproError(str(exc.args[0])) from exc
     files = collect_files(chosen_paths)
-    sources, parse_errors = load_sources(files)
-    findings, suppressed = Project(sources).run(rules)
-    findings = sorted(findings + parse_errors, key=Finding.sort_key)
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        bounds = _chunk_bounds(len(files), jobs)
+        findings: list[Finding] = []
+        suppressed: list[Finding] = []
+        timings: dict[str, float] = {}
+        with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+            futures = [
+                pool.submit(_check_chunk, files, lo, hi, rule_names)
+                for lo, hi in bounds
+            ]
+            for future in futures:
+                active, quiet, errors, worker_timings = future.result()
+                findings.extend(active)
+                findings.extend(errors)
+                suppressed.extend(quiet)
+                for name, seconds in worker_timings.items():
+                    timings[name] = timings.get(name, 0.0) + seconds
+    else:
+        sources, parse_errors = load_sources(files)
+        findings, suppressed, timings = _run_rules(Project(sources), rules)
+        findings = findings + parse_errors
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
     return CheckReport(
         paths=chosen_paths,
         rules=[rule.name for rule in rules],
         files_checked=len(files),
         findings=findings,
         suppressed=suppressed,
+        timings=timings,
     )
 
 
+# ------------------------------------------------------------------ baseline
+def finding_fingerprint(finding: Finding) -> str:
+    """Line-independent identity used by ``--baseline``: code motion must
+    not churn the baseline, so the line number stays out of it."""
+    return f"{finding.rule}::{finding.path}::{finding.message}"
+
+
+def write_baseline(report: CheckReport, path: str) -> int:
+    """Record every active finding's fingerprint; returns how many."""
+    fingerprints = sorted({finding_fingerprint(f) for f in report.findings})
+    payload = {"version": BASELINE_VERSION, "fingerprints": fingerprints}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(fingerprints)
+
+
+def load_baseline(path: str) -> set[str]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        fingerprints = payload["fingerprints"]
+        if not isinstance(fingerprints, list):
+            raise TypeError("'fingerprints' must be a list")
+        return set(fingerprints)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise ReproError(f"cannot read baseline {path}: {exc}") from exc
+
+
+def apply_baseline(report: CheckReport, fingerprints: set[str]) -> CheckReport:
+    """Split ``report.findings`` into still-failing vs known-baseline."""
+    fresh = [
+        f for f in report.findings
+        if finding_fingerprint(f) not in fingerprints
+    ]
+    known = [
+        f for f in report.findings if finding_fingerprint(f) in fingerprints
+    ]
+    report.findings = fresh
+    report.baselined = known
+    return report
+
+
+# ----------------------------------------------------------------- rendering
 def render_text(report: CheckReport) -> str:
     lines = [finding.render() for finding in report.findings]
     status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
-    lines.append(
+    summary = (
         f"repro check: {report.files_checked} files, {status}, "
         f"{len(report.suppressed)} suppressed"
     )
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_stats(report: CheckReport) -> str:
+    """``--stats``: per-rule wall time, slowest first."""
+    total = sum(report.timings.values())
+    lines = ["rule timings (seconds of rule execution, slowest first):"]
+    for name, seconds in sorted(
+        report.timings.items(), key=lambda item: -item[1]
+    ):
+        lines.append(f"  {name:<24} {seconds:8.3f}")
+    lines.append(f"  {'total':<24} {total:8.3f}")
     return "\n".join(lines)
 
 
@@ -128,11 +283,86 @@ def render_json(report: CheckReport) -> dict:
         "files_checked": report.files_checked,
         "findings": [finding.to_dict() for finding in report.findings],
         "suppressed": [finding.to_dict() for finding in report.suppressed],
+        "baselined": [finding.to_dict() for finding in report.baselined],
         "summary": {
             "findings": len(report.findings),
             "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
             "clean": report.clean,
         },
+    }
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_result(finding: Finding, suppressed: bool = False) -> dict:
+    message = finding.message
+    if finding.fix_hint:
+        message += f" (fix: {finding.fix_hint})"
+    result = {
+        "ruleId": finding.rule,
+        "level": "error" if finding.severity == "error" else "warning",
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace(os.sep, "/"),
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def render_sarif(report: CheckReport) -> dict:
+    """SARIF 2.1.0, the exchange format CI annotation tooling consumes.
+
+    Active findings are plain results; ``# repro: allow(...)`` waivers
+    are included with an ``inSource`` suppression so dashboards can show
+    (not count) them. Baselined findings are omitted entirely — the
+    baseline is this tool's own debt ledger, not source-level intent.
+    """
+    known = {rule.name: rule for rule in all_rules()}
+    mentioned = sorted(
+        {f.rule for f in report.findings}
+        | {f.rule for f in report.suppressed}
+        | set(report.rules)
+    )
+    rules_meta = []
+    for name in mentioned:
+        rule = known.get(name)
+        meta = {"id": name}
+        if rule is not None:
+            meta["shortDescription"] = {"text": rule.description}
+        rules_meta.append(meta)
+    results = [_sarif_result(f) for f in report.findings]
+    results += [_sarif_result(f, suppressed=True) for f in report.suppressed]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
 
 
@@ -144,18 +374,41 @@ def describe_rules() -> str:
     return "\n".join(lines)
 
 
-def main_check(paths, fmt="text", rule_names=None, list_rules=False, out=print) -> int:
+def main_check(
+    paths,
+    fmt="text",
+    rule_names=None,
+    list_rules=False,
+    out=print,
+    baseline=None,
+    write_baseline_path=None,
+    jobs=1,
+    stats=False,
+) -> int:
     """The CLI body: run, render, map the result to an exit code."""
     if list_rules:
         out(describe_rules())
         return 0
     try:
-        report = run_check(paths, rule_names)
+        report = run_check(paths, rule_names, jobs=jobs)
+        if write_baseline_path is not None:
+            count = write_baseline(report, write_baseline_path)
+            out(
+                f"repro check: wrote {count} fingerprint(s) to "
+                f"{write_baseline_path}"
+            )
+            return 0
+        if baseline is not None:
+            report = apply_baseline(report, load_baseline(baseline))
     except ReproError as exc:
         out(f"repro check: {exc}")
         return 2
     if fmt == "json":
         out(json.dumps(render_json(report), indent=2, sort_keys=False))
+    elif fmt == "sarif":
+        out(json.dumps(render_sarif(report), indent=2, sort_keys=False))
     else:
         out(render_text(report))
+    if stats:
+        out(render_stats(report))
     return report.exit_code

@@ -12,10 +12,18 @@ time, cheaply enough to leave on:
   across a block: whatever the block creates it must also retire,
   replacing hand-rolled before/after ``owned_segment_names()``
   comparisons in the leak tests.
+- :class:`ChaosEventLoop` is the runtime confirmer for the
+  ``await-atomicity`` rule: a seeded, reproducible event loop that
+  randomizes the wakeup order of *ready* tasks, so any interleaving the
+  static rule reasons about is one the test suite can actually hit.
+  Armed for ``tests/serve`` via ``REPRO_CHAOS_SEED`` (see the autouse
+  fixture in ``tests/serve/conftest.py``).
 """
 
 from __future__ import annotations
 
+import asyncio
+import random
 import time
 from dataclasses import dataclass
 
@@ -108,7 +116,7 @@ class ShmLeakError(AssertionError):
             f"{len(self.leaked)} shared-memory segment(s) created inside "
             f"the sanitized block were never retired: {self.leaked} "
             "(pair every from_table/attach/ProcessBackend with "
-            "unlink/shutdown — see the shm-lifecycle rule)"
+            "unlink/shutdown — see the resource-release rule)"
         )
 
 
@@ -145,3 +153,104 @@ class ShmLeakSanitizer:
 def shm_leak_sanitizer() -> ShmLeakSanitizer:
     """Factory alias reading naturally at ``with`` sites."""
     return ShmLeakSanitizer()
+
+
+class ChaosEventLoop(asyncio.SelectorEventLoop):
+    """A seeded event loop that randomizes ready-task wakeup order.
+
+    A stock asyncio loop runs ready callbacks in FIFO order, so a test
+    suite only ever exercises *one* interleaving of its coroutines — the
+    polite one. The races the ``await-atomicity`` rule reasons about
+    (read before an ``await``, write after, another task mutating the
+    state inside the window) stay latent because the adversarial
+    schedule never happens to run.
+
+    This loop intercepts task-step wakeups (``Task.__step`` /
+    ``Task.__wakeup`` — the callbacks asyncio binds to a Task object)
+    and releases them one at a time in an order drawn from a seeded
+    :class:`random.Random`. Everything else — I/O callbacks, timers,
+    ``call_soon_threadsafe`` from executor threads — keeps its normal
+    ordering, so the loop stays a *valid* asyncio scheduler: it only
+    explores orderings asyncio itself is allowed to produce.
+
+    Same seed, same workload -> same schedule, so a failure found under
+    chaos is reproducible by exporting ``REPRO_CHAOS_SEED=<seed>``.
+    """
+
+    #: Chance a pump defers its wakeup to the back of the queue, and how
+    #: many times one wakeup may be deferred (bounds starvation: every
+    #: buffered wakeup runs after at most _CHAOS_MAX_DEFERS requeues).
+    _CHAOS_DEFER_P = 0.5
+    _CHAOS_MAX_DEFERS = 8
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        self._chaos_rng = random.Random(seed)
+        self._chaos_pending: list[tuple[int, asyncio.Handle, int]] = []
+        self._chaos_seq = 0
+
+    @staticmethod
+    def _is_task_step(callback) -> bool:
+        return isinstance(getattr(callback, "__self__", None), asyncio.Task)
+
+    def call_soon(self, callback, *args, context=None):
+        if not self._is_task_step(callback):
+            return super().call_soon(callback, *args, context=context)
+        # Buffer the task wakeup; returning the real Handle keeps
+        # cancel() working.
+        handle = asyncio.Handle(callback, args, self, context)
+        self._chaos_buffer(handle, self._CHAOS_MAX_DEFERS)
+        return handle
+
+    def _chaos_buffer(self, handle: asyncio.Handle, defers_left: int) -> None:
+        self._chaos_seq += 1
+        self._chaos_pending.append((self._chaos_seq, handle, defers_left))
+        super().call_soon(self._chaos_pump, self._chaos_seq)
+
+    def _chaos_pump(self, threshold: int) -> None:
+        # Delay-only reordering. A pump may run any wakeup buffered at or
+        # before its own scheduling point (seq <= threshold), never a
+        # later one: advancing a wakeup past plain callbacks queued ahead
+        # of it would be a schedule no stock loop can produce, and
+        # asyncio's own internals rely on that FIFO (e.g. sock_connect
+        # unregisters its connect-writer via call_soon *before* the
+        # awaiting task resumes and wraps the fd in a transport). The
+        # shuffling comes from *deferral*: instead of running the chosen
+        # wakeup, a coin flip may requeue it behind everything currently
+        # scheduled, letting later wakeups overtake it.
+        pending = self._chaos_pending
+        eligible = [i for i, entry in enumerate(pending) if entry[0] <= threshold]
+        if not eligible:
+            return
+        index = eligible[self._chaos_rng.randrange(len(eligible))]
+        _, handle, defers_left = pending.pop(index)
+        if handle.cancelled():
+            return
+        if defers_left > 0 and self._chaos_rng.random() < self._CHAOS_DEFER_P:
+            self._chaos_buffer(handle, defers_left - 1)
+            return
+        handle._run()
+
+
+class ChaosEventLoopPolicy(asyncio.DefaultEventLoopPolicy):
+    """Policy whose every new loop is a :class:`ChaosEventLoop`.
+
+    Install around a test run so plain ``asyncio.run(...)`` call sites
+    pick up chaos scheduling unchanged::
+
+        asyncio.set_event_loop_policy(ChaosEventLoopPolicy(seed=1))
+
+    Each new loop reseeds from the base seed and a per-loop counter, so
+    successive ``asyncio.run`` calls in one process get distinct but
+    still reproducible schedules.
+    """
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        self.seed = int(seed)
+        self._loops_created = 0
+
+    def new_event_loop(self):
+        loop = ChaosEventLoop(seed=self.seed + self._loops_created)
+        self._loops_created += 1
+        return loop

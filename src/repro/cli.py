@@ -39,7 +39,7 @@ Commands
     the CI trajectory check.
 ``check``
     Run the project's static invariant rules (loop-safety,
-    shm-lifecycle, generation-discipline, strict-json,
+    resource-release, generation-discipline, strict-json,
     visitor-protocol, write-barrier, durability-ack) over
     ``src/`` + ``benchmarks/``
     (or given paths); ``--format json`` for the machine-readable CI
@@ -296,10 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         dest="fmt",
-        help="output format (json is the stable CI schema)",
+        help="output format (json is the stable CI schema; sarif is the "
+        "SARIF 2.1.0 exchange form for code-scanning upload)",
     )
     check.add_argument(
         "--rule",
@@ -312,6 +313,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules with their descriptions and exit",
+    )
+    check.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="waive findings whose fingerprints are recorded in FILE; "
+        "only findings absent from the baseline fail the check",
+    )
+    check.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        dest="write_baseline",
+        help="record the current findings' fingerprints to FILE and exit 0",
+    )
+    check.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan rule execution out over N worker processes (default 1)",
+    )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule wall-clock timings after the report",
     )
     return parser
 
@@ -611,6 +636,10 @@ def _cmd_check(args) -> int:
         fmt=args.fmt,
         rule_names=args.rules,
         list_rules=args.list_rules,
+        baseline=args.baseline,
+        write_baseline_path=args.write_baseline,
+        jobs=args.jobs,
+        stats=args.stats,
     )
 
 

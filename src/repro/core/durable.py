@@ -156,6 +156,11 @@ class DurableDeltaFlood:
                 "instead of build()ing over it"
             )
         os.makedirs(self.data_dir, exist_ok=True)
+        # Persist the data_dir entry itself: without fsyncing the parent
+        # directory, a crash after build() returns can lose the whole
+        # directory — snapshot, WAL, and the acks they back.
+        parent = os.path.dirname(os.path.abspath(self.data_dir))
+        self._io.fsync_dir(parent)
         for _, path in list_segments(self.data_dir):
             # Leftovers from a crash before the initial snapshot landed
             # hold no inserts (build is synchronous before serving) —

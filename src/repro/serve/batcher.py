@@ -204,21 +204,34 @@ class MicroBatcher:
         if self._task is not None:
             return
         self._queue = asyncio.Queue()
-        self._task = asyncio.get_running_loop().create_task(self._collect())
+        # The queue is passed in, not re-read from self inside the task:
+        # stop() claims self._queue to None before its first await, which
+        # can happen before the collector task's first step ever runs.
+        self._task = asyncio.get_running_loop().create_task(
+            self._collect(self._queue)
+        )
 
     async def stop(self) -> None:
-        """Drain-stop: finish gathered work, fail still-queued requests."""
-        if self._task is None:
+        """Drain-stop: finish gathered work, fail still-queued requests.
+
+        Claim-then-await: the task and queue are swapped into locals (and
+        ``self._task``/``self._queue`` cleared) *before* the first await,
+        so a second concurrent ``stop()`` sees the claimed state and
+        returns instead of resuming after this one already tore the
+        queue down.
+        """
+        task, queue = self._task, self._queue
+        if task is None:
             return
-        await self._queue.put(_SHUTDOWN)
-        await self._task
         self._task = None
+        self._queue = None
+        await queue.put(_SHUTDOWN)
+        await task
         # Anything enqueued after the sentinel cannot be served anymore.
-        while not self._queue.empty():
-            item = self._queue.get_nowait()
+        while not queue.empty():
+            item = queue.get_nowait()
             if item is not _SHUTDOWN and not item.future.done():
                 item.future.set_exception(QueryError("batcher stopped"))
-        self._queue = None
 
     @property
     def running(self) -> bool:
@@ -354,7 +367,7 @@ class MicroBatcher:
             self._client_in_flight.pop(client, None)
 
     # -------------------------------------------------------------- collect
-    async def _collect(self) -> None:
+    async def _collect(self, queue: asyncio.Queue) -> None:
         """Gather requests into bounded micro-batches and dispatch them.
 
         Dispatch is fired as its own task (the engine runs off-loop
@@ -364,7 +377,6 @@ class MicroBatcher:
         whole running batch before its own clock even started.
         """
         loop = asyncio.get_running_loop()
-        queue = self._queue
         stopping = False
         while not stopping:
             item = await queue.get()

@@ -330,14 +330,18 @@ class AsyncFloodClient:
         return await self._roundtrip({"id": self._next_id, "op": "merge"})
 
     async def close(self) -> None:
-        """Close the connection and stop the dispatch task."""
-        if self._writer is not None:
-            self._writer.close()
+        """Close the connection and stop the dispatch task (idempotent,
+        including under concurrent ``close()`` calls: the writer and
+        reader task are claimed into locals before the first await, so a
+        racing close sees ``None`` and returns instead of re-closing a
+        connection this call is already tearing down)."""
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.close()
             try:
-                await self._writer.wait_closed()
+                await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
-            self._writer = None
-        if self._reader_task is not None:
-            await self._reader_task
-            self._reader_task = None
+        reader_task, self._reader_task = self._reader_task, None
+        if reader_task is not None:
+            await reader_task

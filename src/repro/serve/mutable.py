@@ -185,31 +185,45 @@ class MutableController:
             self._run_maintenance(kind, queries)
         )
         self._maintenance = task
-
-        def chain(done: asyncio.Task) -> None:
-            # Inserts that landed mid-merge may already exceed the
-            # threshold again; chain the next merge without waiting for
-            # the next insert. Only after a *successful* run — chaining
-            # a persistently-failing merge would spin hot forever.
-            if done is self._maintenance and not done.cancelled() and done.result():
-                self.maybe_schedule_merge()
-
-        task.add_done_callback(chain)
         return task
 
     async def merge_now(self) -> dict:
-        """The ``merge`` op: run (or join) a merge and await its commit."""
+        """The ``merge`` op: run (or join) a maintenance task — chained
+        follow-up merges included — and await its commit."""
         task = self.schedule("merge")
         await asyncio.shield(task)
         return self.stats_payload()
 
     async def _run_maintenance(self, kind: str, queries=None) -> bool:
+        """One maintenance task: run the requested job, then chain
+        follow-up merges *inside the task* while inserts that landed
+        mid-merge keep the buffer over the threshold.
+
+        Chaining used to live in a done-callback that scheduled a fresh
+        task; under adversarial loop scheduling, ``drain()``'s wakeup
+        could be ordered before that callback, so shutdown proceeded
+        (closing the WAL) while the chained merge was about to start.
+        Keeping the chain in-task means ``merge_running`` stays True and
+        one ``await self._maintenance`` covers every follow-up. Chains
+        stop after a failed run — a persistently-failing merge must not
+        spin hot forever.
+        """
+        ok = await self._run_one(kind, queries)
+        while (
+            ok
+            and self.merge_threshold
+            and self.index.buffered_rows >= self.merge_threshold
+        ):
+            ok = await self._run_one("merge", None)
+        return ok
+
+    async def _run_one(self, kind: str, queries=None) -> bool:
         """One merge or re-layout: prepare off-loop, commit via barrier,
         retire the superseded scan backend off-loop.
 
-        Returns True on success (the schedule-time chain callback keys
-        on it); swallows failures into ``maintenance_failures`` — a
-        broken merge must not take the serving loop down.
+        Returns True on success; swallows failures into
+        ``maintenance_failures`` — a broken merge must not take the
+        serving loop down.
         """
         loop = asyncio.get_running_loop()
         index = self.index
@@ -262,7 +276,7 @@ class MutableController:
             # commit). Running this on *every* path is what guarantees
             # the process backend's worker pool and shared-memory
             # segments are released even on the exception edges (the
-            # shm-lifecycle rule of `repro check` guards exactly this).
+            # resource-release rule of `repro check` guards exactly this).
             current = getattr(index, "index", None)
             losers = (
                 swapped.get("old"),
@@ -306,12 +320,10 @@ class MutableController:
         return payload
 
     async def drain(self) -> None:
-        """Await in-flight (and chained) maintenance; server shutdown path."""
+        """Await in-flight maintenance (chained follow-up merges run
+        inside the same task); server shutdown path."""
         while self._maintenance is not None and not self._maintenance.done():
             try:
                 await self._maintenance
             except Exception:
                 pass
-            # A done-callback may have chained a follow-up merge; give it
-            # one loop turn to register, then wait for that one too.
-            await asyncio.sleep(0)

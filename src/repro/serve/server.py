@@ -212,16 +212,23 @@ class FloodServer:
         return self.host, self.port
 
     async def stop(self) -> None:
-        """Stop accepting, close the listener and connections, drain the batcher."""
-        if self._server is not None:
-            self._server.close()
+        """Stop accepting, close the listener and connections, drain the batcher.
+
+        The listener is claimed into a local (and ``self._server``
+        cleared) before the first await: a second concurrent ``stop()``
+        — say a client shutdown op racing serve_until_shutdown — must
+        not re-close the server or double-drain the controller after
+        this call already suspended in ``wait_closed()``.
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
             # Close established connections too: their handlers sit in
             # readline(), and (on 3.12.1+) wait_closed() waits for every
             # handler — an idle client must not block shutdown forever.
             for writer in list(self._writers):
                 writer.close()
-            await self._server.wait_closed()
-            self._server = None
+            await server.wait_closed()
         if self.mutable is not None:
             # Let an in-flight merge commit (the batcher is still running
             # here, so its barrier write can land) instead of abandoning

@@ -1,0 +1,154 @@
+"""ChaosEventLoop unit contract: reproducible adversarial scheduling.
+
+The loop's value rests on three properties, each pinned here:
+
+- **Determinism** — same seed, same workload, same schedule. A chaos
+  failure in CI must reproduce locally from the seed alone.
+- **Divergence** — different seeds actually explore different
+  schedules (otherwise the suite still only ever sees one ordering).
+- **Validity** — chaos may only *delay* a task wakeup relative to its
+  FIFO position, never advance it past plain callbacks queued before
+  it, and cancellation must keep working. Violating either produces
+  schedules no stock asyncio loop can — failures that are artifacts of
+  the tool, not bugs in the code under test.
+"""
+
+import asyncio
+
+from repro.analysis.sanitizers import ChaosEventLoop, ChaosEventLoopPolicy
+
+
+def _run_workload(loop: asyncio.AbstractEventLoop) -> list[str]:
+    """A scheduling-sensitive workload: the trace of (task, step) pairs
+    differs whenever ready-task wakeup order differs."""
+    trace: list[str] = []
+
+    async def worker(name: str, steps: int):
+        for step in range(steps):
+            trace.append(f"{name}:{step}")
+            await asyncio.sleep(0)
+
+    async def main():
+        await asyncio.gather(
+            worker("a", 4), worker("b", 4), worker("c", 4)
+        )
+
+    try:
+        loop.run_until_complete(main())
+    finally:
+        loop.close()
+    return trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = _run_workload(ChaosEventLoop(seed=7))
+        second = _run_workload(ChaosEventLoop(seed=7))
+        assert first == second
+
+    def test_schedules_complete_regardless_of_seed(self):
+        for seed in range(5):
+            trace = _run_workload(ChaosEventLoop(seed=seed))
+            assert sorted(trace) == sorted(
+                f"{name}:{step}" for name in "abc" for step in range(4)
+            )
+
+    def test_different_seeds_explore_different_schedules(self):
+        schedules = {tuple(_run_workload(ChaosEventLoop(seed=s))) for s in range(8)}
+        assert len(schedules) > 1
+
+    def test_chaos_differs_from_fifo(self):
+        fifo = _run_workload(asyncio.new_event_loop())
+        chaotic = {tuple(_run_workload(ChaosEventLoop(seed=s))) for s in range(8)}
+        assert any(schedule != tuple(fifo) for schedule in chaotic)
+
+
+class TestValidity:
+    def test_plain_callbacks_keep_fifo_order(self):
+        """Non-task callbacks are not chaos's to reorder."""
+        loop = ChaosEventLoop(seed=3)
+        order: list[int] = []
+        try:
+            for i in range(10):
+                loop.call_soon(order.append, i)
+            loop.run_until_complete(asyncio.sleep(0))
+        finally:
+            loop.close()
+        assert order == list(range(10))
+
+    def test_cancelled_task_never_resumes(self):
+        loop = ChaosEventLoop(seed=5)
+        resumed = []
+
+        async def victim():
+            await asyncio.sleep(0)
+            resumed.append(True)
+
+        async def main():
+            task = loop.create_task(victim())
+            await asyncio.sleep(0)
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+        assert resumed == []
+
+    def test_wakeups_are_delayed_never_advanced(self):
+        """A task wakeup buffered *after* a plain callback was queued
+        must not run before that callback: asyncio internals (e.g.
+        ``sock_connect``'s writer-unregistration) rely on call_soon
+        FIFO, so advancing a wakeup fabricates impossible schedules."""
+        loop = ChaosEventLoop(seed=11)
+        trace: list[str] = []
+
+        async def waker(event: asyncio.Event):
+            await event.wait()
+            trace.append("task-resumed")
+
+        async def main():
+            event = asyncio.Event()
+            task = loop.create_task(waker(event))
+            await asyncio.sleep(0)  # waker is parked on the event
+            # The plain callback enters the queue first; event.set()
+            # buffers the waker's wakeup strictly after it.
+            loop.call_soon(trace.append, "callback-before")
+            event.set()
+            await task
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+        assert trace.index("callback-before") < trace.index("task-resumed")
+
+
+class TestPolicy:
+    def test_policy_hands_out_chaos_loops_to_asyncio_run(self):
+        previous = asyncio.get_event_loop_policy()
+        asyncio.set_event_loop_policy(ChaosEventLoopPolicy(seed=1))
+        try:
+
+            async def probe():
+                return type(asyncio.get_running_loop()).__name__
+
+            assert asyncio.run(probe()) == "ChaosEventLoop"
+        finally:
+            asyncio.set_event_loop_policy(previous)
+
+    def test_successive_loops_reseed_distinctly_but_reproducibly(self):
+        policy_a = ChaosEventLoopPolicy(seed=7)
+        policy_b = ChaosEventLoopPolicy(seed=7)
+        runs_a = [_run_workload(policy_a.new_event_loop()) for _ in range(2)]
+        runs_b = [_run_workload(policy_b.new_event_loop()) for _ in range(2)]
+        # Loop-for-loop reproducible across equal-seed policies...
+        assert runs_a == runs_b
+        # ...while consecutive loops of one policy are independently
+        # seeded (they *may* coincide; over two 12-step traces with
+        # distinct seeds they do not for this base seed).
+        assert runs_a[0] != runs_a[1]

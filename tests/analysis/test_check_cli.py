@@ -76,7 +76,7 @@ class TestJsonFormat:
         assert code == 1
         assert list(payload) == [
             "version", "paths", "rules", "files_checked",
-            "findings", "suppressed", "summary",
+            "findings", "suppressed", "baselined", "summary",
         ]
         assert payload["version"] == SCHEMA_VERSION
         assert payload["paths"] == [root]
@@ -101,7 +101,7 @@ class TestJsonFormat:
         )
         assert code == 0
         assert payload["summary"] == {
-            "findings": 0, "suppressed": 1, "clean": True,
+            "findings": 0, "suppressed": 1, "baselined": 0, "clean": True,
         }
         assert payload["suppressed"][0]["rule"] == "strict-json"
 
@@ -128,7 +128,8 @@ class TestRuleSelection:
         assert main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for name in (
-            "loop-safety", "shm-lifecycle", "generation-discipline",
+            "loop-safety", "resource-release", "await-atomicity",
+            "crash-ordering", "generation-discipline",
             "strict-json", "visitor-protocol", "write-barrier",
         ):
             assert name in out
@@ -144,3 +145,113 @@ class TestSelfCheck:
         assert main(["check", "--format", "json", *paths]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["clean"] is True
+
+class TestSarifFormat:
+    def _run_sarif(self, capsys, argv):
+        code = main(argv)
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_sarif_shape_and_results(self, tmp_path, capsys):
+        root = _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        code, payload = self._run_sarif(
+            capsys, ["check", "--format", "sarif", root]
+        )
+        assert code == 1
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        rule_ids = {meta["id"] for meta in driver["rules"]}
+        assert {"loop-safety", "strict-json"} <= rule_ids
+        result = next(
+            r for r in run["results"] if r["ruleId"] == "loop-safety"
+        )
+        assert result["level"] in ("error", "warning")
+        assert result["message"]["text"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        assert "suppressions" not in result
+
+    def test_sarif_waivers_carry_in_source_suppression(self, tmp_path, capsys):
+        root = _tree(tmp_path, "waived.py", SUPPRESSED_SERVE)
+        code, payload = self._run_sarif(
+            capsys, ["check", "--format", "sarif", root]
+        )
+        assert code == 0
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "strict-json"
+        assert result["suppressions"] == [{"kind": "inSource"}]
+
+
+class TestBaseline:
+    def test_write_then_apply_round_trip(self, tmp_path, capsys):
+        root = _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        baseline = tmp_path / "baseline.json"
+
+        assert main(["check", root]) == 1
+        capsys.readouterr()
+
+        assert main(["check", "--write-baseline", str(baseline), root]) == 0
+        assert "wrote" in capsys.readouterr().out
+        recorded = json.loads(baseline.read_text())
+        assert recorded["fingerprints"]
+
+        assert main(["check", "--baseline", str(baseline), root]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "baselined" in out
+
+    def test_fresh_finding_still_fails_with_baseline(self, tmp_path, capsys):
+        root = _tree(tmp_path, "waived.py", SUPPRESSED_SERVE)
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", "--write-baseline", str(baseline), root]) == 0
+        capsys.readouterr()
+
+        _tree(tmp_path, "bad.py", DIRTY_SERVE)  # new debt, not in baseline
+        assert main(["check", "--baseline", str(baseline), root]) == 1
+        assert "[strict-json]" in capsys.readouterr().out
+
+    def test_baselined_findings_reported_in_json(self, tmp_path, capsys):
+        root = _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        baseline = tmp_path / "baseline.json"
+        main(["check", "--write-baseline", str(baseline), root])
+        capsys.readouterr()
+
+        code = main(
+            ["check", "--format", "json", "--baseline", str(baseline), root]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["findings"] == []
+        assert payload["summary"]["baselined"] == len(payload["baselined"]) > 0
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        root = _tree(tmp_path, "ok.py", CLEAN)
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        assert main(["check", "--baseline", str(bad), root]) == 2
+        assert "cannot read baseline" in capsys.readouterr().out
+
+
+class TestJobsAndStats:
+    def test_parallel_matches_serial(self, tmp_path, capsys):
+        _tree(tmp_path, "bad.py", DIRTY_SERVE)
+        _tree(tmp_path, "waived.py", SUPPRESSED_SERVE)
+        root = _tree(tmp_path, "ok.py", CLEAN)
+
+        serial_code = main(["check", "--format", "json", root])
+        serial = json.loads(capsys.readouterr().out)
+        parallel_code = main(
+            ["check", "--format", "json", "--jobs", "2", root]
+        )
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial_code == parallel_code == 1
+        assert serial == parallel
+
+    def test_stats_render_per_rule_timings(self, tmp_path, capsys):
+        root = _tree(tmp_path, "ok.py", CLEAN)
+        assert main(["check", "--stats", root]) == 0
+        out = capsys.readouterr().out
+        assert "rule timings" in out
+        assert "total" in out
+        assert "strict-json" in out

@@ -55,8 +55,8 @@ class TestFinding:
 
 class TestSuppressions:
     def test_same_line_comment(self):
-        table = parse_suppressions("x = compute()  # repro: allow(shm-lifecycle)\n")
-        assert table == {1: frozenset({"shm-lifecycle"})}
+        table = parse_suppressions("x = compute()  # repro: allow(resource-release)\n")
+        assert table == {1: frozenset({"resource-release"})}
 
     def test_comment_only_line_covers_the_line_below(self):
         text = "# repro: allow(loop-safety)\ntime.sleep(1)\n"
@@ -100,7 +100,8 @@ class TestRegistry:
         names = [rule.name for rule in all_rules()]
         assert names == sorted(names)
         for expected in (
-            "loop-safety", "shm-lifecycle", "generation-discipline",
+            "loop-safety", "resource-release", "await-atomicity",
+            "crash-ordering", "generation-discipline",
             "strict-json", "visitor-protocol", "write-barrier",
             "durability-ack",
         ):

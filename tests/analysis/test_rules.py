@@ -90,26 +90,51 @@ class TestLoopSafety:
         assert len(suppressed) == 1
 
 
-class TestShmLifecycle:
+class TestResourceRelease:
     def test_discarded_producer_result(self):
-        found = active("shm-lifecycle", (CORE, (
+        found = active("resource-release", (CORE, (
             "def publish(table):\n"
             "    SharedMemoryTable.from_table(table)\n"
         )))
         assert len(found) == 1
         assert "discarded" in found[0].message
 
-    def test_bound_but_never_retired(self):
-        found = active("shm-lifecycle", (CORE, (
+    def test_bound_but_never_released(self):
+        found = active("resource-release", (CORE, (
             "def publish(table):\n"
             "    shm = SharedMemoryTable.from_table(table)\n"
             "    return None\n"
         )))
         assert len(found) == 1
-        assert "never retired" in found[0].message
+        assert "unreleased" in found[0].message
 
-    def test_missing_error_edge_retirement(self):
-        found = active("shm-lifecycle", (CORE, (
+    def test_released_on_some_paths_only(self):
+        found = active("resource-release", (CORE, (
+            "def publish(table, c):\n"
+            "    shm = SharedMemoryTable.from_table(table)\n"
+            "    if c:\n"
+            "        shm.close()\n"
+        )))
+        assert len(found) == 1
+        assert "on some path" in found[0].message
+
+    def test_missing_error_edge_release(self):
+        # shm.validate() is no hand-off (passing shm TO a call would be)
+        # and can raise between acquisition and the close.
+        found = active("resource-release", (CORE, (
+            "def publish(table):\n"
+            "    shm = SharedMemoryTable.from_table(table)\n"
+            "    shm.validate()\n"
+            "    shm.close()\n"
+        )))
+        assert len(found) == 1
+        assert "exception edges" in found[0].message
+
+    def test_attempted_release_in_try_is_clean(self):
+        # close() inside the try discharges on both of its own edges: a
+        # raise *from the release call itself* is not a leak this rule
+        # can assign to the caller.
+        found = active("resource-release", (CORE, (
             "def publish(table):\n"
             "    try:\n"
             "        shm = SharedMemoryTable.from_table(table)\n"
@@ -117,11 +142,10 @@ class TestShmLifecycle:
             "    except ValueError:\n"
             "        pass\n"
         )))
-        assert len(found) == 1
-        assert "exception edges" in found[0].message
+        assert found == []
 
-    def test_finally_retirement_is_clean(self):
-        found = active("shm-lifecycle", (CORE, (
+    def test_finally_release_is_clean(self):
+        found = active("resource-release", (CORE, (
             "def publish(table, work):\n"
             "    shm = SharedMemoryTable.from_table(table)\n"
             "    try:\n"
@@ -132,7 +156,7 @@ class TestShmLifecycle:
         assert found == []
 
     def test_ownership_handoff_is_clean(self):
-        found = active("shm-lifecycle", (CORE, (
+        found = active("resource-release", (CORE, (
             "def make(table):\n"
             "    return SharedMemoryTable.from_table(table)\n"
             "class Holder:\n"
@@ -141,14 +165,248 @@ class TestShmLifecycle:
             "def pooled(table):\n"
             "    backend = ProcessBackend(table, workers=2)\n"
             "    backend.shutdown()\n"
+            "def handed(table, sink):\n"
+            "    shm = SharedMemoryTable.from_table(table)\n"
+            "    sink(shm)\n"
+        )))
+        assert found == []
+
+    def test_nested_scope_capture_is_untracked(self):
+        # A name referenced by a closure escapes this function's CFG; the
+        # rule declines rather than guesses.
+        found = active("resource-release", (CORE, (
+            "def publish(table):\n"
+            "    shm = SharedMemoryTable.from_table(table)\n"
+            "    def finish():\n"
+            "        shm.close()\n"
+            "    return finish\n"
+        )))
+        assert found == []
+
+    def test_wal_producer_is_tracked(self):
+        found = active("resource-release", (CORE, (
+            "def open_log(path):\n"
+            "    wal = WriteAheadLog(path)\n"
+            "    return None\n"
+        )))
+        assert len(found) == 1
+
+    def test_suppression(self):
+        found, suppressed = check("resource-release", (CORE, (
+            "def publish(table):\n"
+            "    # repro: allow(resource-release)\n"
+            "    SharedMemoryTable.from_table(table)\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1
+
+
+class TestAwaitAtomicity:
+    def test_guarded_read_write_across_await(self):
+        found = active("await-atomicity", (SERVE, (
+            "class Batcher:\n"
+            "    async def stop(self):\n"
+            "        if self._task is None:\n"
+            "            return\n"
+            "        await self._task\n"
+            "        self._task = None\n"
+        )))
+        assert len(found) == 1
+        assert "_task" in found[0].message
+        assert "await in between" in found[0].message
+
+    def test_augassign_across_await(self):
+        found = active("await-atomicity", (SERVE, (
+            "class Counter:\n"
+            "    async def bump(self, f):\n"
+            "        self.total += await f()\n"
+        )))
+        assert len(found) == 1
+        assert "total" in found[0].message
+
+    def test_claim_then_await_is_clean(self):
+        found = active("await-atomicity", (SERVE, (
+            "class Batcher:\n"
+            "    async def stop(self):\n"
+            "        task, self._task = self._task, None\n"
+            "        if task is None:\n"
+            "            return\n"
+            "        await task\n"
+        )))
+        assert found == []
+
+    def test_write_before_await_is_clean(self):
+        found = active("await-atomicity", (SERVE, (
+            "class Batcher:\n"
+            "    async def kick(self, f):\n"
+            "        if self._task is None:\n"
+            "            self._task = f()\n"
+            "        await self._task\n"
+        )))
+        assert found == []
+
+    def test_sync_methods_exempt(self):
+        found = active("await-atomicity", (SERVE, (
+            "class Batcher:\n"
+            "    def stop(self, waiter):\n"
+            "        if self._task is None:\n"
+            "            return\n"
+            "        waiter(self._task)\n"
+            "        self._task = None\n"
+        )))
+        assert found == []
+
+    def test_non_serve_packages_exempt(self):
+        found = active("await-atomicity", (CORE, (
+            "class Batcher:\n"
+            "    async def stop(self):\n"
+            "        if self._task is None:\n"
+            "            return\n"
+            "        await self._task\n"
+            "        self._task = None\n"
         )))
         assert found == []
 
     def test_suppression(self):
-        found, suppressed = check("shm-lifecycle", (CORE, (
-            "def publish(table):\n"
-            "    # repro: allow(shm-lifecycle)\n"
-            "    SharedMemoryTable.from_table(table)\n"
+        found, suppressed = check("await-atomicity", (SERVE, (
+            "class Batcher:\n"
+            "    async def stop(self):\n"
+            "        # repro: allow(await-atomicity)\n"
+            "        if self._task is None:\n"
+            "            return\n"
+            "        await self._task\n"
+            "        self._task = None\n"
+        )))
+        assert found == []
+        assert len(suppressed) == 1
+
+
+STORAGE = "src/repro/storage/mod.py"
+
+_SYNCED_SAVE = (
+    "class SnapshotWriter:\n"
+    "    def save(self, io, tmp, final, directory, payload):\n"
+    "        handle = io.open(tmp, 'wb')\n"
+    "        io.write(handle, payload)\n"
+    "        io.flush(handle)\n"
+    "        io.fsync(handle)\n"
+    "        handle.close()\n"
+    "        io.replace(tmp, final)\n"
+    "        io.fsync_dir(directory)\n"
+)
+
+
+class TestCrashOrdering:
+    def test_rename_without_fsync(self):
+        found = active("crash-ordering", (STORAGE, (
+            "class SnapshotWriter:\n"
+            "    def save(self, io, tmp, final, directory, payload):\n"
+            "        handle = io.open(tmp, 'wb')\n"
+            "        io.write(handle, payload)\n"
+            "        handle.close()\n"
+            "        io.replace(tmp, final)\n"
+            "        io.fsync_dir(directory)\n"
+        )))
+        assert len(found) == 1
+        assert "without an fsync" in found[0].message
+
+    def test_fsync_on_one_branch_only(self):
+        found = active("crash-ordering", (STORAGE, (
+            "class SnapshotWriter:\n"
+            "    def save(self, io, tmp, final, directory, payload, fast):\n"
+            "        handle = io.open(tmp, 'wb')\n"
+            "        io.write(handle, payload)\n"
+            "        if not fast:\n"
+            "            io.fsync(handle)\n"
+            "        handle.close()\n"
+            "        io.replace(tmp, final)\n"
+            "        io.fsync_dir(directory)\n"
+        )))
+        assert len(found) == 1
+        assert "every path" in found[0].message
+
+    def test_write_after_fsync_invalidates_it(self):
+        found = active("crash-ordering", (STORAGE, (
+            "class SnapshotWriter:\n"
+            "    def save(self, io, tmp, final, directory, payload):\n"
+            "        handle = io.open(tmp, 'wb')\n"
+            "        io.write(handle, payload)\n"
+            "        io.fsync(handle)\n"
+            "        io.write(handle, payload)\n"
+            "        handle.close()\n"
+            "        io.replace(tmp, final)\n"
+            "        io.fsync_dir(directory)\n"
+        )))
+        assert len(found) == 1
+
+    def test_rename_without_dir_fsync(self):
+        # Both the tmp-file creation and the rename owe a directory
+        # fsync; neither is paid, so both obligations report.
+        found = active("crash-ordering", (STORAGE, (
+            "class SnapshotWriter:\n"
+            "    def save(self, io, tmp, final, payload):\n"
+            "        handle = io.open(tmp, 'wb')\n"
+            "        io.write(handle, payload)\n"
+            "        io.fsync(handle)\n"
+            "        handle.close()\n"
+            "        io.replace(tmp, final)\n"
+        )))
+        assert len(found) == 2
+        assert all("fsync_dir" in f.message for f in found)
+
+    def test_canonical_sequence_is_clean(self):
+        found = active("crash-ordering", (STORAGE, _SYNCED_SAVE))
+        assert found == []
+
+    def test_prune_before_snapshot(self):
+        found = active("crash-ordering", (STORAGE, (
+            "class Checkpointer:\n"
+            "    def checkpoint(self, wal):\n"
+            "        wal.prune()\n"
+            "        self.write_snapshot()\n"
+        )))
+        assert len(found) == 1
+        assert "prune" in found[0].message
+
+    def test_snapshot_then_prune_is_clean(self):
+        found = active("crash-ordering", (STORAGE, (
+            "class Checkpointer:\n"
+            "    def checkpoint(self, wal):\n"
+            "        self.write_snapshot()\n"
+            "        wal.prune()\n"
+        )))
+        assert found == []
+
+    def test_str_replace_is_not_a_rename(self):
+        found = active("crash-ordering", (STORAGE, (
+            "def normalize(dtype):\n"
+            "    return dtype.str.replace('>', '<')\n"
+        )))
+        assert found == []
+
+    def test_io_classes_are_the_seam(self):
+        # Classes named *IO implement the raw syscalls themselves; the
+        # ordering obligations live in their callers.
+        found = active("crash-ordering", (STORAGE, (
+            "import os\n"
+            "class StorageIO:\n"
+            "    def replace(self, src, dst):\n"
+            "        os.replace(src, dst)\n"
+        )))
+        assert found == []
+
+    def test_suppression(self):
+        # Deliberately unsynced rename (anchor: the replace line) with a
+        # waiver; the dirsync obligations are paid so only that finding
+        # exists, and it is suppressed.
+        found, suppressed = check("crash-ordering", (STORAGE, (
+            "class SnapshotWriter:\n"
+            "    def save(self, io, tmp, final, directory, payload):\n"
+            "        handle = io.open(tmp, 'wb')\n"
+            "        io.write(handle, payload)\n"
+            "        handle.close()\n"
+            "        io.replace(tmp, final)  # repro: allow(crash-ordering)\n"
+            "        io.fsync_dir(directory)\n"
         )))
         assert found == []
         assert len(suppressed) == 1

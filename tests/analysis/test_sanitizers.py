@@ -91,7 +91,7 @@ class TestShmLeakSanitizer:
                 registry.owned.add("seg-a")
                 registry.owned.add("seg-b")
         assert info.value.leaked == ["seg-a", "seg-b"]
-        assert "shm-lifecycle" in str(info.value)
+        assert "resource-release" in str(info.value)
 
     def test_preexisting_segments_are_not_blamed(self, registry):
         registry.owned.add("older")

@@ -27,6 +27,17 @@ from tests.helpers import make_table, random_query
 DIMS = ("x", "y", "z")
 
 
+async def _spin_until(predicate, timeout: float = 5.0) -> None:
+    """Yield until ``predicate()`` holds. A bare ``sleep(0)`` assumes the
+    sibling tasks ran in the meantime — true on a FIFO loop, not under
+    ChaosEventLoop, which may keep this task running first."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        assert loop.time() < deadline, "condition never became true"
+        await asyncio.sleep(0)
+
+
 @pytest.fixture(scope="module")
 def engine():
     table = make_table(n=2000, dims=DIMS, seed=31)
@@ -74,16 +85,14 @@ class TestBatcherQuota:
                 loop.create_task(batcher.submit(q, client="A"))
                 for q in queries[:2]
             ]
-            await asyncio.sleep(0)  # both admitted, engine busy
-            assert batcher.in_flight_for("A") == 2
+            await _spin_until(lambda: batcher.in_flight_for("A") == 2)
             with pytest.raises(OverloadedError):
                 await batcher.submit(queries[2], client="A")
             assert batcher.stats.queries_rejected_client == 1
             assert batcher.stats.queries_rejected == 0  # global bound untouched
             # The polite client is unaffected by A's saturation.
             polite = loop.create_task(batcher.submit(queries[3], client="B"))
-            await asyncio.sleep(0)
-            assert batcher.in_flight_for("B") == 1
+            await _spin_until(lambda: batcher.in_flight_for("B") == 1)
             results = await asyncio.wait_for(
                 asyncio.gather(*greedy, polite), timeout=10
             )
@@ -108,8 +117,7 @@ class TestBatcherQuota:
             queries = _queries(engine, 3, seed=33)
             loop = asyncio.get_running_loop()
             tasks = [loop.create_task(batcher.submit(q)) for q in queries]
-            await asyncio.sleep(0)
-            assert batcher.in_flight == 3  # no token, no quota
+            await _spin_until(lambda: batcher.in_flight == 3)  # no token, no quota
             await asyncio.wait_for(asyncio.gather(*tasks), timeout=10)
             assert batcher.stats.queries_rejected_client == 0
             await batcher.stop()

@@ -325,7 +325,7 @@ class TestConcurrentMutateQuery:
         # released every segment this test created.
 
     def test_failed_commit_retires_superseded_backend(self):
-        """Regression for the shm-lifecycle finding in
+        """Regression for the resource-release finding in
         MutableController._run_maintenance: a maintenance job that fails
         *after* the swap committed used to leak the superseded inner
         index's worker pool and shared-memory segments — the error path
