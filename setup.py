@@ -8,4 +8,8 @@ plain ``pip install -e .`` on modern toolchains) work everywhere.
 
 from setuptools import setup
 
-setup()
+setup(
+    # Optional compiled scan-kernel tier (repro.storage.kernels). The
+    # numpy fallback is always present; numba is never a hard dependency.
+    extras_require={"kernels": ["numba"]},
+)

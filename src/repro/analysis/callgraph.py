@@ -47,6 +47,7 @@ HEAVY_CALLS = {
     "build_flood": "build_flood (index build)",
     "query_percell": "query_percell (per-cell scan loop)",
     "default_cost_model": "default_cost_model (may calibrate for seconds)",
+    "warmup_kernels": "warmup_kernels (first-call JIT compile)",
 }
 
 #: Heavy calls identified by their receiver chain, for names too generic
@@ -145,6 +146,10 @@ def _classify_call(node: ast.Call) -> tuple[CallSite | None, BlockSite | None]:
         site = CallSite(func.id, None, node.lineno, node.col_offset, node)
         if func.id == "open":
             block = BlockSite("open() (blocking file I/O)", node.lineno, node.col_offset)
+        elif func.id in HEAVY_CALLS:
+            # Module-level heavies (warmup_kernels, build_flood, ...) are
+            # usually called bare, not through a receiver.
+            block = BlockSite(HEAVY_CALLS[func.id], node.lineno, node.col_offset)
     elif isinstance(func, ast.Attribute):
         qualifier = dotted(func.value) or "<expr>"
         site = CallSite(func.attr, qualifier, node.lineno, node.col_offset, node)

@@ -39,6 +39,7 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.errors import BuildError, QueryError
+from repro.query.stats import QueryStats
 from repro.storage.scan import scan_runs
 from repro.storage.shm import SharedMemoryTable, ShmTableHandle
 from repro.storage.visitor import RecordingVisitor, Visitor, is_mergeable
@@ -68,22 +69,28 @@ def _scan_worker_kernel(
     runs: list[tuple[int, int, int]],
     bounds_by_code: dict[int, list[tuple[str, int, int]]],
     visitor: Visitor,
-) -> tuple[int, int, int]:
+    kernel=None,
+) -> tuple[int, int, int, int]:
     """One shard's scan: group by code, run the batched kernel per group.
 
-    Returns ``(points_scanned, points_matched, exact_points)``; the
-    visitor accumulates in place. Shared by the process workers and the
-    identity tests.
+    ``kernel`` is an optional fused-scan tier
+    (:class:`~repro.storage.kernels.ScanKernel` or spec string) applied
+    to every fusable group. Returns ``(points_scanned, points_matched,
+    exact_points, kernel_groups)``; the visitor accumulates in place.
+    Shared by the process workers and the identity tests.
     """
     scanned = matched = exact = 0
+    local = QueryStats()
     for code, spans in _group_runs_by_code(runs).items():
         bounds = bounds_by_code[code]
-        got_scanned, got_matched = scan_runs(table, bounds, spans, visitor)
+        got_scanned, got_matched = scan_runs(
+            table, bounds, spans, visitor, kernel=kernel, stats=local
+        )
         scanned += got_scanned
         matched += got_matched
         if not bounds:
             exact += got_scanned
-    return scanned, matched, exact
+    return scanned, matched, exact, local.kernel_groups
 
 
 class ScanBackend(ABC):
@@ -150,7 +157,6 @@ class ThreadBackend(ScanBackend):
 
     def scan(self, index, plan, query, visitor, stats, per_shard) -> None:
         from repro.core.index import FloodIndex
-        from repro.query.stats import QueryStats
 
         serial_execute = FloodIndex.execute_plan
         mergeable = is_mergeable(visitor)
@@ -170,6 +176,9 @@ class ThreadBackend(ScanBackend):
             stats.points_scanned += local.points_scanned
             stats.points_matched += local.points_matched
             stats.exact_points += local.exact_points
+            stats.kernel_groups += local.kernel_groups
+            if local.kernel_tier:
+                stats.kernel_tier = local.kernel_tier
 
 
 # ---------------------------------------------------------------- processes
@@ -187,20 +196,31 @@ def _worker_attach(handle: ShmTableHandle) -> None:
 def _worker_scan(task):
     """One shard's scan inside a worker process.
 
-    ``task`` is ``(runs, bounds_by_code, prototype)`` where ``prototype``
-    is a fresh mergeable visitor (unpickled here into this task's private
-    accumulator) or ``None`` for the recording fallback. Returns
-    ``(payload, scanned, matched, exact)`` — the payload is the filled
-    visitor (compact partial aggregate) or the recorded visits list.
+    ``task`` is ``(runs, bounds_by_code, prototype, kernel_tier)`` where
+    ``prototype`` is a fresh mergeable visitor (unpickled here into this
+    task's private accumulator) or ``None`` for the recording fallback,
+    and ``kernel_tier`` is the parent index's resolved fused-kernel tier
+    (or ``None``) — the tier string crosses the pool boundary, the
+    worker resolves its own process-local kernel singleton. Returns
+    ``(payload, scanned, matched, exact, kernel_groups)`` — the payload
+    is the filled visitor (compact partial aggregate) or the recorded
+    visits list.
     """
-    runs, bounds_by_code, prototype = task
+    runs, bounds_by_code, prototype, kernel_tier = task
     table = _WORKER_TABLE
     if table is None:  # pool used without its initializer; cannot happen via ProcessBackend
         raise BuildError("scan worker has no attached table")
+    kernel = None
+    if kernel_tier is not None:
+        from repro.storage.kernels import get_kernel
+
+        kernel = get_kernel(kernel_tier)
     visitor = prototype if prototype is not None else RecordingVisitor()
-    scanned, matched, exact = _scan_worker_kernel(table, runs, bounds_by_code, visitor)
+    scanned, matched, exact, fused = _scan_worker_kernel(
+        table, runs, bounds_by_code, visitor, kernel=kernel
+    )
     payload = visitor if prototype is not None else visitor.visits
-    return payload, scanned, matched, exact
+    return payload, scanned, matched, exact, fused
 
 
 class ProcessBackend(ScanBackend):
@@ -273,13 +293,18 @@ class ProcessBackend(ScanBackend):
             for code in codes
         }
         prototype = visitor.fresh() if is_mergeable(visitor) else None
+        kernel_tier = getattr(index, "kernel_tier", None)
+        if kernel_tier is not None:
+            stats.kernel_tier = kernel_tier
         futures = [
-            pool.submit(_worker_scan, (shard_runs, bounds_by_code, prototype))
+            pool.submit(
+                _worker_scan, (shard_runs, bounds_by_code, prototype, kernel_tier)
+            )
             for shard_runs in per_shard
         ]
         table = index.table
         for future in futures:  # shard order == storage order, deterministic
-            payload, scanned, matched, exact = future.result()
+            payload, scanned, matched, exact, fused = future.result()
             if prototype is not None:
                 visitor.merge(payload)
             else:
@@ -288,6 +313,7 @@ class ProcessBackend(ScanBackend):
             stats.points_scanned += scanned
             stats.points_matched += matched
             stats.exact_points += exact
+            stats.kernel_groups += fused
 
     def shutdown(self) -> None:
         """Stop the worker pool and unlink owned shared memory (idempotent)."""

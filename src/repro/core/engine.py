@@ -18,6 +18,8 @@ per-cell loop) query by query.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
@@ -30,6 +32,78 @@ from repro.storage.visitor import CountVisitor, Visitor
 #: Enumeration-cache entry cap: bounds engine memory for long-running
 #: serving processes whose queries keep projecting to new column ranges.
 _MAX_CACHE_ENTRIES = 1024
+
+
+class LRUEnumCache:
+    """Bounded LRU memo for plan enumerations, with eviction accounting.
+
+    Duck-types the two operations :meth:`FloodIndex.plan` performs on its
+    ``enum_cache`` — ``get(key)`` and ``cache[key] = value`` — so it
+    drops in where a plain dict was. Under an adaptive or shifting
+    workload the projected-column-range key space is unbounded; a plain
+    dict grows without limit, and the engine's old FIFO trim evicted the
+    *oldest insert*, which is exactly the entry a stable working set
+    keeps reusing. LRU keeps the working set hot and the
+    hit/miss/eviction counters make cache health observable (server
+    stats op, ``engine_cache`` block).
+
+    Thread-safe: engine workers share one cache; every operation holds
+    the lock (entries are immutable once stored, so readers never see a
+    partially-built value either way — the lock protects the OrderedDict
+    reordering, which *is* a mutation on every hit).
+    """
+
+    def __init__(self, capacity: int = _MAX_CACHE_ENTRIES):
+        if int(capacity) < 1:
+            raise QueryError(f"enum cache needs capacity >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, default=None):
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def __setitem__(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats_payload(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 @dataclass
@@ -111,9 +185,26 @@ class BatchQueryEngine:
         index's own backend untouched. With the process backend, engine
         worker threads submit to one bounded process pool, so the
         combination cannot oversubscribe unboundedly.
+    kernel:
+        Optional fused scan-kernel spec (``'auto'`` / ``'numba'`` /
+        ``'numpy'``) applied to the index via
+        :meth:`FloodIndex.use_kernel`. ``None`` (default) leaves the
+        index's own kernel configuration untouched.
+    cache_entries:
+        Enumeration-cache capacity (LRU; default 1024 entries). Hit,
+        miss, and eviction counters are reachable through
+        :meth:`cache_stats`.
     """
 
-    def __init__(self, index, workers: int = 1, executor=None, backend=None):
+    def __init__(
+        self,
+        index,
+        workers: int = 1,
+        executor=None,
+        backend=None,
+        kernel=None,
+        cache_entries: int = _MAX_CACHE_ENTRIES,
+    ):
         # Anything satisfying the queryable-index protocol serves: plain,
         # sharded, or delta-buffered (raises BuildError when not built).
         require_queryable(index)
@@ -124,15 +215,26 @@ class BatchQueryEngine:
                     "(ShardedFloodIndex.wrap)"
                 )
             index.use_backend(backend)
+        if kernel is not None:
+            if not hasattr(index, "use_kernel"):
+                raise QueryError(
+                    "kernel= needs an index with a fused-kernel tier "
+                    "(FloodIndex or a wrapper forwarding use_kernel)"
+                )
+            index.use_kernel(kernel)
         self.index = index
         self.workers = max(1, int(workers))
         self.executor = executor
-        self._enum_cache: dict = {}
+        self._enum_cache = LRUEnumCache(cache_entries)
         self._cache_table = index.table
 
     def clear_cache(self) -> None:
         """Drop the shared enumeration cache (e.g. after a workload shift)."""
         self._enum_cache.clear()
+
+    def cache_stats(self) -> dict:
+        """Enumeration-cache health: entries/capacity/hits/misses/evictions."""
+        return self._enum_cache.stats_payload()
 
     def _check_cache_epoch(self) -> None:
         """Invalidate the enumeration cache when the clustered table moved.
@@ -219,14 +321,9 @@ class BatchQueryEngine:
         )
 
     def _execute(self, query, visitor) -> QueryStats:
-        """One query through the vectorized pipeline, via the shared cache."""
-        stats = self.index.query(query, visitor, enum_cache=self._enum_cache)
-        cache = self._enum_cache
-        while len(cache) > _MAX_CACHE_ENTRIES:
-            # FIFO eviction (dicts preserve insertion order); bounds memory
-            # for long-running serving processes with diverse workloads.
-            try:
-                cache.pop(next(iter(cache)), None)
-            except (StopIteration, RuntimeError):  # racing evictors
-                break
-        return stats
+        """One query through the vectorized pipeline, via the shared cache.
+
+        The cache evicts inline (LRU, bounded at construction), so there
+        is no trim pass here.
+        """
+        return self.index.query(query, visitor, enum_cache=self._enum_cache)

@@ -58,6 +58,7 @@ from repro.query.predicate import Query
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.mutable import MutableController
+from repro.storage.kernels import stats_payload as kernel_stats_payload
 from repro.storage.visitor import (
     AvgVisitor,
     CountVisitor,
@@ -458,6 +459,13 @@ class FloodServer:
             payload["cache"] = self.batcher.cache.stats_payload()
         if self.mutable is not None:
             payload["mutable"] = self.mutable.stats_payload()
+        # Which fused-kernel tier actually serves scans, plus process-wide
+        # fusion counters and the startup warm-up record.
+        payload["kernel"] = kernel_stats_payload(
+            getattr(self.engine.index, "kernel_tier", None)
+        )
+        if hasattr(self.engine, "cache_stats"):
+            payload["engine_cache"] = self.engine.cache_stats()
         return payload
 
 

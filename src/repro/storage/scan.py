@@ -155,6 +155,8 @@ def scan_runs(
     bounds: list[tuple[str, int, int]],
     runs: list[tuple[int, int]],
     visitor: Visitor,
+    kernel=None,
+    stats=None,
 ) -> tuple[int, int]:
     """Scan a batch of physical runs sharing one residual filter.
 
@@ -179,6 +181,15 @@ def scan_runs(
         runs are tolerated.
     visitor:
         Aggregation visitor fed each run that has at least one match.
+    kernel:
+        Optional fused-scan kernel (a
+        :class:`repro.storage.kernels.ScanKernel` or a spec string).
+        When the visitor × dtype combination is fusable, filter and
+        aggregate run as one pass and the per-run visitor loop is
+        skipped; otherwise this path falls through unchanged.
+    stats:
+        Optional :class:`~repro.query.stats.QueryStats`;
+        ``kernel_groups`` is bumped when the fused path answered.
 
     Returns
     -------
@@ -191,6 +202,16 @@ def scan_runs(
             visitor.visit(table, start, stop, None)
             scanned += stop - start
         return scanned, scanned
+    if kernel is not None:
+        if isinstance(kernel, str):
+            from repro.storage.kernels import get_kernel
+
+            kernel = get_kernel(kernel)
+        fused = kernel.fused_scan(table, bounds, runs, visitor)
+        if fused is not None:
+            if stats is not None:
+                stats.kernel_groups += 1
+            return fused
     if len(runs) >= _GATHER_MIN_RUNS:
         starts = np.array([start for start, _ in runs], dtype=np.int64)
         stops = np.array([stop for _, stop in runs], dtype=np.int64)

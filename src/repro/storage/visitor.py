@@ -33,6 +33,32 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 
+def fold_min(prev, local):
+    """Order-independent running MIN: NaN on either side wins.
+
+    Python's ``min(a, b)`` returns ``a`` whenever the comparison with a
+    NaN is False, so a NaN partial would survive or vanish depending on
+    *which run delivered it first* — and coalescing, sharding, and the
+    fused kernels all change run boundaries. Propagating NaN from either
+    side (numpy reduction semantics) makes MIN/MAX deterministic across
+    every scan path. ``prev`` may be ``None`` (no rows seen yet).
+    """
+    if prev is None:
+        return local
+    if local != local or prev != prev:  # NaN-aware without importing math
+        return float("nan")
+    return min(prev, local)
+
+
+def fold_max(prev, local):
+    """Order-independent running MAX: NaN on either side wins."""
+    if prev is None:
+        return local
+    if local != local or prev != prev:
+        return float("nan")
+    return max(prev, local)
+
+
 def is_mergeable(visitor: "Visitor") -> bool:
     """Whether ``visitor`` implements the mergeable-visitor protocol
     (both :meth:`Visitor.fresh` and :meth:`Visitor.merge` overridden)."""
@@ -218,14 +244,14 @@ class MinVisitor(Visitor):
             values = values[mask]
         if values.size:
             local = values.min().item()  # dtype-preserving (no int truncation)
-            self._min = local if self._min is None else min(self._min, local)
+            self._min = fold_min(self._min, local)
 
     def fresh(self) -> "MinVisitor":
         return type(self)(self.dim)
 
     def merge(self, other: "MinVisitor") -> None:
         if other._min is not None:
-            self._min = other._min if self._min is None else min(self._min, other._min)
+            self._min = fold_min(self._min, other._min)
 
     @property
     def result(self):
@@ -248,14 +274,14 @@ class MaxVisitor(Visitor):
             values = values[mask]
         if values.size:
             local = values.max().item()  # dtype-preserving (no int truncation)
-            self._max = local if self._max is None else max(self._max, local)
+            self._max = fold_max(self._max, local)
 
     def fresh(self) -> "MaxVisitor":
         return type(self)(self.dim)
 
     def merge(self, other: "MaxVisitor") -> None:
         if other._max is not None:
-            self._max = other._max if self._max is None else max(self._max, other._max)
+            self._max = fold_max(self._max, other._max)
 
     @property
     def result(self):

@@ -89,6 +89,40 @@ class TestLoopSafety:
         assert found == []
         assert len(suppressed) == 1
 
+    def test_warmup_kernels_on_the_loop_flagged(self):
+        # First-call JIT compilation takes seconds; serve pre-warms at
+        # startup, so a warm-up reachable from a coroutine is a bug.
+        found = active("loop-safety", (SERVE, (
+            "from repro.storage.kernels import warmup_kernels\n"
+            "async def handler():\n"
+            "    warmup_kernels('auto')\n"
+        )))
+        assert len(found) == 1
+        assert "warmup_kernels" in found[0].message
+        assert "JIT" in found[0].message
+
+    def test_warmup_kernels_transitively_reached_flagged(self):
+        found = active("loop-safety", (SERVE, (
+            "from repro.storage.kernels import warmup_kernels\n"
+            "def prepare():\n"
+            "    warmup_kernels('auto')\n"
+            "async def handler():\n"
+            "    prepare()\n"
+        )))
+        assert len(found) == 1
+        assert "warmup_kernels" in found[0].message
+
+    def test_warmup_kernels_at_sync_startup_is_clean(self):
+        # The supported pattern: warm up before the loop exists.
+        found = active("loop-safety", (SERVE, (
+            "from repro.storage.kernels import warmup_kernels\n"
+            "def main():\n"
+            "    warmup_kernels('auto')\n"
+            "async def handler():\n"
+            "    return 1\n"
+        )))
+        assert found == []
+
 
 class TestResourceRelease:
     def test_discarded_producer_result(self):

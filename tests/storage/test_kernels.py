@@ -1,0 +1,519 @@
+"""Fused scan kernels: dispatch rules, tier resolution, and identity.
+
+The contract under test is the fallback guarantee of
+:mod:`repro.storage.kernels`: a fused scan either produces *exactly* the
+classic per-run path's results (visitor state and counters alike) or
+declines (``None``) and the caller runs the classic path. Identity is
+checked at the ``scan_runs`` level (property tests over random tables,
+runs, and bounds — including empty runs, all-pass/all-fail residual
+masks, and NaN-bearing float columns) and at the index level against the
+seed's ``query_percell``, across every kernel tier importable here and
+the thread/process backends.
+
+Float SUM/AVG are the one documented exception: accumulation order
+differs per tier (numpy pairwise vs. sequential), so they agree to
+~1e-9 relative tolerance instead of bit-for-bit.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.backends import ProcessBackend, ThreadBackend
+from repro.core.index import FloodIndex
+from repro.core.layout import GridLayout
+from repro.core.shard import ShardedFloodIndex
+from repro.errors import QueryError
+from repro.query.predicate import Query
+from repro.query.stats import QueryStats
+from repro.storage.kernels import (
+    KERNEL_NAMES,
+    ScanKernel,
+    get_kernel,
+    numba_available,
+    resolve_kernel,
+    stats_payload,
+    warmup_kernels,
+)
+from repro.storage.scan import scan_runs
+from repro.storage.table import Table
+from repro.storage.visitor import (
+    AvgVisitor,
+    CollectVisitor,
+    CountVisitor,
+    MaxVisitor,
+    MinVisitor,
+    RecordingVisitor,
+    SumVisitor,
+    fold_max,
+    fold_min,
+)
+
+from tests.helpers import make_table, random_query
+
+#: Every tier importable in this environment. The numba tier only joins
+#: when numba is installed (CI runs a with-numba leg); the numpy tier is
+#: the always-present fallback and is always exercised.
+TIERS = ["numpy"] + (["numba"] if numba_available() else [])
+
+VISITORS = [
+    ("count", CountVisitor, ()),
+    ("sum", SumVisitor, ("v",)),
+    ("avg", AvgVisitor, ("v",)),
+    ("min", MinVisitor, ("v",)),
+    ("max", MaxVisitor, ("v",)),
+    ("collect", CollectVisitor, ()),
+]
+
+
+def _results_equal(a, b, rel=1e-9):
+    """Result identity with the documented float-accumulation tolerance."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    if a is None or b is None:
+        return a is b
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return math.isclose(a, b, rel_tol=rel, abs_tol=1e-12)
+    return a == b
+
+
+# ------------------------------------------------------------ resolution
+class TestResolution:
+    def test_auto_resolves_to_an_available_tier(self):
+        tier = resolve_kernel("auto")
+        assert tier == ("numba" if numba_available() else "numpy")
+
+    def test_numpy_always_resolves(self):
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_unknown_spec_is_a_query_error(self):
+        with pytest.raises(QueryError, match="unknown scan kernel"):
+            resolve_kernel("fortran")
+
+    @pytest.mark.skipif(numba_available(), reason="needs a numba-less install")
+    def test_explicit_numba_without_numba_is_loud(self):
+        # Silent degradation of an explicitly requested tier would hide a
+        # 2x+ perf regression; the error names the extras tag.
+        with pytest.raises(QueryError, match=r"repro\[kernels\]"):
+            resolve_kernel("numba")
+
+    def test_kernel_names_cover_cli_choices(self):
+        assert KERNEL_NAMES == ("auto", "numba", "numpy")
+
+    def test_get_kernel_is_a_singleton_per_tier(self):
+        assert get_kernel("numpy") is get_kernel("numpy")
+        assert get_kernel("auto") is get_kernel(resolve_kernel("auto"))
+
+    def test_scan_kernel_rejects_unresolved_tier(self):
+        with pytest.raises(QueryError):
+            ScanKernel("auto")  # specs must go through resolve_kernel
+
+
+# -------------------------------------------------------------- dispatch
+class TestDispatch:
+    """fused_scan declines exactly when the classic path must run."""
+
+    def _table(self):
+        rng = np.random.default_rng(7)
+        return Table(
+            {
+                "x": rng.integers(0, 100, size=400),
+                "v": rng.integers(0, 100, size=400),
+            }
+        )
+
+    def test_recording_visitor_falls_back(self):
+        # RecordingVisitor must see every (start, stop, mask) verbatim.
+        kernel = get_kernel("numpy")
+        table = self._table()
+        out = kernel.fused_scan(table, [("x", 10, 50)], [(0, 400)], RecordingVisitor())
+        assert out is None
+
+    def test_visitor_subclass_falls_back(self):
+        # Subclasses may override visit(); exact-type dispatch only.
+        class TracingSum(SumVisitor):
+            pass
+
+        kernel = get_kernel("numpy")
+        out = kernel.fused_scan(
+            self._table(), [("x", 10, 50)], [(0, 400)], TracingSum("v")
+        )
+        assert out is None
+
+    def test_exact_runs_fall_back(self):
+        # Empty bounds = exact runs: the cumulative-aggregate path's job.
+        kernel = get_kernel("numpy")
+        out = kernel.fused_scan(self._table(), [], [(0, 400)], CountVisitor())
+        assert out is None
+
+    def test_unsupported_dtype_falls_back(self):
+        # Table itself coerces to int64/float64; only duck-typed tables
+        # can surface other dtypes, and the kernel must decline them.
+        class Int32Table:
+            num_rows = 50
+
+            def __contains__(self, dim):
+                return True
+
+            def values(self, dim, start=None, stop=None):
+                return np.arange(50, dtype=np.int32)[start:stop]
+
+            def take(self, dim, indices):
+                return self.values(dim)[indices]
+
+        kernel = get_kernel("numpy")
+        out = kernel.fused_scan(
+            Int32Table(), [("x", 0, 10)], [(0, 50)], CountVisitor()
+        )
+        assert out is None
+
+    def test_missing_aggregate_dim_falls_back(self):
+        # The classic path lets the visitor raise; the kernel must not
+        # preempt that with its own error.
+        kernel = get_kernel("numpy")
+        out = kernel.fused_scan(
+            self._table(), [("x", 10, 50)], [(0, 400)], SumVisitor("nope")
+        )
+        assert out is None
+
+    def test_all_empty_runs_short_circuit(self):
+        kernel = get_kernel("numpy")
+        visitor = CountVisitor()
+        out = kernel.fused_scan(
+            self._table(), [("x", 10, 50)], [(5, 5), (9, 9)], visitor
+        )
+        assert out == (0, 0)
+        assert visitor.result == 0
+
+
+# ----------------------------------------------------- scan_runs identity
+def _runs_partition(n, rng, pieces):
+    """Random disjoint (start, stop) runs in storage order, with some
+    zero-length runs mixed in."""
+    if n == 0:
+        return [(0, 0)]
+    cuts = sorted(rng.integers(0, n + 1, size=pieces * 2).tolist())
+    runs = []
+    for lo, hi in zip(cuts[::2], cuts[1::2]):
+        runs.append((lo, hi))  # zero-length when lo == hi: tolerated
+    return runs or [(0, n)]
+
+
+def _brute(table, bounds, runs):
+    mask_all = np.zeros(table.num_rows, dtype=bool)
+    for start, stop in runs:
+        mask_all[start:stop] = True
+    for dim, lo, hi in bounds:
+        vals = table.values(dim)
+        mask_all &= (vals >= lo) & (vals <= hi)
+    return mask_all
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("name,cls,args", VISITORS, ids=[v[0] for v in VISITORS])
+@pytest.mark.parametrize("dtype", ["int64", "float64"])
+def test_scan_runs_kernel_identity(tier, name, cls, args, dtype):
+    rng = np.random.default_rng(hash((tier, name, dtype)) % 2**32)
+    n = 3000
+    data = {
+        "x": rng.integers(0, 100, size=n).astype(dtype),
+        "y": rng.integers(0, 100, size=n).astype(dtype),
+        "v": rng.integers(0, 100, size=n).astype(dtype),
+    }
+    if dtype == "float64":
+        data["v"][rng.integers(0, n, size=30)] = np.nan
+    table = Table(data, compress=False)
+    bounds = [("x", 20, 70), ("y", 10, 90)]
+    runs = _runs_partition(n, rng, pieces=6)
+
+    baseline = cls(*args)
+    s0, m0 = scan_runs(table, bounds, runs, baseline, kernel=None)
+
+    stats = QueryStats()
+    fused = cls(*args)
+    s1, m1 = scan_runs(table, bounds, runs, fused, kernel=tier, stats=stats)
+
+    assert (s1, m1) == (s0, m0)
+    assert stats.kernel_groups == 1
+    assert _results_equal(fused.result, baseline.result), (
+        tier, name, dtype, fused.result, baseline.result,
+    )
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("edge", ["all_pass", "all_fail", "empty_runs"])
+def test_scan_runs_kernel_edges(tier, edge):
+    rng = np.random.default_rng(5)
+    n = 500
+    table = Table(
+        {
+            "x": rng.integers(0, 100, size=n),
+            "v": rng.integers(0, 100, size=n),
+        },
+        compress=False,
+    )
+    if edge == "all_pass":
+        bounds, runs = [("x", 0, 99)], [(0, n)]
+    elif edge == "all_fail":
+        bounds, runs = [("x", 1000, 2000)], [(0, n)]
+    else:
+        bounds, runs = [("x", 20, 70)], [(0, 0), (10, 10), (499, 499)]
+    for name, cls, args in VISITORS:
+        baseline, fused = cls(*args), cls(*args)
+        out0 = scan_runs(table, bounds, runs, baseline, kernel=None)
+        out1 = scan_runs(table, bounds, runs, fused, kernel=tier)
+        assert out1 == out0
+        assert _results_equal(fused.result, baseline.result), (tier, edge, name)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(0, 250),
+    dtype=st.sampled_from(["int64", "float64"]),
+    lo=st.integers(-5, 110),
+    width=st.integers(0, 120),
+    pieces=st.integers(1, 5),
+    nan_count=st.integers(0, 20),
+)
+@settings(max_examples=60, deadline=None)
+def test_scan_runs_kernel_identity_property(
+    seed, n, dtype, lo, width, pieces, nan_count
+):
+    """Fused == unfused on arbitrary tables, runs, and residual bounds.
+
+    ``lo``/``width`` extremes produce all-pass and all-fail masks; the
+    runs partition mixes zero-length runs; float tables get NaN injected
+    into both the filter and the aggregate columns (a NaN filter value
+    matches nothing; a NaN aggregate value poisons MIN/MAX to NaN).
+    """
+    rng = np.random.default_rng(seed)
+    data = {
+        "x": rng.integers(0, 100, size=n).astype(dtype),
+        "v": rng.integers(0, 100, size=n).astype(dtype),
+    }
+    if dtype == "float64" and n and nan_count:
+        data["x"][rng.integers(0, n, size=nan_count)] = np.nan
+        data["v"][rng.integers(0, n, size=nan_count)] = np.nan
+    table = Table(data, compress=False)
+    bounds = [("x", lo, lo + width)]
+    runs = _runs_partition(n, rng, pieces)
+
+    expected_matches = int(_brute(table, bounds, runs).sum())
+    for tier in TIERS:
+        for name, cls, args in VISITORS:
+            baseline, fused = cls(*args), cls(*args)
+            out0 = scan_runs(table, bounds, runs, baseline, kernel=None)
+            out1 = scan_runs(table, bounds, runs, fused, kernel=tier)
+            assert out1 == out0
+            assert out1[1] == expected_matches
+            assert _results_equal(fused.result, baseline.result), (
+                tier, name, fused.result, baseline.result,
+            )
+
+
+def test_fold_min_max_nan_is_order_independent():
+    """Regression: Python's min/max keep or drop NaN depending on
+    argument order, so NaN MIN/MAX results used to depend on run
+    boundaries. The folds propagate NaN from either side."""
+    nan = float("nan")
+    assert math.isnan(fold_min(nan, 3.0))
+    assert math.isnan(fold_min(3.0, nan))
+    assert math.isnan(fold_max(nan, 3.0))
+    assert math.isnan(fold_max(3.0, nan))
+    assert fold_min(None, 2.0) == 2.0
+    assert fold_max(None, 2.0) == 2.0
+    assert fold_min(1.0, 2.0) == 1.0
+    assert fold_max(1.0, 2.0) == 2.0
+
+
+# -------------------------------------------------------- index identity
+DIMS = ("x", "y", "z")
+
+
+@pytest.fixture(scope="module")
+def kernel_table():
+    rng = np.random.default_rng(23)
+    n = 5000
+    data = {dim: rng.integers(0, 1000, size=n) for dim in DIMS}
+    values = rng.uniform(0, 1000, size=n)
+    values[rng.integers(0, n, size=50)] = np.nan
+    data["f"] = values
+    return Table(data)
+
+
+def _int_dim_query(rng):
+    """A random query over the int dims (the NaN-bearing float column is
+    an aggregate target, not a filter — its min/max is NaN)."""
+    ranges = {}
+    for dim in rng.choice(DIMS, size=int(rng.integers(1, len(DIMS) + 1)), replace=False):
+        a, b = sorted(rng.integers(0, 1000, size=2).tolist())
+        ranges[dim] = (a, b)
+    return Query(ranges)
+
+
+def _index_visitors():
+    out = []
+    for agg in ("z", "f"):
+        out += [
+            SumVisitor(agg), AvgVisitor(agg), MinVisitor(agg), MaxVisitor(agg),
+        ]
+    return out + [CountVisitor(), CollectVisitor()]
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_index_kernel_matches_query_percell(kernel_table, tier):
+    layout = GridLayout(order=DIMS, columns=(7, 5))
+    index = FloodIndex(layout, kernel=tier).build(kernel_table)
+    assert index.kernel_tier == tier
+    rng = np.random.default_rng(3)
+    for qi in range(8):
+        query = _int_dim_query(rng)
+        for visitor in _index_visitors():
+            visitor.reset()
+            reference = visitor.fresh()
+            stats = index.query(query, visitor)
+            ref_stats = index.query_percell(query, reference)
+            assert stats.points_scanned == ref_stats.points_scanned
+            assert stats.points_matched == ref_stats.points_matched
+            assert stats.kernel_tier == tier
+            result, expected = visitor.result, reference.result
+            if isinstance(result, np.ndarray):
+                # collect order follows visit order, which differs between
+                # the vectorized and per-cell paths by design — compare
+                # sorted (the CollectVisitor contract).
+                result, expected = np.sort(result), np.sort(expected)
+            assert _results_equal(result, expected), (
+                tier, qi, type(visitor).__name__,
+            )
+
+
+def test_index_kernel_stats_and_swap(kernel_table):
+    layout = GridLayout(order=DIMS, columns=(7, 5))
+    index = FloodIndex(layout, kernel="numpy").build(kernel_table)
+    stats = index.query(Query({"x": (100, 800)}), CountVisitor())
+    assert stats.kernel_tier == "numpy"
+    assert stats.kernel_groups >= 1
+    # kernel=None disables fusion entirely; the classic path reports no tier.
+    old = index.use_kernel(None)
+    assert old == "numpy"
+    assert index.kernel_tier is None
+    stats = index.query(Query({"x": (100, 800)}), CountVisitor())
+    assert stats.kernel_tier == ""
+    assert stats.kernel_groups == 0
+    assert index.use_kernel("numpy") is None
+    assert index.kernel_tier == "numpy"
+
+
+def test_kernel_none_matches_kernel_numpy(kernel_table):
+    layout = GridLayout(order=DIMS, columns=(7, 5))
+    fused = FloodIndex(layout, kernel="numpy").build(kernel_table)
+    classic = FloodIndex(layout, kernel=None).build(kernel_table)
+    rng = np.random.default_rng(9)
+    for _ in range(6):
+        query = _int_dim_query(rng)
+        for visitor in _index_visitors():
+            visitor.reset()
+            other = visitor.fresh()
+            s1 = fused.query(query, visitor)
+            s0 = classic.query(query, other)
+            assert s1.points_scanned == s0.points_scanned
+            assert s1.points_matched == s0.points_matched
+            assert _results_equal(visitor.result, other.result)
+
+
+# ------------------------------------------------------ backend identity
+@pytest.mark.parametrize("tier", TIERS)
+def test_thread_backend_kernel_identity(tier):
+    table = make_table(n=6000, dims=DIMS, seed=31)
+    flood = FloodIndex(GridLayout(DIMS, (6, 5)), kernel=tier).build(table)
+    sharded = ShardedFloodIndex.wrap(
+        flood, num_shards=4, min_parallel_points=0, backend=ThreadBackend()
+    )
+    assert sharded.kernel_tier == tier
+    rng = np.random.default_rng(4)
+    for _ in range(6):
+        query = random_query(table, rng)
+        for visitor in (CountVisitor(), SumVisitor("z"), CollectVisitor()):
+            reference = visitor.fresh()
+            stats = sharded.query(query, visitor)
+            flood.query_percell(query, reference)
+            assert stats.kernel_tier == tier
+            assert stats.kernel_groups >= 1
+            result = visitor.result
+            expected = reference.result
+            if isinstance(result, np.ndarray):
+                result, expected = np.sort(result), np.sort(expected)
+            assert _results_equal(result, expected)
+
+
+def test_process_backend_kernel_identity():
+    table = make_table(n=6000, dims=DIMS, seed=37)
+    flood = FloodIndex(GridLayout(DIMS, (6, 5)), kernel="numpy").build(table)
+    backend = ProcessBackend(flood.table, workers=2)
+    try:
+        sharded = ShardedFloodIndex.wrap(
+            flood, num_shards=4, min_parallel_points=0, backend=backend
+        )
+        rng = np.random.default_rng(6)
+        for _ in range(4):
+            query = random_query(table, rng)
+            for visitor in (CountVisitor(), SumVisitor("z"), CollectVisitor()):
+                reference = visitor.fresh()
+                stats = sharded.query(query, visitor)
+                flood.query_percell(query, reference)
+                # worker-side fusions are shipped back per query
+                assert stats.kernel_tier == "numpy"
+                assert stats.kernel_groups >= 1
+                result = visitor.result
+                expected = reference.result
+                if isinstance(result, np.ndarray):
+                    result, expected = np.sort(result), np.sort(expected)
+                assert _results_equal(result, expected)
+    finally:
+        backend.shutdown()
+
+
+# --------------------------------------------------- warm-up + stats block
+class TestWarmupAndStats:
+    def test_warmup_records_tier_and_time(self):
+        out = warmup_kernels("auto")
+        assert out["tier"] == resolve_kernel("auto")
+        assert out["seconds"] >= 0.0
+
+    def test_warmup_numpy_is_a_cheap_noop(self):
+        out = warmup_kernels("numpy")
+        assert out["tier"] == "numpy"
+        assert out["seconds"] < 1.0
+
+    def test_stats_payload_shape(self):
+        warmup_kernels("numpy")
+        get_kernel("numpy")  # ensure at least one tier registered
+        payload = stats_payload("numpy")
+        assert payload["tier"] == "numpy"
+        assert payload["numba_available"] == numba_available()
+        assert payload["warmup_tier"] in ("numba", "numpy")
+        assert payload["warmup_seconds"] >= 0.0
+        assert "numpy" in payload["tiers"]
+        tier_stats = payload["tiers"]["numpy"]
+        assert set(tier_stats) == {"fused_groups", "fused_rows"}
+        assert tier_stats["fused_groups"] >= 0
+
+    def test_fused_counters_advance(self):
+        kernel = get_kernel("numpy")
+        before = kernel.stats_payload()
+        rng = np.random.default_rng(11)
+        table = Table(
+            {
+                "x": rng.integers(0, 100, size=800),
+                "v": rng.integers(0, 100, size=800),
+            }
+        )
+        out = kernel.fused_scan(table, [("x", 10, 60)], [(0, 800)], CountVisitor())
+        assert out is not None
+        after = kernel.stats_payload()
+        assert after["fused_groups"] == before["fused_groups"] + 1
+        assert after["fused_rows"] == before["fused_rows"] + 800
