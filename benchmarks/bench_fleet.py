@@ -1,0 +1,316 @@
+"""Serving-fleet scaling and WAL group-commit throughput.
+
+Two measurements behind ``repro serve --readers N --group-commit``,
+persisted as ``results/BENCH_fleet.json`` for ``repro bench-diff``:
+
+1. **Fleet QPS scaling** — aggregate queries/s of a 4-reader
+   ``SO_REUSEPORT`` fleet vs the single-process server, driven by
+   multiple client *processes* (a single Python client would be
+   GIL-bound and measure itself, not the servers). The ≥2x speedup
+   assert fires only on machines with ≥4 cores — process parallelism
+   cannot beat one event loop on one core — and can be demoted to a
+   report with ``REPRO_REQUIRE_FLEET_SPEEDUP=0`` (shared CI runners).
+   Either way the numbers are recorded.
+
+2. **Group-commit insert rate** — acknowledged single-row inserts/s
+   under ``fsync always``: per-insert fsync vs group commit with a
+   window of in-flight tickets (the server overlaps inserts the same
+   way through the micro-batcher). Group commit pays one fsync per
+   micro-batch instead of one per row; the ≥5x recovery assert is
+   gated by the same env knob. Durability is asserted unconditionally:
+   a crash-equivalent reopen must replay every acked row, both modes.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import build_flood
+from repro.bench.report import write_json_result
+from repro.core.cost import AnalyticCostModel
+from repro.core.durable import DurableDeltaFlood
+from repro.datasets import load
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ROWS = 20_000
+FLEET_READERS = 4
+CLIENT_PROCS = 4
+CLIENT_THREADS = 3
+MEASURE_SECONDS = 5.0
+INSERTS_PLAIN = 400
+INSERTS_GROUPED = 4_000
+GROUP_WINDOW = 64
+REQUIRE_SPEEDUP = os.environ.get("REPRO_REQUIRE_FLEET_SPEEDUP", "1") != "0"
+ENOUGH_CORES = (os.cpu_count() or 1) >= 4
+
+_RESULTS = {}
+
+_CLIENT_CODE = r"""
+import json, socket, sys, threading, time
+
+host, port, seconds, threads, seed = (
+    sys.argv[1], int(sys.argv[2]), float(sys.argv[3]), int(sys.argv[4]),
+    int(sys.argv[5]),
+)
+deadline = time.perf_counter() + seconds
+counts = [0] * threads
+
+
+def worker(slot):
+    sock = socket.create_connection((host, port), timeout=60)
+    f = sock.makefile("rwb")
+    qid = 0
+    lo = 1000 + 37 * (seed + slot)
+    while time.perf_counter() < deadline:
+        qid += 1
+        request = {
+            "id": qid,
+            "ranges": {"ship_date": [lo, lo + 400], "quantity": [5, 40]},
+            "agg": "count",
+        }
+        f.write((json.dumps(request) + "\n").encode())
+        f.flush()
+        reply = json.loads(f.readline())
+        assert "error" not in reply, reply
+        counts[slot] += 1
+    f.close()
+    sock.close()
+
+
+pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+for t in pool:
+    t.start()
+for t in pool:
+    t.join()
+print(sum(counts))
+"""
+
+
+def _spawn_server(data_dir, readers):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--rows", str(ROWS), "--index", "delta", "--shards", "1",
+        "--max-delay-ms", "1", "--data-dir", str(data_dir),
+    ]
+    if readers:
+        argv += ["--readers", str(readers)]
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    address = None
+    for _ in range(500):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if "listening on" in line:
+            host, port = line.rsplit(" ", 1)[-1].strip().split(":")
+            address = (host, int(port))
+            break
+    assert address, "server never printed its address"
+    return proc, address
+
+
+def _drive_load(address):
+    """Aggregate queries/s from CLIENT_PROCS independent processes."""
+    host, port = address
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable, "-c", _CLIENT_CODE, host, str(port),
+                str(MEASURE_SECONDS), str(CLIENT_THREADS), str(i),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        for i in range(CLIENT_PROCS)
+    ]
+    total = 0
+    for proc in procs:
+        out, _ = proc.communicate(timeout=300)
+        assert proc.returncode == 0, out
+        total += int(out.strip().splitlines()[-1])
+    return total / MEASURE_SECONDS
+
+
+def _shutdown(proc, address):
+    from repro.serve.client import FloodClient
+
+    try:
+        with FloodClient(*address, timeout=60) as client:
+            client.shutdown()
+        proc.wait(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+# ------------------------------------------------- 1. fleet QPS scaling
+@pytest.mark.skipif(
+    not hasattr(__import__("socket"), "SO_REUSEPORT"),
+    reason="platform lacks SO_REUSEPORT",
+)
+def test_fleet_qps_scaling(tmp_path):
+    sweep = []
+    for readers in (0, FLEET_READERS):
+        proc, address = _spawn_server(tmp_path / f"fleet{readers}", readers)
+        try:
+            qps = _drive_load(address)
+        finally:
+            _shutdown(proc, address)
+        sweep.append(
+            {
+                "readers": readers,
+                "processes": 1 + readers,
+                "qps": qps,
+                "client_processes": CLIENT_PROCS,
+                "client_connections": CLIENT_PROCS * CLIENT_THREADS,
+            }
+        )
+    single, fleet = sweep[0]["qps"], sweep[1]["qps"]
+    speedup = fleet / single if single else float("inf")
+    print(
+        f"\nsingle-process: {single:8.0f} q/s\n"
+        f"{FLEET_READERS}-reader fleet: {fleet:8.0f} q/s  "
+        f"({speedup:.2f}x, {os.cpu_count()} cores)"
+    )
+    message = (
+        f"fleet speedup {speedup:.2f}x < 2x at {FLEET_READERS} readers on "
+        f"{os.cpu_count()} cores: is the kernel balancing SO_REUSEPORT "
+        "accepts, or is every connection landing on one process?"
+    )
+    if REQUIRE_SPEEDUP and ENOUGH_CORES:
+        assert speedup >= 2.0, message
+    elif speedup < 2.0:
+        print(f"  WARNING (not asserted on {os.cpu_count()} cores): {message}")
+    _RESULTS["fleet_scaling"] = {
+        "sweep": sweep,
+        "speedup": speedup,
+        "cores": os.cpu_count(),
+        "asserted": bool(REQUIRE_SPEEDUP and ENOUGH_CORES),
+    }
+
+
+# ------------------------------------- 2. group-commit insert throughput
+def test_group_commit_insert_rate(tmp_path):
+    bundle = load("tpch", n=ROWS, num_queries=20, seed=7)
+    _, opt = build_flood(
+        bundle.table, bundle.train, cost_model=AnalyticCostModel(),
+        max_cells=4096, seed=7,
+    )
+    layout = opt.layout
+    rng = np.random.default_rng(11)
+
+    def rows(k):
+        columns = {
+            dim: rng.integers(*bundle.table.min_max(dim), size=k, endpoint=True)
+            for dim in bundle.table.dims
+        }
+        return [
+            {dim: int(values[i]) for dim, values in columns.items()}
+            for i in range(k)
+        ]
+
+    modes = []
+    # Per-insert fsync: the baseline group commit exists to beat.
+    plain_dir = str(tmp_path / "plain")
+    index = DurableDeltaFlood(
+        layout, plain_dir, fsync="always", merge_threshold=None
+    ).build(bundle.table)
+    plain_rows = rows(INSERTS_PLAIN)
+    start = time.perf_counter()
+    for row in plain_rows:
+        index.insert(row)  # ack == return: the fsync already happened
+    plain_rate = INSERTS_PLAIN / (time.perf_counter() - start)
+    index.close()
+    recovered = DurableDeltaFlood.open(
+        plain_dir, fsync="always", merge_threshold=None
+    )
+    assert recovered.recovered_rows == INSERTS_PLAIN
+    recovered.close()
+    modes.append(
+        {"mode": "per-insert fsync", "inserts_per_second": plain_rate}
+    )
+
+    # Group commit, a window of in-flight tickets: acks resolve when the
+    # covering micro-batch fsync lands — same overlap the server gets
+    # from concurrent connections.
+    grouped_dir = str(tmp_path / "grouped")
+    index = DurableDeltaFlood(
+        layout, grouped_dir, fsync="always", merge_threshold=None,
+        group_commit=True,
+    ).build(bundle.table)
+    grouped_rows = rows(INSERTS_GROUPED)
+    window = []
+    start = time.perf_counter()
+    for row in grouped_rows:
+        window.append(index.insert(row))
+        if len(window) >= GROUP_WINDOW:
+            for ticket in window:
+                ticket.result(timeout=60)  # acked: durable
+            window.clear()
+    for ticket in window:
+        ticket.result(timeout=60)
+    grouped_rate = INSERTS_GROUPED / (time.perf_counter() - start)
+    stats = index.durability_stats()["group_commit"]
+    assert stats["records_grouped"] == INSERTS_GROUPED
+    assert stats["max_batch_records"] >= 2
+    index.close()
+    recovered = DurableDeltaFlood.open(
+        grouped_dir, fsync="always", merge_threshold=None, group_commit=True
+    )
+    assert recovered.recovered_rows == INSERTS_GROUPED
+    recovered.close()
+    modes.append(
+        {
+            "mode": f"group commit (window {GROUP_WINDOW})",
+            "inserts_per_second": grouped_rate,
+            "batches_flushed": stats["batches_flushed"],
+            "max_batch_records": stats["max_batch_records"],
+        }
+    )
+
+    speedup = grouped_rate / plain_rate
+    print(
+        f"\nper-insert fsync: {plain_rate:8.0f} acked inserts/s\n"
+        f"group commit:     {grouped_rate:8.0f} acked inserts/s "
+        f"({speedup:.1f}x)"
+    )
+    message = (
+        f"group commit recovered only {speedup:.1f}x (< 5x) over per-"
+        "insert fsync: is the flusher coalescing, or syncing per record?"
+    )
+    if REQUIRE_SPEEDUP:
+        assert speedup >= 5.0, message
+    elif speedup < 5.0:
+        print(f"  WARNING (not asserted): {message}")
+
+    write_json_result(
+        "BENCH_fleet",
+        {
+            "rows": ROWS,
+            "fleet_scaling": _RESULTS.get("fleet_scaling"),
+            "group_commit": {
+                "fsync": "always",
+                "modes": modes,
+                "speedup": speedup,
+            },
+        },
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

@@ -48,6 +48,8 @@ HEAVY_CALLS = {
     "query_percell": "query_percell (per-cell scan loop)",
     "default_cost_model": "default_cost_model (may calibrate for seconds)",
     "warmup_kernels": "warmup_kernels (first-call JIT compile)",
+    "flush_group_commit": "GroupCommitLog.flush_group_commit "
+    "(blocks for the in-flight fsync batch)",
 }
 
 #: Heavy calls identified by their receiver chain, for names too generic

@@ -267,6 +267,27 @@ def build_parser() -> argparse.ArgumentParser:
         "process crash per acknowledged row), 'never' only flushes "
         "(fastest, same process-crash guarantee, unbounded OS-crash window)",
     )
+    serve.add_argument(
+        "--group-commit",
+        action="store_true",
+        help="WAL group commit with --data-dir: appends from concurrent "
+        "inserts are coalesced and fsynced once per micro-batch on a "
+        "dedicated flusher thread, and each ack still waits for the sync "
+        "covering its row (same log-before-ack contract, one fsync "
+        "amortized over the batch instead of one per insert)",
+    )
+    serve.add_argument(
+        "--readers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serving fleet: spawn N reader processes, each with its own "
+        "event loop + server bound to the same port via SO_REUSEPORT, "
+        "serving the writer's published generations from shared memory; "
+        "this process stays the single writer (WAL, merges, checkpoints) "
+        "and readers proxy write ops to it (0 = single process; needs "
+        "--index delta and --data-dir)",
+    )
     serve.add_argument("--seed", type=int, default=7)
 
     bench_diff = sub.add_parser(
@@ -507,6 +528,24 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.readers < 0:
+        print("serve needs --readers >= 0 (0 = single process)", file=sys.stderr)
+        return 2
+    if args.readers and (args.index != "delta" or not args.data_dir):
+        print("--readers needs --index delta and --data-dir", file=sys.stderr)
+        return 2
+    if args.group_commit and not args.data_dir:
+        print("--group-commit needs --data-dir", file=sys.stderr)
+        return 2
+    if args.readers:
+        import socket
+
+        if not hasattr(socket, "SO_REUSEPORT"):
+            print(
+                "--readers needs SO_REUSEPORT, which this platform lacks",
+                file=sys.stderr,
+            )
+            return 2
     from repro.errors import QueryError
     from repro.storage.kernels import warmup_kernels
 
@@ -554,7 +593,10 @@ def _cmd_serve(args) -> int:
         )
         if recovering:
             flood = DurableDeltaFlood.open(
-                args.data_dir, fsync=args.fsync, **delta_kwargs
+                args.data_dir,
+                fsync=args.fsync,
+                group_commit=args.group_commit,
+                **delta_kwargs,
             )
             layout = flood.layout
             print(
@@ -573,7 +615,11 @@ def _cmd_serve(args) -> int:
                 )
         elif args.data_dir:
             flood = DurableDeltaFlood(
-                layout, args.data_dir, fsync=args.fsync, **delta_kwargs
+                layout,
+                args.data_dir,
+                fsync=args.fsync,
+                group_commit=args.group_commit,
+                **delta_kwargs,
             ).build(bundle.table)
             print(f"Durable data dir: {args.data_dir} (fsync {args.fsync})")
         else:
@@ -606,6 +652,17 @@ def _cmd_serve(args) -> int:
                 f"({args.backend} scan backend)"
             )
     print(f"Layout: {layout.describe()} ({layout.num_cells} cells)")
+    if args.group_commit:
+        print(
+            f"WAL group commit: on (one fsync per micro-batch, "
+            f"fsync {args.fsync})"
+        )
+    if args.readers:
+        # The fleet path owns its own socket, engine, server, and reader
+        # lifecycle; this process becomes the fleet's writer.
+        from repro.serve.fleet import run_fleet
+
+        return run_fleet(args, flood, cost_model)
     # One long-lived pool shared across every micro-batch (the engine
     # would otherwise spin up and tear down a pool per batch).
     pool = None
@@ -651,7 +708,18 @@ def _cmd_serve(args) -> int:
     )
 
     async def main() -> None:
+        import signal
+
         host, port = await server.start()
+        # SIGTERM/SIGINT request a graceful shutdown so the final
+        # checkpoint and backend/shm retirement in the finally blocks
+        # actually run when the process is killed (not just on EOF).
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # platforms/loops without signal-handler support
         # The smoke tests (and scripted clients) parse this exact line.
         print(f"repro-serve listening on {host}:{port}", flush=True)
         try:

@@ -37,16 +37,22 @@ ack never sent because the process died first). Recovery resurrects such
 rows — "every acknowledged insert survives" holds with recovered ⊇
 acked, the only side clients can reason about.
 
-Latency note (a deliberate trade-off): WAL appends run synchronously
-inside the serving write barrier on the event loop — including the
-per-insert ``fsync`` under the ``always`` policy and the rotation fsync
-inside :meth:`DurableDeltaFlood.commit_merge` — so every concurrent
-query stalls for the duration of each disk sync. This keeps the
-log-before-ack ordering trivially correct; ``batch`` (the default)
-bounds the stall to a kernel-buffer flush. The known remedy, if the
-``always`` policy ever matters for throughput, is group commit: buffer
-frames, fsync once per micro-batch off the loop, and only then resolve
-the acks — same ordering contract, readers unblocked.
+Latency note: with ``group_commit=False`` (the default for library
+use), WAL appends run synchronously inside the serving write barrier on
+the event loop — including the per-insert ``fsync`` under the
+``always`` policy — so every concurrent query stalls for the duration
+of each disk sync; ``batch`` bounds the stall to a kernel-buffer flush.
+With ``group_commit=True`` (``repro serve --group-commit``) appends go
+through a :class:`~repro.storage.wal.GroupCommitLog` instead: the frame
+is queued, :meth:`insert` returns a *ticket*
+(:class:`concurrent.futures.Future`), and a flusher thread fsyncs once
+per micro-batch off the loop, resolving tickets only after their batch
+is durable. The serving layer awaits the ticket before acking, so the
+log-before-ack contract is unchanged — what moves off the loop is the
+wait, not the ordering. The one new divergence class this admits: a row
+applied to the buffer whose ticket later fails (or never resolves
+before a crash) was *visible to queries but never acked* — recovered ⊇
+acked still holds, which is the only side clients can reason about.
 """
 
 from __future__ import annotations
@@ -71,6 +77,7 @@ from repro.storage.visitor import Visitor
 from repro.storage.wal import (
     KIND_INSERT,
     KIND_INSERT_MANY,
+    GroupCommitLog,
     StorageIO,
     WriteAheadLog,
     list_segments,
@@ -96,6 +103,12 @@ class DurableDeltaFlood:
         Auto-merge (blocking, library use) once the buffer holds this
         many rows; ``None``/``0`` disables — the serving layer disables
         it and runs merges off-loop through its own threshold.
+    group_commit:
+        Route appends through a :class:`~repro.storage.wal.GroupCommitLog`:
+        :meth:`insert` / :meth:`insert_many` then return a ticket
+        (:class:`concurrent.futures.Future`) that resolves once the
+        row's micro-batch is fsynced — the caller must gate acks on it.
+        ``False`` (default) keeps the inline synchronous append.
     io:
         The :class:`~repro.storage.wal.StorageIO` seam; the fault-
         injection tests substitute a failing implementation.
@@ -112,6 +125,7 @@ class DurableDeltaFlood:
         data_dir: str,
         fsync: str = "batch",
         merge_threshold: int | None = 4096,
+        group_commit: bool = False,
         io: StorageIO | None = None,
         **delta_kwargs,
     ):
@@ -121,8 +135,9 @@ class DurableDeltaFlood:
         self.data_dir = str(data_dir)
         self.fsync = fsync
         self.merge_threshold = merge_threshold
+        self.group_commit = bool(group_commit)
         self._io = io or StorageIO()
-        self._wal: WriteAheadLog | None = None
+        self._wal: WriteAheadLog | GroupCommitLog | None = None
         #: Rows ever appended to the WAL (the next record's row_start).
         self._rows_logged = 0
         #: Rows (cumulative) folded into the clustered table by merges.
@@ -136,6 +151,10 @@ class DurableDeltaFlood:
         self.recovered_rows = 0
         self.recovery_clean = True
         self.recovery_reason: str | None = None
+
+    def _make_wal(self) -> WriteAheadLog | GroupCommitLog:
+        wal = WriteAheadLog(self.data_dir, fsync=self.fsync, io=self._io)
+        return GroupCommitLog(wal) if self.group_commit else wal
 
     # ------------------------------------------------------------------ build
     @staticmethod
@@ -175,7 +194,7 @@ class DurableDeltaFlood:
                 )
             self._io.remove(path)
         self._delta.build(table)
-        self._wal = WriteAheadLog(self.data_dir, fsync=self.fsync, io=self._io)
+        self._wal = self._make_wal()
         # The initial snapshot: a crash at any later point recovers warm
         # (snapshot + WAL tail) instead of re-learning from the dataset.
         write_snapshot(
@@ -197,6 +216,7 @@ class DurableDeltaFlood:
         data_dir: str,
         fsync: str = "batch",
         merge_threshold: int | None = 4096,
+        group_commit: bool = False,
         io: StorageIO | None = None,
         **delta_kwargs,
     ) -> "DurableDeltaFlood":
@@ -218,6 +238,7 @@ class DurableDeltaFlood:
             data_dir,
             fsync=fsync,
             merge_threshold=merge_threshold,
+            group_commit=group_commit,
             io=io,
             **delta_kwargs,
         )
@@ -227,7 +248,7 @@ class DurableDeltaFlood:
         inner.merges = snap.merges
         inner.retrains = snap.retrains
         self._rows_merged_total = snap.rows_merged_total
-        self._wal = WriteAheadLog(data_dir, fsync=fsync, io=self._io)
+        self._wal = self._make_wal()
         self.recovery_clean = self._wal.recovery_clean
         self.recovery_reason = self._wal.recovery_reason
         base = snap.rows_merged_total
@@ -299,12 +320,27 @@ class DurableDeltaFlood:
         return self._delta.size_bytes()
 
     # ----------------------------------------------------------------- insert
-    def _require_wal(self) -> WriteAheadLog:
+    def _require_wal(self) -> WriteAheadLog | GroupCommitLog:
         if self._wal is None:
             raise DurabilityError(
                 f"{self.name} used before build()/open() attached its WAL"
             )
         return self._wal
+
+    def _log(self, kind: int, cols: dict, row_start: int):
+        """One record into the log. Inline mode appends (and syncs per
+        policy) right here and returns ``None``; group-commit mode
+        enqueues and returns the durability ticket — unless the ticket
+        already failed (closed/fail-stopped log), which re-raises so the
+        row is never applied, matching the inline failure contract."""
+        wal = self._require_wal()
+        if isinstance(wal, GroupCommitLog):
+            ticket = wal.append_deferred(kind, cols, row_start)
+            if ticket.done() and ticket.exception() is not None:
+                raise ticket.exception()
+            return ticket
+        wal.append(kind, cols, row_start)
+        return None
 
     def _coerce(self, rows: dict, batch: bool) -> dict:
         """Validate dims and coerce values to the table's column dtypes
@@ -326,26 +362,29 @@ class DurableDeltaFlood:
             raise SchemaError("batch columns disagree on length")
         return out
 
-    def insert(self, row: dict) -> None:
-        """WAL-append one row, then buffer it. Raises
+    def insert(self, row: dict):
+        """WAL-log one row, then buffer it. Inline mode raises
         :class:`~repro.errors.DurabilityError` (row NOT applied, NOT to
-        be acked) if the log write fails."""
+        be acked) if the log write fails and returns ``None`` once the
+        row is durable per policy; group-commit mode returns the
+        durability ticket — the caller must await it before acking."""
         cols = self._coerce(row, batch=False)
-        wal = self._require_wal()
-        wal.append(KIND_INSERT, cols, self._rows_logged)
+        ticket = self._log(KIND_INSERT, cols, self._rows_logged)
         self._rows_logged += 1
         self._delta.insert(row)
         self._maybe_auto_merge()
+        return ticket
 
-    def insert_many(self, rows: dict) -> None:
-        """WAL-append a column-oriented batch, then buffer it."""
+    def insert_many(self, rows: dict):
+        """WAL-log a column-oriented batch, then buffer it; same return
+        contract as :meth:`insert`."""
         cols = self._coerce(rows, batch=True)
-        wal = self._require_wal()
         nrows = len(next(iter(cols.values())))
-        wal.append(KIND_INSERT_MANY, cols, self._rows_logged)
+        ticket = self._log(KIND_INSERT_MANY, cols, self._rows_logged)
         self._rows_logged += nrows
         self._delta.insert_many(rows)
         self._maybe_auto_merge()
+        return ticket
 
     def _maybe_auto_merge(self) -> None:
         if (
@@ -431,9 +470,15 @@ class DurableDeltaFlood:
     def durability_stats(self) -> dict:
         """The ``durability`` block of the serving ``stats`` op."""
         wal = self._wal
+        group = (
+            wal.group_commit_stats()
+            if isinstance(wal, GroupCommitLog)
+            else None
+        )
         return {
             "data_dir": self.data_dir,
             "fsync": self.fsync,
+            "group_commit": group,
             "wal_segments": wal.segment_count if wal is not None else 0,
             "wal_bytes": wal.size_bytes() if wal is not None else 0,
             "wal_records": wal.records_appended if wal is not None else 0,

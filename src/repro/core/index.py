@@ -282,6 +282,70 @@ class FloodIndex(BaseIndex):
                     )
             self._flatten_cell_models()
 
+    def build_clustered(self, table: Table) -> "FloodIndex":
+        """Build over a table that is *already* in this layout's clustered
+        order, skipping the permutation (and its copy of every column).
+
+        This is the fleet-reader fast path: the writer publishes its
+        clustered table through shared memory, and the reader's table is
+        byte-identical to what :meth:`_build` would produce — re-sorting
+        it would allocate a private copy of the whole table and defeat
+        the zero-copy attach. The flattener is re-trained here (same
+        value multiset → same CDF → same column assignment), then the
+        claimed clustering is *verified*: cell ids must be non-decreasing
+        and each cell's sort-dimension run non-decreasing. On any
+        violation this falls back to the regular :meth:`build` (correct
+        even over read-only shared views — ``permute`` copies into fresh
+        local arrays), so a caller can never end up with a mis-clustered
+        index.
+        """
+        start = timed()
+        layout = self.layout
+        for dim in layout.order:
+            if dim not in table:
+                raise SchemaError(f"layout dimension {dim!r} not in table")
+        if self.flatten == "conditional":
+            from repro.core.conditional import ConditionalFlattener
+
+            flattener = ConditionalFlattener(
+                table, layout.grid_dims, layout.columns
+            )
+        else:
+            flattener = Flattener(table, layout.grid_dims, kind=self.flatten)
+        n = table.num_rows
+        cell_ids = np.zeros(n, dtype=np.int64)
+        for dim, cols in zip(layout.grid_dims, layout.columns):
+            assignment = flattener.column_of(dim, table.values(dim), cols)
+            cell_ids = cell_ids * cols + assignment
+        sort_values = table.values(layout.sort_dim)
+        clustered = bool(np.all(cell_ids[1:] >= cell_ids[:-1])) if n > 1 else True
+        if clustered and n > 1:
+            # Within-cell ordering: sort values may only decrease at a
+            # cell boundary.
+            decreasing = sort_values[1:] < sort_values[:-1]
+            boundary = cell_ids[1:] != cell_ids[:-1]
+            clustered = bool(np.all(boundary[decreasing]))
+        if not clustered:
+            return self.build(table)
+        self._flattener = flattener
+        self._table = table
+        self._sort_values = np.ascontiguousarray(sort_values)
+        num_cells = layout.num_cells
+        counts = np.bincount(cell_ids, minlength=num_cells)
+        self._cell_starts = np.zeros(num_cells + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._cell_starts[1:])
+        self._cell_models = [None] * num_cells
+        if self.refinement == "plm":
+            for cell in range(num_cells):
+                cstart, cstop = self._cell_starts[cell], self._cell_starts[cell + 1]
+                if cstop > cstart:
+                    self._cell_models[cell] = PiecewiseLinearModel(
+                        self._sort_values[cstart:cstop], delta=self.delta
+                    )
+            self._flatten_cell_models()
+        self.build_seconds = timed() - start
+        return self
+
     def _flatten_cell_models(self) -> None:
         """Concatenate every cell PLM's segments into global arrays.
 

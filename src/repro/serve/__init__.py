@@ -23,6 +23,11 @@ wait.
   :class:`AsyncFloodClient` for talking to the server, both with
   exponential-backoff retry of shed (``overloaded``) requests and
   ``insert`` / ``insert_many`` / ``merge`` write methods.
+- :mod:`repro.serve.fleet` -- the multi-process serving fleet
+  (``repro serve --readers N``): one writer process owning the durable
+  index, N ``SO_REUSEPORT`` reader processes serving published
+  generations from shared memory, connected by a unix-socket control
+  channel that carries generation swaps and proxied writes.
 """
 
 from repro.serve.batcher import MicroBatcher

@@ -43,7 +43,11 @@ rotates the WAL inside the commit barrier. The controller then runs the
 heavy half, ``checkpoint()`` (snapshot write + WAL prune), on an
 executor thread after the swap, and surfaces a ``durability`` block in
 the ``stats`` payload. A non-durable index has no ``checkpoint``
-attribute and nothing here changes.
+attribute and nothing here changes. Under ``--group-commit`` the write
+closure returns a durability ticket instead of blocking on the fsync;
+:meth:`MutableController.apply_insert` awaits the ticket before
+building the ack, so ordering is identical and only the inserting
+coroutine waits.
 """
 
 from __future__ import annotations
@@ -118,6 +122,9 @@ class MutableController:
         #: stats so silent failure is impossible.
         self.maintenance_failures = 0
         self._maintenance: asyncio.Task | None = None
+        #: Fleet hook: awaited after every committed merge/re-layout swap
+        #: (the writer process publishes the new generation to readers).
+        self.on_commit = None
         if monitor is not None:
             batcher.on_query_executed = self.note_query
 
@@ -145,21 +152,32 @@ class MutableController:
 
     async def apply_insert(self, message: dict) -> dict:
         """Apply a wire ``insert`` / ``insert_many`` op; returns the
-        reply payload (structured counters included)."""
+        reply payload (structured counters included).
+
+        A group-commit index returns a durability *ticket* from the
+        write closure (via :meth:`MicroBatcher.submit_write`, which
+        returns the closure's value); the ack is then gated on awaiting
+        it — log-before-ack holds with the fsync wait moved off the
+        loop, so concurrent queries keep flowing while this coroutine
+        (alone) parks on the flusher. Plain indexes return ``None`` and
+        keep the original synchronous-append semantics.
+        """
         index = self.index
         if message.get("op") == "insert":
             row = self._parse_insert(message)
             inserted = 1
 
             def write():
-                index.insert(row)
+                return index.insert(row)
         else:
             rows = self._parse_insert_many(message)
             inserted = len(next(iter(rows.values())))
 
             def write():
-                index.insert_many(rows)
-        await self.batcher.submit_write(write)
+                return index.insert_many(rows)
+        ticket = await self.batcher.submit_write(write)
+        if ticket is not None:
+            await asyncio.wrap_future(ticket)
         self.maybe_schedule_merge()
         return {"inserted": inserted, **self.stats_payload()}
 
@@ -265,6 +283,12 @@ class MutableController:
             checkpoint = getattr(index, "checkpoint", None)
             if checkpoint is not None:
                 await loop.run_in_executor(None, checkpoint)
+            if self.on_commit is not None:
+                # Fleet publish: copy the new clustered table to shared
+                # memory and broadcast the swap. Failure counts as a
+                # maintenance failure (readers just keep the previous
+                # generation) but never unwinds the committed swap.
+                await self.on_commit()
             return True
         except Exception:
             self.maintenance_failures += 1

@@ -139,6 +139,15 @@ class FloodServer:
         atomically. Requires a mutable index.
     cost_model / seed:
         Cost model and base seed for adaptive re-layout.
+    sock:
+        Pre-bound listening socket to serve on instead of ``host``/
+        ``port`` — the fleet binds one ``SO_REUSEPORT`` socket per
+        process so the kernel distributes connections across them.
+    write_proxy:
+        Fleet-reader hook: an async callable ``(message) -> reply dict``
+        that forwards a write op to the writer process. Used only when
+        the server hosts no mutable index of its own; ``None`` (default)
+        keeps the read-only error reply.
     """
 
     def __init__(
@@ -156,6 +165,8 @@ class FloodServer:
         adaptive: bool | WorkloadMonitor = False,
         cost_model=None,
         seed: int = 0,
+        sock=None,
+        write_proxy=None,
     ):
         if cache_entries < 0:
             raise QueryError(
@@ -198,6 +209,12 @@ class FloodServer:
                 seed=seed,
             )
         self.connections_served = 0
+        self._sock = sock
+        self.write_proxy = write_proxy
+        #: Fleet hook: zero-arg callable returning the ``fleet`` stats
+        #: block (process role, fleet-aggregated counters); set by
+        #: :mod:`repro.serve.fleet`, ``None`` outside a fleet.
+        self.fleet_stats = None
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._shutdown = asyncio.Event()
@@ -206,9 +223,14 @@ class FloodServer:
     async def start(self) -> tuple[str, int]:
         """Bind the socket and start the batcher; returns ``(host, port)``."""
         await self.batcher.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
         return self.host, self.port
 
@@ -244,6 +266,11 @@ class FloodServer:
         await self._shutdown.wait()
         if self._server is not None:
             await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Trip the shutdown event (signal handlers, fleet stop frames);
+        ``serve_until_shutdown`` then runs the full graceful stop."""
+        self._shutdown.set()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -360,11 +387,29 @@ class FloodServer:
         an ack therefore holds a logged row (the ``durability-ack``
         rule of ``repro check`` pins this ordering statically)."""
         request_id = message.get("id")
+        if self.mutable is None and self.write_proxy is not None:
+            # Fleet reader: forward to the writer process (single-writer
+            # invariant — only the writer's barrier mutates), relay its
+            # structured reply under this request's id.
+            try:
+                reply = dict(await self.write_proxy(message))
+            except Exception as exc:  # proxy must never hang a client
+                reply = {"ok": False, "error": f"write proxy failed: {exc}"}
+            reply["id"] = request_id
+            return _encode(reply)
+        reply = await self.handle_write_message(message)
+        reply["id"] = request_id
+        return _encode(reply)
+
+    async def handle_write_message(self, message: dict) -> dict:
+        """One write op as a reply dict (no ``id``): shared by the wire
+        path above and the fleet writer's control channel, so proxied
+        writes get byte-identical semantics and error structure."""
         try:
             if self.mutable is None:
                 raise QueryError(
-                    f"op {message['op']!r} needs a mutable index; this server "
-                    "hosts a read-only one (serve a DeltaBufferedFlood)"
+                    f"op {message.get('op')!r} needs a mutable index; this "
+                    "server hosts a read-only one (serve a DeltaBufferedFlood)"
                 )
             if message["op"] == "merge":
                 payload = await self.mutable.merge_now()
@@ -373,21 +418,12 @@ class FloodServer:
         except DurabilityError as exc:
             # Structured, never silent: the row was NOT applied and must
             # not be retried against a log that is now fail-stop.
-            return _encode(
-                {
-                    "id": request_id,
-                    "ok": False,
-                    "error": str(exc),
-                    "durability": True,
-                }
-            )
+            return {"ok": False, "error": str(exc), "durability": True}
         except (ReproError, TypeError, ValueError, OverflowError) as exc:
-            return _encode({"id": request_id, "ok": False, "error": str(exc)})
+            return {"ok": False, "error": str(exc)}
         except Exception as exc:  # last resort: an error reply beats a hang
-            return _encode(
-                {"id": request_id, "ok": False, "error": f"internal error: {exc}"}
-            )
-        return _encode({"id": request_id, "ok": True, **payload})
+            return {"ok": False, "error": f"internal error: {exc}"}
+        return {"ok": True, **payload}
 
     async def _handle_query(self, message: dict, client=None) -> bytes:
         request_id = message.get("id")
@@ -466,6 +502,8 @@ class FloodServer:
         )
         if hasattr(self.engine, "cache_stats"):
             payload["engine_cache"] = self.engine.cache_stats()
+        if self.fleet_stats is not None:
+            payload["fleet"] = self.fleet_stats()
         return payload
 
 

@@ -22,11 +22,18 @@ accident. Every segment this module *creates* is tracked in a
 process-local registry and unlinked either by
 :meth:`SharedMemoryTable.unlink` (the backend's ``shutdown`` calls it) or
 by the ``atexit`` sweep — whichever comes first; both are idempotent.
+Neither helps against ``kill -9`` (no atexit runs), so segment names
+embed the owning pid (``repro-<pid>-<token>``) and
+:func:`sweep_stale_segments` unlinks any ``repro``-prefixed segment
+whose owner is no longer alive — the serving fleet runs it at startup,
+so a SIGKILLed fleet cannot leak ``/dev/shm`` across restarts.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
+import re
 import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -75,12 +82,66 @@ def owned_segment_names() -> list[str]:
     return sorted(_OWNED_SEGMENTS)
 
 
+#: Owner-pid-embedded segment name (the pid is what lets the sweep
+#: decide liveness); the legacy pidless form is matched too so a sweep
+#: after an upgrade still reclaims segments an old process leaked.
+_SEGMENT_NAME_RE = re.compile(r"^repro-(?:(\d+)-)?[0-9a-f]{16}$")
+
+
 def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
-    """A fresh named segment with a collision-resistant name."""
-    name = f"repro-{secrets.token_hex(8)}"
+    """A fresh named segment: collision-resistant, owner-pid-embedded."""
+    name = f"repro-{os.getpid()}-{secrets.token_hex(8)}"
     segment = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
     _register_owned(segment)
     return segment
+
+
+def sweep_stale_segments(shm_dir: str = "/dev/shm") -> list[str]:
+    """Unlink ``repro``-prefixed segments whose owning process is dead.
+
+    The registry + ``atexit`` sweep cover every *clean* exit; a SIGKILL
+    (crash-fault harness, ``kill -9`` on a fleet process) skips both and
+    leaves the segment in ``/dev/shm`` forever. This startup sweep scans
+    the shm filesystem for our naming pattern, extracts the embedded
+    owner pid, and unlinks segments whose owner no longer exists.
+    Legacy pidless names (no embedded pid) are unlinked too — nothing
+    running can own one. Segments owned by a *live* process (including
+    this one) are left alone, as is every foreign name. Returns the
+    names unlinked; a missing ``shm_dir`` (non-Linux) returns ``[]``.
+    """
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return []
+    removed: list[str] = []
+    for name in names:
+        match = _SEGMENT_NAME_RE.match(name)
+        if match is None:
+            continue
+        pid = match.group(1)
+        if pid is not None:
+            pid = int(pid)
+            if pid == os.getpid():
+                continue
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                pass  # owner is gone: stale
+            except OSError:
+                continue  # exists but not ours to signal: alive
+            else:
+                continue  # alive
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=False)
+        except (FileNotFoundError, OSError):
+            continue  # raced with another sweep, or not really a segment
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            continue
+        removed.append(name)
+    return removed
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:

@@ -45,13 +45,25 @@ fsync, or rename; injected failures surface as structured
 :class:`~repro.errors.DurabilityError`\\ s, and the append path is
 fail-stop — after one failed append the log refuses further writes
 rather than risking a half-written frame mid-file.
+
+**Group commit** (:class:`GroupCommitLog`) layers a flusher thread over
+the log: appends become *deferred* — they enqueue a frame and return a
+ticket (:class:`concurrent.futures.Future`) — and the flusher drains the
+queue in micro-batches, appending every queued frame and then fsyncing
+**once** before resolving the batch's tickets. The log-before-ack
+contract is unchanged (a ticket resolves only after its frame is
+durable per the fsync policy); what changes is *who waits*: the fsync
+happens off the caller's thread, so an event loop serving queries is
+never stalled behind ``always``-policy syncs.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
 import re
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 
@@ -422,8 +434,15 @@ class WriteAheadLog:
         self._io.fsync_dir(self.directory)
 
     # ---------------------------------------------------------------- append
-    def append(self, kind: int, rows: dict, row_start: int) -> None:
+    def append(
+        self, kind: int, rows: dict, row_start: int, *, defer_sync: bool = False
+    ) -> None:
         """Frame and append one record; durability per the fsync policy.
+
+        ``defer_sync=True`` writes and kernel-flushes the frame but skips
+        the per-record fsync regardless of policy — the caller (the
+        group-commit flusher) promises a :meth:`sync` covering this frame
+        before anyone is told the row is durable.
 
         Raises :class:`~repro.errors.DurabilityError` on any I/O
         failure. The log is then fail-stop: a failed write may have left
@@ -445,7 +464,9 @@ class WriteAheadLog:
         try:
             self._io.write(self._file, frame)
             self._io.flush(self._file)
-            if self.fsync_policy == "always":
+            if defer_sync:
+                self._unsynced += len(frame)
+            elif self.fsync_policy == "always":
                 self._io.fsync(self._file)
             elif self.fsync_policy == "batch":
                 self._unsynced += len(frame)
@@ -591,3 +612,211 @@ class WriteAheadLog:
 
 def _count_rows(rows: dict) -> int:
     return len(next(iter(rows.values()))) if rows else 0
+
+
+class GroupCommitLog:
+    """Group-commit front end over a :class:`WriteAheadLog`.
+
+    Appends become *deferred*: :meth:`append_deferred` enqueues a frame
+    and returns a ticket (:class:`concurrent.futures.Future`); a
+    dedicated flusher thread drains the queue in micro-batches —
+    everything queued since its last pass — appending every frame with
+    ``defer_sync=True`` and then issuing **one** :meth:`WriteAheadLog.sync`
+    for the whole batch before resolving the tickets. Ordering contract
+    (identical to the inline path): a ticket resolves successfully only
+    after its frame is durable per the fsync policy, so acks gated on
+    tickets preserve *recovered ⊇ acked*. Under ``never`` the batch sync
+    is skipped (same guarantee as the inline ``never`` policy).
+
+    Failure semantics: the wrapped log is fail-stop, and a batch is
+    all-or-nothing at the ack level — if any append or the batch sync
+    fails, **every** ticket in that batch fails (frames written before
+    the fault may survive recovery; recovering an un-acked row is always
+    safe, acking an unrecovered one never happens). After a failure the
+    group log refuses further appends, mirroring the WAL's own fail-stop.
+
+    Threading contract (single-writer discipline): all appends, rotates,
+    and closes must originate from one producer — in this engine, the
+    serving event loop's write barrier. :meth:`rotate` and :meth:`close`
+    first drain the queue via :meth:`flush_group_commit`, and since the
+    sole producer is the caller itself, no new frame can race the
+    rotation. The flusher thread is the only other toucher of the
+    wrapped log, and it is provably idle once the drain returns.
+    """
+
+    #: Bounded join for the flusher on close; it only ever waits on one
+    #: in-flight fsync, so hitting this means the disk is gone anyway.
+    _JOIN_TIMEOUT = 10.0
+
+    def __init__(self, wal: WriteAheadLog):
+        self.wal = wal
+        self._cond = threading.Condition()
+        self._pending: list[tuple[int, dict, int, concurrent.futures.Future]] = []
+        self._in_flight = False
+        self._stopped = False
+        self._failed: str | None = None
+        self.batches_flushed = 0
+        self.records_grouped = 0
+        self.max_batch_records = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-group-commit", daemon=True
+        )
+        self._thread.start()
+
+    # --------------------------------------------------------------- appends
+    def append_deferred(
+        self, kind: int, rows: dict, row_start: int
+    ) -> concurrent.futures.Future:
+        """Enqueue one record; the returned ticket resolves (``None``)
+        once the frame is on disk and covered by its batch's fsync, or
+        fails with :class:`~repro.errors.DurabilityError`."""
+        ticket: concurrent.futures.Future = concurrent.futures.Future()
+        with self._cond:
+            if self._stopped:
+                ticket.set_exception(
+                    DurabilityError("group-commit log is closed")
+                )
+                return ticket
+            if self._failed is not None:
+                ticket.set_exception(
+                    DurabilityError(
+                        "group commit disabled after earlier failure: "
+                        f"{self._failed}"
+                    )
+                )
+                return ticket
+            self._pending.append((kind, rows, row_start, ticket))
+            self._cond.notify_all()
+        return ticket
+
+    # --------------------------------------------------------------- flusher
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopped:
+                    self._cond.wait()
+                if not self._pending and self._stopped:
+                    return
+                batch = self._pending
+                self._pending = []
+                self._in_flight = True
+            try:
+                self._flush_batch(batch)
+            finally:
+                with self._cond:
+                    self._in_flight = False
+                    self._cond.notify_all()
+
+    def _flush_batch(self, batch) -> None:
+        error: Exception | None = None
+        appended: list[concurrent.futures.Future] = []
+        for kind, rows, row_start, ticket in batch:
+            if error is None:
+                try:
+                    self.wal.append(kind, rows, row_start, defer_sync=True)
+                except Exception as exc:  # WAL is fail-stop past here
+                    error = exc
+                else:
+                    appended.append(ticket)
+                    continue
+            ticket.set_exception(
+                DurabilityError(f"group-commit batch failed: {error}")
+            )
+        if error is None and appended and self.wal.fsync_policy != "never":
+            try:
+                self.wal.sync()
+            except Exception as exc:
+                error = exc
+        if error is not None:
+            with self._cond:
+                self._failed = str(error)
+            for ticket in appended:
+                ticket.set_exception(
+                    DurabilityError(f"group-commit batch failed: {error}")
+                )
+            return
+        self.batches_flushed += 1
+        self.records_grouped += len(appended)
+        self.max_batch_records = max(self.max_batch_records, len(appended))
+        for ticket in appended:
+            ticket.set_result(None)
+
+    # ----------------------------------------------------------------- drain
+    def flush_group_commit(self) -> None:
+        """Block until every queued frame is appended and fsynced (or
+        failed). This is the fsync-on-the-caller's-thread entry point —
+        the ``repro check`` loop-safety table knows it by name, so a
+        serving coroutine can never reach it synchronously."""
+        with self._cond:
+            while self._pending or self._in_flight:
+                if not self._thread.is_alive():
+                    break  # flusher died; tickets already failed
+                self._cond.wait(timeout=0.1)
+
+    # ----------------------------------------------- wrapped-log delegation
+    def rotate(self) -> int:
+        """Drain, then rotate the wrapped log (merge-commit boundary)."""
+        self.flush_group_commit()
+        return self.wal.rotate()
+
+    def prune(self, rows_covered: int) -> int:
+        return self.wal.prune(rows_covered)
+
+    def sync(self) -> None:
+        self.flush_group_commit()
+        self.wal.sync()
+
+    def close(self) -> None:
+        """Drain, stop the flusher (bounded join), close the log."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        self._thread.join(timeout=self._JOIN_TIMEOUT)
+        self.wal.close()
+
+    # ----------------------------------------------------------------- state
+    @property
+    def fsync_policy(self) -> str:
+        return self.wal.fsync_policy
+
+    @property
+    def directory(self) -> str:
+        return self.wal.directory
+
+    @property
+    def next_row(self) -> int:
+        return self.wal.next_row
+
+    @property
+    def records_appended(self) -> int:
+        return self.wal.records_appended
+
+    @property
+    def recovered(self) -> list:
+        return self.wal.recovered
+
+    @property
+    def recovery_clean(self) -> bool:
+        return self.wal.recovery_clean
+
+    @property
+    def recovery_reason(self) -> str | None:
+        return self.wal.recovery_reason
+
+    @property
+    def segment_count(self) -> int:
+        return self.wal.segment_count
+
+    def size_bytes(self) -> int:
+        return self.wal.size_bytes()
+
+    def group_commit_stats(self) -> dict:
+        """Flusher health: batches, coalescing ratio inputs, queue depth."""
+        with self._cond:
+            pending = len(self._pending)
+        return {
+            "batches_flushed": self.batches_flushed,
+            "records_grouped": self.records_grouped,
+            "max_batch_records": self.max_batch_records,
+            "pending": pending,
+        }

@@ -112,6 +112,24 @@ class TestLoopSafety:
         assert len(found) == 1
         assert "warmup_kernels" in found[0].message
 
+    def test_flush_group_commit_on_the_loop_flagged(self):
+        """The group-commit drain blocks on the in-flight fsync batch —
+        a heavy call when reached from a serving coroutine."""
+        found = active("loop-safety", (SERVE, (
+            "async def handler(wal):\n"
+            "    wal.flush_group_commit()\n"
+        )))
+        assert len(found) == 1
+        assert "flush_group_commit" in found[0].message
+
+    def test_flush_group_commit_in_sync_context_is_clean(self):
+        found = active("loop-safety", (SERVE, (
+            "def rotate(wal):\n"
+            "    wal.flush_group_commit()\n"
+            "    wal.rotate()\n"
+        )))
+        assert found == []
+
     def test_warmup_kernels_at_sync_startup_is_clean(self):
         # The supported pattern: warm up before the loop exists.
         found = active("loop-safety", (SERVE, (

@@ -30,7 +30,7 @@ SENTINEL_BASE = 1_000_000
 _ROWS = 4000
 
 
-def _spawn(data_dir, fsync="batch", merge_threshold=150):
+def _spawn(data_dir, fsync="batch", merge_threshold=150, extra_args=()):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -42,6 +42,7 @@ def _spawn(data_dir, fsync="batch", merge_threshold=150):
             "--max-delay-ms", "1",
             "--merge-threshold", str(merge_threshold),
             "--data-dir", str(data_dir), "--fsync", fsync,
+            *extra_args,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -182,3 +183,48 @@ class TestKill9Recovery:
             proc.wait(timeout=60)
         assert states[0] == states[1]
         assert states[0][2] == 25
+
+
+class TestGroupCommitKill9:
+    def test_group_commit_fsync_always_survives_kill9(self, tmp_path):
+        """Group commit must not weaken the contract it accelerates:
+        under ``--group-commit --fsync always``, every *acked* insert is
+        on disk when the ack leaves the server — so kill -9 right after
+        the last ack loses nothing acked."""
+        data_dir = tmp_path / "state"
+        proc, watchdog, address, banner = _spawn(
+            data_dir,
+            fsync="always",
+            extra_args=("--group-commit",),
+        )
+        acked = []
+        try:
+            assert address, f"no address; output: {banner}"
+            assert any("group commit: on" in line.lower() for line in banner)
+            with FloodClient(*address, timeout=60) as client:
+                for i in range(150):
+                    reply = client.insert(_sentinel_row(i))
+                    group = reply["durability"]["group_commit"]
+                    assert group is not None, reply
+                    acked.append(i)
+                assert group["records_grouped"] >= 150
+        finally:
+            watchdog.cancel()
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+
+        proc2, watchdog2, address2, banner2 = _spawn(
+            data_dir, fsync="always", extra_args=("--group-commit",)
+        )
+        try:
+            assert address2, f"no restart address; output: {banner2}"
+            assert any("Recovered from" in line for line in banner2), banner2
+            with FloodClient(*address2, timeout=60) as client:
+                assert _sentinel_count(client) == len(acked)
+                client.shutdown()
+            assert proc2.wait(timeout=60) == 0
+        finally:
+            watchdog2.cancel()
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait()

@@ -294,3 +294,58 @@ class TestFaultInjection:
         path.write_bytes(bytes(data))
         with pytest.raises(DurabilityError, match="CRC"):
             DurableDeltaFlood.open(str(tmp_path))
+
+
+class TestGroupCommit:
+    """``group_commit=True``: inserts return tickets, acks wait for the
+    covering sync, and recovery still honours recovered ⊇ acked."""
+
+    def test_insert_returns_a_ticket_that_resolves(self, tmp_path):
+        index = _build(tmp_path, group_commit=True)
+        ticket = index.insert({"x": 1, "y": 2})
+        assert ticket is not None
+        assert ticket.result(timeout=10) is None  # durable once resolved
+        stats = index.durability_stats()
+        assert stats["group_commit"]["records_grouped"] == 1
+        index.shutdown()
+
+    def test_without_group_commit_insert_returns_none(self, tmp_path):
+        index = _build(tmp_path)
+        assert index.insert({"x": 1, "y": 2}) is None
+        assert index.durability_stats()["group_commit"] is None
+        index.shutdown()
+
+    def test_acked_rows_survive_reopen(self, tmp_path):
+        index = _build(tmp_path, group_commit=True)
+        tickets = [index.insert({"x": i, "y": i}) for i in range(20)]
+        rows = {
+            "x": np.arange(20, 40, dtype=np.int64),
+            "y": np.arange(20, 40, dtype=np.int64),
+        }
+        tickets.append(index.insert_many(rows))
+        for ticket in tickets:
+            ticket.result(timeout=10)
+        total = _total_rows(index)
+        index.shutdown()
+        reopened = DurableDeltaFlood.open(
+            str(tmp_path), group_commit=True, merge_threshold=None
+        )
+        assert _total_rows(reopened) == total
+        reopened.shutdown()
+
+    def test_already_failed_ticket_raises_and_skips_the_buffer(
+        self, tmp_path
+    ):
+        """Once the flusher is fail-stopped, a new insert must raise
+        inline and leave the buffer untouched — same contract as a
+        failed synchronous append."""
+        from repro.storage.wal import GroupCommitLog
+
+        index = _build(tmp_path, group_commit=True)
+        assert isinstance(index._wal, GroupCommitLog)
+        # Fail-stop the flusher by closing the log behind its back.
+        index._wal.close()
+        before = _total_rows(index)
+        with pytest.raises(DurabilityError):
+            index.insert({"x": 1, "y": 2})
+        assert _total_rows(index) == before

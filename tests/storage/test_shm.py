@@ -15,6 +15,12 @@ from repro.storage.table import Table
 
 from tests.helpers import make_table
 
+import os as _os
+
+REPO_ROOT = _os.path.dirname(
+    _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+)
+
 
 @pytest.fixture
 def shared():
@@ -139,3 +145,168 @@ class TestLeakFreedom:
         # earlier segments mapped (they could pin freed memory).
         with pytest.raises(FileNotFoundError):
             SharedMemoryTable.attach(handle)
+
+
+class TestStaleSweep:
+    """Startup sweep for segments orphaned by a SIGKILLed fleet."""
+
+    @staticmethod
+    def _plant(name, size=64):
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+        seg.close()
+        return name
+
+    @staticmethod
+    def _exists(name):
+        from multiprocessing import shared_memory
+
+        try:
+            seg = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            return False
+        seg.close()
+        return True
+
+    @staticmethod
+    def _dead_pid():
+        """A real-but-dead pid: a reaped child cannot be running."""
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_dead_owner_segment_is_unlinked(self):
+        from repro.storage.shm import sweep_stale_segments
+
+        name = self._plant(f"repro-{self._dead_pid()}-{'ab' * 8}")
+        try:
+            removed = sweep_stale_segments()
+            assert name in removed
+            assert not self._exists(name)
+        finally:
+            if self._exists(name):
+                from multiprocessing import shared_memory
+
+                seg = shared_memory.SharedMemory(name=name, create=False)
+                seg.close()
+                seg.unlink()
+
+    def test_live_owner_segment_is_kept(self):
+        import os
+
+        from repro.storage.shm import sweep_stale_segments
+
+        # The test runner's parent is alive for the duration of the test.
+        name = self._plant(f"repro-{os.getppid()}-{'cd' * 8}")
+        try:
+            removed = sweep_stale_segments()
+            assert name not in removed
+            assert self._exists(name)
+        finally:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(name=name, create=False)
+            seg.close()
+            seg.unlink()
+
+    def test_own_segments_are_never_swept(self):
+        from repro.storage.shm import sweep_stale_segments
+
+        table = make_table(n=50, dims=("x",), seed=1)
+        shared = SharedMemoryTable.from_table(table)
+        try:
+            removed = sweep_stale_segments()
+            for _, seg_name, _, _ in shared.handle.columns:
+                assert seg_name not in removed
+            np.testing.assert_array_equal(shared.values("x"), table.values("x"))
+        finally:
+            shared.unlink()
+
+    def test_foreign_names_are_untouched(self):
+        from repro.storage.shm import sweep_stale_segments
+
+        name = self._plant("notrepro-deadbeefdeadbeef")
+        try:
+            assert name not in sweep_stale_segments()
+            assert self._exists(name)
+        finally:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(name=name, create=False)
+            seg.close()
+            seg.unlink()
+
+    def test_legacy_pidless_names_are_swept(self):
+        """Segments from before pid-embedded names have no liveness
+        probe; the sweep reclaims them unconditionally."""
+        from repro.storage.shm import sweep_stale_segments
+
+        name = self._plant(f"repro-{'ef' * 8}")
+        removed = sweep_stale_segments()
+        assert name in removed
+        assert not self._exists(name)
+
+    def test_fleet_kill9_leaves_nothing_after_sweep(self):
+        """Leak sanitizer: a subprocess creates segments and dies by
+        SIGKILL (no atexit); the sweep reclaims every one of them."""
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.storage.shm import sweep_stale_segments
+
+        # The child reports its resource-tracker pid too: kill -9 of a
+        # real fleet takes the whole process tree down, tracker included
+        # (a surviving tracker would unlink the segments itself and
+        # there would be nothing to sweep).
+        code = (
+            "import sys, time; sys.path.insert(0, 'src');"
+            "import numpy as np;"
+            "from multiprocessing import resource_tracker;"
+            "from repro.storage.table import Table;"
+            "from repro.storage.shm import SharedMemoryTable;"
+            "t = Table({'x': np.arange(100, dtype=np.int64)});"
+            "s = SharedMemoryTable.from_table(t);"
+            "resource_tracker.ensure_running();"
+            "print('TRACKER', resource_tracker._resource_tracker._pid,"
+            " flush=True);"
+            "print('SEGS', *[c[1] for c in s.handle.columns], flush=True);"
+            "time.sleep(60)"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            stdout=subprocess.PIPE,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        try:
+            tracker = proc.stdout.readline().split()
+            assert tracker and tracker[0] == "TRACKER", tracker
+            line = proc.stdout.readline().split()
+            assert line and line[0] == "SEGS", line
+            seg_names = line[1:]
+            assert seg_names
+            proc.send_signal(signal.SIGKILL)
+            import os
+
+            try:
+                os.kill(int(tracker[1]), signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            proc.wait(timeout=30)
+            time.sleep(0.2)  # give the kernel a beat to reap
+            for name in seg_names:
+                assert self._exists(name), "segment should leak past kill -9"
+            removed = sweep_stale_segments()
+            for name in seg_names:
+                assert name in removed
+                assert not self._exists(name)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

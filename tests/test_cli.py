@@ -71,3 +71,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "queries/s" in out
         assert "results identical" in out
+
+
+class TestServeFleetFlags:
+    def test_serve_fleet_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.readers == 0
+        assert not args.group_commit
+
+    def test_serve_fleet_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--index", "delta", "--data-dir", "/tmp/x",
+                "--readers", "4", "--group-commit",
+            ]
+        )
+        assert args.readers == 4
+        assert args.group_commit
+
+    def test_negative_readers_rejected(self, capsys):
+        assert main(["serve", "--readers", "-1"]) == 2
+        assert "--readers >= 0" in capsys.readouterr().err
+
+    def test_readers_need_delta_and_data_dir(self, capsys):
+        assert main(["serve", "--readers", "2"]) == 2
+        assert "--index delta" in capsys.readouterr().err
+        assert main(["serve", "--readers", "2", "--index", "delta"]) == 2
+        assert "--data-dir" in capsys.readouterr().err
+
+    def test_group_commit_needs_data_dir(self, capsys):
+        assert (
+            main(["serve", "--index", "delta", "--group-commit"]) == 2
+        )
+        assert "--data-dir" in capsys.readouterr().err
